@@ -1,0 +1,399 @@
+// Command denali-bench regenerates every experiment of the paper's
+// evaluation (section 8) plus the ablations listed in DESIGN.md, printing
+// one table per experiment. Absolute numbers differ from the paper's 2002
+// hardware; the shapes — who wins, by what factor, how costs grow — are
+// the reproduction targets recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	denali-bench              run everything
+//	denali-bench -run E5      run one experiment
+//	denali-bench -list        list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/axioms"
+	"repro/internal/brute"
+	"repro/internal/egraph"
+	"repro/internal/matcher"
+	"repro/internal/programs"
+	"repro/internal/term"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func() error
+}
+
+func main() {
+	runFilter := flag.String("run", "", "run only the experiment with this id (e.g. E5)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	exps := []experiment{
+		{"E1", "Figure 2: reg6*4+1 compiles to a single s4addq", e1},
+		{"E2", "byteswap4: 5-cycle optimum with per-probe SAT sizes (Figure 4)", e2},
+		{"E3", "byteswap5: Denali beats the conventional compiler by a cycle", e3},
+		{"E4", "checksum loop body: instructions/cycles/IPC (Figures 5-6)", e4},
+		{"E5", "brute-force (GNU superoptimizer style) enumeration blowup vs Denali", e5},
+		{"E6", "matcher finds >100 ways of computing a+b+c+d+e", e6},
+		{"E7", "rowop and lcp2 vs the baseline", e7},
+		{"E8", "select-store reordering in the copy loop", e8},
+		{"E9", "cluster-model ablation on byteswap4", e9},
+		{"E10", "probe-size sweep and linear vs binary budget search", e10},
+		{"E11", "issue-width ablation (1/2/4)", e11},
+		{"E12", "correct-by-design: random-input verification of all programs", e12},
+		{"A1", "ablation: at-most-once-per-term pruning constraint", a1},
+		{"A2", "ablation: matcher saturation budgets vs result quality", a2},
+	}
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-4s %s\n", e.id, e.title)
+		}
+		return
+	}
+	for _, e := range exps {
+		if *runFilter != "" && e.id != *runFilter {
+			continue
+		}
+		fmt.Printf("\n===== %s: %s =====\n", e.id, e.title)
+		start := time.Now()
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func compileOne(src string, opt repro.Options) (*repro.CompiledGMA, error) {
+	res, err := repro.Compile(src, opt)
+	if err != nil {
+		return nil, err
+	}
+	return res.Procs[0].GMAs[0], nil
+}
+
+func findLoop(res *repro.Result) *repro.CompiledGMA {
+	for _, p := range res.Procs {
+		for _, g := range p.GMAs {
+			if strings.HasSuffix(g.Name, "_loop") {
+				return g
+			}
+		}
+	}
+	return nil
+}
+
+func e1() error {
+	g, err := compileOne(programs.Quickstart, repro.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("goal: reg6*4+1\n")
+	fmt.Printf("cycles=%d instructions=%d optimal=%v\n", g.Cycles, g.Instructions, g.OptimalProven)
+	fmt.Print(g.Assembly)
+	base, err := g.Baseline()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("conventional baseline: %d cycles, %d instructions (greedy rewrite commits to the shift and misses s4addq)\n",
+		base.Cycles, base.Instructions)
+	return g.Verify(100, 1)
+}
+
+func e2() error {
+	g, err := compileOne(programs.Byteswap4, repro.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("byteswap4: %d cycles, %d instructions, optimal=%v\n", g.Cycles, g.Instructions, g.OptimalProven)
+	fmt.Printf("matcher: %d nodes, %d classes, %d instantiations in %v; SAT total %v\n",
+		g.Match.Nodes, g.Match.Classes, g.Match.Instantiations,
+		g.Match.Elapsed.Round(time.Microsecond), g.SolveTime.Round(time.Microsecond))
+	fmt.Printf("%-5s %-8s %8s %9s %10s %12s\n", "K", "result", "vars", "clauses", "conflicts", "time")
+	for _, p := range g.Probes {
+		fmt.Printf("%-5d %-8s %8d %9d %10d %12v\n", p.K, p.Result, p.Vars, p.Clauses, p.Conflicts, p.Elapsed.Round(time.Microsecond))
+	}
+	fmt.Print(g.Listing)
+	return g.Verify(100, 2)
+}
+
+func e3() error {
+	fmt.Printf("%-12s %14s %14s %8s\n", "program", "denali cycles", "baseline", "win")
+	for _, n := range []int{2, 3, 4, 5} {
+		g, err := compileOne(programs.Byteswap(n), repro.Options{})
+		if err != nil {
+			return err
+		}
+		base, err := g.Baseline()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("byteswap%-4d %14d %14d %+8d\n", n, g.Cycles, base.Cycles, base.Cycles-g.Cycles)
+		if err := g.Verify(50, int64(n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func e4() error {
+	res, err := repro.Compile(programs.Checksum, repro.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-20s %7s %7s %6s %8s\n", "GMA", "cycles", "instrs", "IPC", "optimal")
+	for _, g := range res.Procs[0].GMAs {
+		ipc := 0.0
+		if g.Cycles > 0 {
+			ipc = float64(g.Instructions) / float64(g.Cycles)
+		}
+		fmt.Printf("%-20s %7d %7d %6.2f %8v\n", g.Name, g.Cycles, g.Instructions, ipc, g.OptimalProven)
+		if err := g.Verify(40, 4); err != nil {
+			return err
+		}
+	}
+	loop := findLoop(res)
+	base, err := loop.Baseline()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loop body baseline: %d cycles (Denali wins by %d)\n", base.Cycles, base.Cycles-loop.Cycles)
+	fmt.Printf("(paper: 31 instructions in 10 cycles for its larger encoding; the preserved shape is >2 IPC and a win over the compiler)\n")
+	return nil
+}
+
+func e5() error {
+	ops := []string{"add64", "sub64", "and64", "bis", "xor64", "sll", "srl"}
+	cfg := brute.Config{Ops: ops, Consts: []uint64{1, 2, 8}, NumInputs: 1}
+	fmt.Printf("search-space size per sequence length (ops=%d, consts=%d):\n", len(ops), len(cfg.Consts))
+	for n := 1; n <= 6; n++ {
+		fmt.Printf("  length %d: %.3g sequences\n", n, brute.SpaceSize(cfg, n))
+	}
+	// Concrete run: a goal brute force finds quickly vs one that explodes.
+	res1 := brute.Search(func(in []uint64) uint64 { return 2 * in[0] }, brute.Config{
+		Ops: ops, Consts: []uint64{1, 2, 8}, NumInputs: 1, MaxLen: 2, Seed: 1,
+	})
+	fmt.Printf("find 2*x: %d candidates in %v -> %d instruction(s)\n",
+		res1.Candidates, res1.Elapsed.Round(time.Microsecond), len(res1.Found.Instrs))
+	res2 := brute.Search(func(in []uint64) uint64 {
+		a := in[0]
+		return (a&255)<<24 | (a>>8&255)<<16 | (a>>16&255)<<8 | a>>24&255
+	}, brute.Config{
+		Ops: ops, Consts: []uint64{8, 16, 24, 255}, NumInputs: 1, MaxLen: 4, Seed: 2,
+		MaxCandidates: 5_000_000,
+	})
+	fmt.Printf("find byteswap32 by brute force: aborted=%v after %d candidates in %v (per-length: %v)\n",
+		res2.Aborted, res2.Candidates, res2.Elapsed.Round(time.Millisecond), res2.LengthCandidates)
+	g, err := compileOne(programs.Byteswap4, repro.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Denali compiles the full 4-byte swap (9 instructions) in %v matching + %v solving\n",
+		g.Match.Elapsed.Round(time.Millisecond), g.SolveTime.Round(time.Millisecond))
+	return nil
+}
+
+func e6() error {
+	axs, err := axioms.Builtin()
+	if err != nil {
+		return err
+	}
+	for _, n := range []int{3, 4, 5} {
+		g := egraph.New()
+		sum := term.NewVar("x0")
+		for i := 1; i < n; i++ {
+			sum = term.NewApp("add64", sum, term.NewVar(fmt.Sprintf("x%d", i)))
+		}
+		goal := g.AddTerm(sum)
+		res, err := matcher.Saturate(g, axs, matcher.Options{MaxNodes: 200000, MaxRounds: 30})
+		if err != nil {
+			return err
+		}
+		ways := g.CountComputations(goal, 100000)
+		fmt.Printf("sum of %d operands: %5d ways of computing it (%d nodes, %d classes, quiescent=%v)\n",
+			n, ways, res.Nodes, res.Classes, res.Quiescent)
+	}
+	fmt.Println("(paper: \"more than a hundred different ways of computing a+b+c+d+e\")")
+	return nil
+}
+
+func e7() error {
+	fmt.Printf("%-10s %14s %14s\n", "program", "denali cycles", "baseline")
+	for _, p := range []struct {
+		name string
+		src  string
+	}{{"rowop", programs.Rowop}, {"lcp2", programs.Lcp2}} {
+		g, err := compileOne(p.src, repro.Options{})
+		if err != nil {
+			return err
+		}
+		base, err := g.Baseline()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %14d %14d\n", p.name, g.Cycles, base.Cycles)
+		if err := g.Verify(40, 7); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func e8() error {
+	g, err := compileOne(programs.CopyLoop, repro.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("copy loop: %d cycles, %d instructions\n", g.Cycles, g.Instructions)
+	fmt.Print(g.Assembly)
+	fmt.Println("the select-store axiom plus the p != p+8 distinction let the load and store reorder freely")
+	return g.Verify(60, 8)
+}
+
+func e9() error {
+	for _, a := range []string{"ev6", "ev6-noclusters"} {
+		g, err := compileOne(programs.Byteswap4, repro.Options{Arch: a})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s: %d cycles, %d instructions\n", a, g.Cycles, g.Instructions)
+	}
+	fmt.Println("(the binding constraint is the two upper-unit byte pipes; the cluster model changes placement, not the count — cf. Figure 4's \"unused instruction\")")
+	return nil
+}
+
+func e10() error {
+	lin, err := compileOne(programs.Byteswap4, repro.Options{})
+	if err != nil {
+		return err
+	}
+	bin, err := compileOne(programs.Byteswap4, repro.Options{BinarySearch: true})
+	if err != nil {
+		return err
+	}
+	sum := func(g *repro.CompiledGMA) (int, time.Duration, string) {
+		total := time.Duration(0)
+		var ks []string
+		for _, p := range g.Probes {
+			total += p.Elapsed
+			ks = append(ks, fmt.Sprintf("%d", p.K))
+		}
+		return len(g.Probes), total, strings.Join(ks, ",")
+	}
+	n1, t1, k1 := sum(lin)
+	n2, t2, k2 := sum(bin)
+	fmt.Printf("linear search: %d probes (K=%s) in %v -> %d cycles\n", n1, k1, t1.Round(time.Microsecond), lin.Cycles)
+	fmt.Printf("binary search: %d probes (K=%s) in %v -> %d cycles\n", n2, k2, t2.Round(time.Microsecond), bin.Cycles)
+	fmt.Println("probe sizes (vars/clauses) grow with K:")
+	for _, p := range lin.Probes {
+		fmt.Printf("  K=%-3d %6d vars %7d clauses (%s)\n", p.K, p.Vars, p.Clauses, p.Result)
+	}
+	return nil
+}
+
+func e11() error {
+	fmt.Printf("%-14s %16s %16s\n", "arch", "sum5 cycles", "checksum loop")
+	src := `
+(\procdecl sum5 ((a long) (b long) (c long) (d long) (e long)) long
+  (:= (\res (+ a (+ b (+ c (+ d e)))))))
+`
+	for _, a := range []string{"ev6-single", "ev6-dual", "ev6"} {
+		g, err := compileOne(src, repro.Options{Arch: a})
+		if err != nil {
+			return err
+		}
+		// Narrow-issue checksum refutations are pigeonhole-hard; descend
+		// from the baseline's budget with bounded probes (the paper's own
+		// checksum run took four hours).
+		res, err := repro.Compile(programs.Checksum, repro.Options{
+			Arch: a, MaxCycles: 40, MaxConflicts: 20000, DescendSearch: true,
+		})
+		if err != nil {
+			return err
+		}
+		loop := findLoop(res)
+		marker := ""
+		if !loop.OptimalProven {
+			marker = " (upper bound)"
+		}
+		fmt.Printf("%-14s %16d %14d%s\n", a, g.Cycles, loop.Cycles, marker)
+	}
+	return nil
+}
+
+func e12() error {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"quickstart", programs.Quickstart},
+		{"byteswap4", programs.Byteswap4},
+		{"byteswap5", programs.Byteswap5},
+		{"checksum", programs.Checksum},
+		{"copyloop", programs.CopyLoop},
+		{"lcp2", programs.Lcp2},
+		{"rowop", programs.Rowop},
+		{"sumloop", programs.SumLoop},
+	}
+	total := 0
+	for _, c := range cases {
+		res, err := repro.Compile(c.src, repro.Options{})
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+		for _, proc := range res.Procs {
+			for _, g := range proc.GMAs {
+				if err := g.Verify(50, 12); err != nil {
+					return fmt.Errorf("%s/%s: %w", c.name, g.Name, err)
+				}
+				total++
+			}
+		}
+		fmt.Printf("%-12s verified (all GMAs x 50 random inputs)\n", c.name)
+	}
+	fmt.Printf("%d GMAs verified against reference semantics\n", total)
+	return nil
+}
+
+func a1() error {
+	for _, disable := range []bool{false, true} {
+		start := time.Now()
+		g, err := compileOne(programs.Byteswap4, repro.Options{DisableAtMostOnce: disable})
+		if err != nil {
+			return err
+		}
+		conflicts := int64(0)
+		for _, p := range g.Probes {
+			conflicts += p.Conflicts
+		}
+		fmt.Printf("at-most-once disabled=%-5v: %d cycles, %d total conflicts, %v\n",
+			disable, g.Cycles, conflicts, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func a2() error {
+	fmt.Printf("%-22s %8s %8s %9s\n", "budget", "cycles", "instrs", "optimal")
+	for _, nodes := range []int{60, 200, 2000, 50000} {
+		g, err := compileOne(programs.Byteswap4, repro.Options{MatcherMaxNodes: nodes})
+		if err != nil {
+			// With a tiny budget the goal may be uncomputable — that is
+			// the point of the ablation.
+			fmt.Printf("nodes<=%-15d %8s (%v)\n", nodes, "-", err)
+			continue
+		}
+		fmt.Printf("nodes<=%-15d %8d %8d %9v\n", nodes, g.Cycles, g.Instructions, g.OptimalProven)
+	}
+	fmt.Println("(starved saturation loses alternatives: \"near-optimal\" rather than \"optimal\", section 6)")
+	return nil
+}

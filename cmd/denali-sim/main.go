@@ -1,0 +1,128 @@
+// Command denali-sim compiles a Denali source program and executes a
+// chosen guarded multi-assignment on the EV6 simulator with user-supplied
+// register and memory contents, printing the final target values. It is
+// the quickest way to watch generated code run.
+//
+// Usage:
+//
+//	denali-sim -gma byteswap4 -in a=0x44332211 file.dn
+//	denali-sim -gma copyloop_loop -in p=64 -in q=128 -in r=96 -mem 128=7 file.dn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+type kvList []string
+
+func (k *kvList) String() string     { return strings.Join(*k, ",") }
+func (k *kvList) Set(s string) error { *k = append(*k, s); return nil }
+
+func main() {
+	var (
+		gmaName  = flag.String("gma", "", "GMA to execute (default: the first one)")
+		archName = flag.String("arch", "ev6", "machine model")
+		inputs   kvList
+		mems     kvList
+	)
+	flag.Var(&inputs, "in", "input assignment name=value (repeatable)")
+	flag.Var(&mems, "mem", "memory initialization addr=value (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: denali-sim [flags] file.dn")
+		flag.Usage()
+		os.Exit(2)
+	}
+	srcBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	res, err := repro.Compile(string(srcBytes), repro.Options{Arch: *archName})
+	if err != nil {
+		fatal(err)
+	}
+	var target *repro.CompiledGMA
+	var names []string
+	for _, proc := range res.Procs {
+		for _, g := range proc.GMAs {
+			names = append(names, g.Name)
+			if *gmaName == "" && target == nil {
+				target = g
+			}
+			if g.Name == *gmaName {
+				target = g
+			}
+		}
+	}
+	if target == nil {
+		fatal(fmt.Errorf("no GMA named %q; available: %s", *gmaName, strings.Join(names, ", ")))
+	}
+	inVals := map[string]uint64{}
+	for _, kv := range inputs {
+		name, v, err := parseKV(kv)
+		if err != nil {
+			fatal(err)
+		}
+		inVals[name] = v
+	}
+	memVals := map[uint64]uint64{}
+	for _, kv := range mems {
+		addr, v, err := parseKV(kv)
+		if err != nil {
+			fatal(err)
+		}
+		a, err := strconv.ParseUint(addr, 0, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad address %q", addr))
+		}
+		memVals[a] = v
+	}
+	fmt.Printf("executing %s (%d cycles, %d instructions)\n", target.Name, target.Cycles, target.Instructions)
+	fmt.Println(target.Assembly)
+	out, outMem, err := target.Execute(inVals, memVals)
+	if err != nil {
+		fatal(err)
+	}
+	var keys []string
+	for k := range out {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%-12s = %#x (%d)\n", k, out[k], out[k])
+	}
+	if len(memVals) > 0 || len(outMem) > 0 {
+		var addrs []uint64
+		for a := range outMem {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		for _, a := range addrs {
+			fmt.Printf("mem[%#x]   = %#x (%d)\n", a, outMem[a], outMem[a])
+		}
+	}
+}
+
+func parseKV(kv string) (string, uint64, error) {
+	eq := strings.IndexByte(kv, '=')
+	if eq < 0 {
+		return "", 0, fmt.Errorf("expected name=value, got %q", kv)
+	}
+	v, err := strconv.ParseUint(kv[eq+1:], 0, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad value in %q: %v", kv, err)
+	}
+	return kv[:eq], v, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "denali-sim:", err)
+	os.Exit(1)
+}

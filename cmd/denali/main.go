@@ -1,0 +1,123 @@
+// Command denali compiles a program in the Denali input language (the
+// paper's Figure 6 syntax) into annotated Alpha EV6 assembly, printing the
+// near-optimal schedule for every guarded multi-assignment together with
+// the SAT-probe evidence that smaller cycle budgets are infeasible.
+//
+// Usage:
+//
+//	denali [flags] file.dn
+//	denali [flags] -        (read from stdin)
+//
+// Flags select the machine model, the budget search strategy, matcher
+// budgets, and optional post-compile verification on random inputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		archName  = flag.String("arch", "ev6", "machine model: ev6, ev6-noclusters, ev6-single, ev6-dual")
+		binary    = flag.Bool("binary-search", false, "binary search over cycle budgets instead of linear")
+		maxCycles = flag.Int("max-cycles", 24, "largest cycle budget to try")
+		maxRounds = flag.Int("matcher-rounds", 0, "matcher round budget (0 = default)")
+		maxNodes  = flag.Int("matcher-nodes", 0, "matcher node budget (0 = default)")
+		verifyN   = flag.Int("verify", 0, "verify each schedule on N random inputs")
+		probes    = flag.Bool("probes", false, "print per-probe SAT statistics")
+		listing   = flag.Bool("nops", false, "print the nop-padded issue-slot listing")
+		baseline  = flag.Bool("baseline", false, "also compile with the conventional baseline generator")
+		quiet     = flag.Bool("q", false, "print only the summary line per GMA")
+		dotPath   = flag.String("dot", "", "write each GMA's saturated E-graph as <path>_<gma>.dot")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: denali [flags] file.dn   (or - for stdin)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := readSource(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	opt := repro.Options{
+		Arch:             *archName,
+		BinarySearch:     *binary,
+		MaxCycles:        *maxCycles,
+		MatcherMaxRounds: *maxRounds,
+		MatcherMaxNodes:  *maxNodes,
+	}
+	start := time.Now()
+	res, err := repro.Compile(src, opt)
+	if err != nil {
+		fatal(err)
+	}
+	for _, proc := range res.Procs {
+		for _, g := range proc.GMAs {
+			fmt.Printf("=== %s: %d cycles, %d instructions", g.Name, g.Cycles, g.Instructions)
+			if g.OptimalProven {
+				fmt.Printf(" (optimal: %d-cycle budget refuted)", g.Cycles-1)
+			}
+			fmt.Println()
+			if !*quiet {
+				if *listing {
+					fmt.Println(g.Listing)
+				} else {
+					fmt.Println(g.Assembly)
+				}
+			}
+			if *probes {
+				fmt.Printf("  matcher: %d rounds, %d instantiations, %d nodes, %d classes (quiescent=%v) in %v\n",
+					g.Match.Rounds, g.Match.Instantiations, g.Match.Nodes, g.Match.Classes,
+					g.Match.Quiescent, g.Match.Elapsed.Round(time.Microsecond))
+				for _, p := range g.Probes {
+					fmt.Printf("  K=%-3d %-7s %6d vars %7d clauses %7d conflicts %10v\n",
+						p.K, p.Result, p.Vars, p.Clauses, p.Conflicts, p.Elapsed.Round(time.Microsecond))
+				}
+			}
+			if *baseline {
+				b, err := g.Baseline()
+				if err != nil {
+					fmt.Printf("  baseline: error: %v\n", err)
+				} else {
+					fmt.Printf("  baseline: %d cycles, %d instructions (Denali %+d)\n",
+						b.Cycles, b.Instructions, g.Cycles-b.Cycles)
+				}
+			}
+			if *dotPath != "" {
+				file := fmt.Sprintf("%s_%s.dot", *dotPath, g.Name)
+				if err := os.WriteFile(file, []byte(g.EGraphDot()), 0o644); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("  e-graph written to %s\n", file)
+			}
+			if *verifyN > 0 {
+				if err := g.Verify(*verifyN, 1); err != nil {
+					fatal(fmt.Errorf("verification of %s failed: %w", g.Name, err))
+				}
+				fmt.Printf("  verified on %d random inputs\n", *verifyN)
+			}
+		}
+	}
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func readSource(path string) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "denali:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Lcp2 and rowop: the two remaining test programs the paper mentions in
+// section 8 — the least common power of two of two registers, and a
+// matrix row operation that exercises loads, stores, the multiplier and
+// displacement addressing.
+//
+//	go run ./examples/lcp2
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/programs"
+)
+
+func main() {
+	// --- least common power of two ---
+	res, err := repro.Compile(programs.Lcp2, repro.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lcp := res.Procs[0].GMAs[0]
+	fmt.Printf("lcp2: %d cycles, %d instructions\n", lcp.Cycles, lcp.Instructions)
+	fmt.Println(lcp.Assembly)
+	for _, pair := range [][2]uint64{{0b10100, 0b11000}, {48, 80}, {7, 5}, {1 << 40, 3 << 40}} {
+		out, _, err := lcp.Execute(map[string]uint64{"a": pair[0], "b": pair[1]}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("lcp2(%#b, %#b) = %#b\n", pair[0], pair[1], out["res"])
+	}
+	if err := lcp.Verify(500, 9); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified on 500 random inputs")
+
+	// --- rowop ---
+	rres, err := repro.Compile(programs.Rowop, repro.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rowop := rres.Procs[0].GMAs[0]
+	fmt.Printf("\nrowop: %d cycles, %d instructions (multiplier latency dominates)\n",
+		rowop.Cycles, rowop.Instructions)
+	fmt.Println(rowop.Assembly)
+	mem := map[uint64]uint64{
+		0x100: 10, 0x108: 20, // row i
+		0x200: 3, 0x208: 4, // row j
+	}
+	_, outMem, err := rowop.Execute(map[string]uint64{"p": 0x100, "q": 0x200, "c": 5}, mem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("row[i] += 5*row[j]: [10 20] -> [%d %d]\n", outMem[0x100], outMem[0x108])
+	base, err := rowop.Baseline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("conventional baseline: %d cycles (Denali %+d)\n", base.Cycles, rowop.Cycles-base.Cycles)
+}

@@ -1,0 +1,161 @@
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gma"
+	"repro/internal/term"
+)
+
+// randTerm generates a random expression tree over the inputs, biased
+// toward cheap operators so the optimum stays within the cycle bound.
+func randTerm(rng *rand.Rand, depth int, inputs []string, mulBudget *int) *term.Term {
+	if depth == 0 || rng.Intn(4) == 0 {
+		if rng.Intn(3) == 0 {
+			// Small constants exercise literal operands; occasionally a
+			// large one forces materialization.
+			if rng.Intn(8) == 0 {
+				return term.NewConst(rng.Uint64() >> uint(rng.Intn(40)))
+			}
+			return term.NewConst(uint64(rng.Intn(256)))
+		}
+		return term.NewVar(inputs[rng.Intn(len(inputs))])
+	}
+	binary := []string{"add64", "sub64", "and64", "bis", "xor64", "bic", "ornot",
+		"sll", "srl", "sra", "cmpult", "cmpeq", "cmplt", "s4addq", "s8addq",
+		"extbl", "insbl", "mskbl", "extwl", "zapnot"}
+	switch rng.Intn(12) {
+	case 0:
+		return term.NewApp("neg64", randTerm(rng, depth-1, inputs, mulBudget))
+	case 1:
+		return term.NewApp("cmovne",
+			randTerm(rng, depth-1, inputs, mulBudget),
+			randTerm(rng, depth-1, inputs, mulBudget),
+			randTerm(rng, depth-1, inputs, mulBudget))
+	case 2:
+		return term.NewApp("storeb",
+			randTerm(rng, depth-1, inputs, mulBudget),
+			term.NewConst(uint64(rng.Intn(8))),
+			randTerm(rng, depth-1, inputs, mulBudget))
+	case 3:
+		if *mulBudget > 0 {
+			*mulBudget--
+			return term.NewApp("mul64",
+				randTerm(rng, depth-1, inputs, mulBudget),
+				randTerm(rng, depth-1, inputs, mulBudget))
+		}
+		fallthrough
+	default:
+		op := binary[rng.Intn(len(binary))]
+		return term.NewApp(op,
+			randTerm(rng, depth-1, inputs, mulBudget),
+			randTerm(rng, depth-1, inputs, mulBudget))
+	}
+}
+
+// TestFuzzCompileAndVerify compiles random expression GMAs and verifies
+// every schedule against the reference semantics on random inputs. Any
+// discrepancy anywhere in the pipeline — an invalid axiom instance, a bad
+// constraint, a decoding slip, a simulator bug — shows up here.
+func TestFuzzCompileAndVerify(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	inputs := []string{"a", "b", "c"}
+	for seed := 0; seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed) + 1000))
+		val := randTerm(rng, 3, inputs, &[]int{1}[0])
+		g := &gma.GMA{
+			Name:    "fuzz",
+			Targets: []gma.Target{{Kind: gma.Reg, Name: "res"}},
+			Values:  []*term.Term{val},
+			Inputs:  inputs,
+		}
+		cg, err := CompileGMA(g, Options{MaxCycles: 30, MatcherMaxNodes: 20000})
+		if err != nil {
+			t.Fatalf("seed %d: compiling %s: %v", seed, val, err)
+		}
+		if err := cg.Verify(25, int64(seed)); err != nil {
+			t.Fatalf("seed %d: %s\n%s\n%v", seed, val, cg.Assembly, err)
+		}
+		// The baseline must agree semantically too (it shares the
+		// simulator but not the pipeline).
+		if err := cg.VerifyBaseline(10, int64(seed)); err != nil {
+			t.Fatalf("seed %d baseline: %s: %v", seed, val, err)
+		}
+		base, err := cg.Baseline()
+		if err != nil {
+			t.Fatalf("seed %d: baseline: %v", seed, err)
+		}
+		if cg.OptimalProven && cg.Cycles > base.Cycles {
+			t.Fatalf("seed %d: proven-optimal %d cycles beaten by baseline %d:\n%s",
+				seed, cg.Cycles, base.Cycles, cg.Assembly)
+		}
+	}
+}
+
+// TestFuzzGuarded adds random guards and checks guard evaluation as well.
+func TestFuzzGuarded(t *testing.T) {
+	trials := 15
+	if testing.Short() {
+		trials = 4
+	}
+	inputs := []string{"a", "b", "c"}
+	guards := []string{"(cmplt a b)", "(cmpult b c)", "(cmpeq a c)", "(and64 a 1)"}
+	for seed := 0; seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed) + 5000))
+		val := randTerm(rng, 2, inputs, &[]int{0}[0])
+		g := &gma.GMA{
+			Name:    "fuzzg",
+			Guard:   term.MustParse(guards[seed%len(guards)]),
+			Targets: []gma.Target{{Kind: gma.Reg, Name: "res"}},
+			Values:  []*term.Term{val},
+			Inputs:  inputs,
+		}
+		cg, err := CompileGMA(g, Options{MaxCycles: 30, MatcherMaxNodes: 20000})
+		if err != nil {
+			t.Fatalf("seed %d: %s: %v", seed, val, err)
+		}
+		if err := cg.Verify(25, int64(seed)); err != nil {
+			t.Fatalf("seed %d: %s\n%s\n%v", seed, val, cg.Assembly, err)
+		}
+	}
+}
+
+// TestFuzzMemory mixes loads and stores with random value trees.
+func TestFuzzMemory(t *testing.T) {
+	trials := 15
+	if testing.Short() {
+		trials = 4
+	}
+	for seed := 0; seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed) + 9000))
+		inputs := []string{"p", "q", "x"}
+		load := term.NewApp("select", term.NewVar("M"),
+			term.NewApp("add64", term.NewVar("q"), term.NewConst(uint64(8*rng.Intn(4)))))
+		valInner := randTerm(rng, 1, inputs, &[]int{0}[0])
+		val := term.NewApp([]string{"add64", "xor64", "bis"}[rng.Intn(3)], load, valInner)
+		g := &gma.GMA{
+			Name: "fuzzm",
+			Targets: []gma.Target{
+				{Kind: gma.Memory, Name: "M"},
+				{Kind: gma.Reg, Name: "r"},
+			},
+			Values: []*term.Term{
+				term.NewApp("store", term.NewVar("M"), term.NewVar("p"), val),
+				load,
+			},
+			Inputs:     inputs,
+			MemoryVars: []string{"M"},
+		}
+		cg, err := CompileGMA(g, Options{MaxCycles: 30, MatcherMaxNodes: 20000})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := cg.Verify(25, int64(seed)); err != nil {
+			t.Fatalf("seed %d:\n%s\n%v", seed, cg.Assembly, err)
+		}
+	}
+}

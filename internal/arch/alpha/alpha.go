@@ -1,0 +1,179 @@
+// Package alpha provides the Alpha EV6 machine description used by the
+// Denali prototype: a quad-issue processor with four integer functional
+// units (U0, U1, L0, L1) split across two clusters, with a one-cycle
+// penalty for consuming a result produced on the other cluster.
+//
+// Unit capabilities follow the 21264 microarchitecture as reflected in the
+// paper's Figure 4 listing: byte-manipulation and shift operations execute
+// on the upper units (U0, U1), the multiplier hangs off U1, loads and
+// stores issue on the lower units (L0, L1), and plain integer operates run
+// anywhere.
+package alpha
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Functional unit indices in the EV6 description.
+const (
+	U0 arch.Unit = iota
+	U1
+	L0
+	L1
+)
+
+// Latency constants for the EV6 integer pipelines (cycles).
+const (
+	LatALU     = 1
+	LatMul     = 7
+	LatLoadHit = 3
+	LatStore   = 1
+	LatMiss    = 12 // assumed latency for loads annotated as cache misses
+)
+
+var (
+	allUnits   = []arch.Unit{U0, U1, L0, L1}
+	upperUnits = []arch.Unit{U0, U1}
+	lowerUnits = []arch.Unit{L0, L1}
+	mulUnits   = []arch.Unit{U1}
+)
+
+// EV6 returns the Alpha EV6 description.
+func EV6() *arch.Description {
+	d := &arch.Description{
+		Name: "Alpha EV6",
+		Units: []arch.UnitInfo{
+			{Name: "U0", Cluster: 0},
+			{Name: "U1", Cluster: 1},
+			{Name: "L0", Cluster: 0},
+			{Name: "L1", Cluster: 1},
+		},
+		NumClusters:       2,
+		CrossClusterDelay: 1,
+		IssueWidth:        4,
+		LitMax:            255,
+		DispMin:           -32768,
+		DispMax:           32767,
+		MissLatency:       LatMiss,
+		Ops:               map[string]arch.OpInfo{},
+	}
+	add := func(termOp, mnemonic string, lat int, units []arch.Unit, class arch.OpClass, litArg int) {
+		d.Ops[termOp] = arch.OpInfo{
+			TermOp:   termOp,
+			Mnemonic: mnemonic,
+			Latency:  lat,
+			Units:    units,
+			Class:    class,
+			LitArg:   litArg,
+		}
+	}
+
+	// Integer operates: any unit, 1 cycle, literal second operand.
+	for termOp, mn := range map[string]string{
+		"add64":  "addq",
+		"sub64":  "subq",
+		"and64":  "and",
+		"bis":    "bis",
+		"xor64":  "xor",
+		"bic":    "bic",
+		"ornot":  "ornot",
+		"eqv":    "eqv",
+		"cmpeq":  "cmpeq",
+		"cmplt":  "cmplt",
+		"cmple":  "cmple",
+		"cmpult": "cmpult",
+		"cmpule": "cmpule",
+		"s4addq": "s4addq",
+		"s8addq": "s8addq",
+		"s4subq": "s4subq",
+		"s8subq": "s8subq",
+	} {
+		add(termOp, mn, LatALU, allUnits, arch.ClassALU, 1)
+	}
+	// negq is the subq-from-zero pseudo-operation.
+	add("neg64", "negq", LatALU, allUnits, arch.ClassALU, -1)
+	// Conditional moves (the src operand may be a literal).
+	add("cmovne", "cmovne", LatALU, allUnits, arch.ClassALU, 1)
+	add("cmoveq", "cmoveq", LatALU, allUnits, arch.ClassALU, 1)
+
+	// Shifts and byte manipulation: upper units only.
+	for termOp, mn := range map[string]string{
+		"sll":    "sll",
+		"srl":    "srl",
+		"sra":    "sra",
+		"extbl":  "extbl",
+		"extwl":  "extwl",
+		"extll":  "extll",
+		"insbl":  "insbl",
+		"inswl":  "inswl",
+		"insll":  "insll",
+		"mskbl":  "mskbl",
+		"mskwl":  "mskwl",
+		"zap":    "zap",
+		"zapnot": "zapnot",
+	} {
+		add(termOp, mn, LatALU, upperUnits, arch.ClassALU, 1)
+	}
+
+	// Multiplies: U1 only, long latency. umulh yields the high 64 bits
+	// of the unsigned 128-bit product.
+	add("mul64", "mulq", LatMul, mulUnits, arch.ClassALU, 1)
+	add("umulh", "umulh", LatMul, mulUnits, arch.ClassALU, 1)
+
+	// Memory: lower units.
+	add("select", "ldq", LatLoadHit, lowerUnits, arch.ClassLoad, -1)
+	add("store", "stq", LatStore, lowerUnits, arch.ClassStore, -1)
+
+	// Constant materialization (lda/ldah sequences are modelled as a
+	// single 1-cycle pseudo-instruction; see DESIGN.md).
+	add("ldiq", "ldiq", LatALU, allUnits, arch.ClassConst, -1)
+
+	return d
+}
+
+// SingleIssue returns a single-issue variant matching the simplifying
+// assumption of section 6 of the paper: one universal execution unit, so
+// at most one instruction per cycle. (Collapsing to one unit also removes
+// the unit-assignment symmetry that would otherwise bloat the SAT search.)
+func SingleIssue() *arch.Description {
+	return kIssue(1, "Alpha EV6 (single issue)")
+}
+
+// DualIssue returns a dual-issue variant with two universal units (for the
+// issue-width ablation).
+func DualIssue() *arch.Description {
+	return kIssue(2, "Alpha EV6 (dual issue)")
+}
+
+func kIssue(width int, name string) *arch.Description {
+	d := EV6().Clone()
+	d.Name = name
+	d.Units = nil
+	for i := 0; i < width; i++ {
+		d.Units = append(d.Units, arch.UnitInfo{Name: fmt.Sprintf("E%d", i), Cluster: 0})
+	}
+	d.NumClusters = 1
+	d.CrossClusterDelay = 0
+	d.IssueWidth = width
+	units := make([]arch.Unit, width)
+	for i := range units {
+		units[i] = arch.Unit(i)
+	}
+	for op, info := range d.Ops {
+		info.Units = units
+		d.Ops[op] = info
+	}
+	return d
+}
+
+// NoClusters returns an EV6 variant with a unified register file — no
+// cross-cluster delay. Figure 4's "unused instruction" quirk disappears in
+// this model.
+func NoClusters() *arch.Description {
+	d := EV6().Clone()
+	d.Name = "Alpha EV6 (no clusters)"
+	d.CrossClusterDelay = 0
+	return d
+}

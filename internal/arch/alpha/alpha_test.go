@@ -1,0 +1,178 @@
+package alpha
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/semantics"
+)
+
+func TestEV6Valid(t *testing.T) {
+	d := EV6()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.IssueWidth != 4 || d.NumClusters != 2 || d.CrossClusterDelay != 1 {
+		t.Fatalf("EV6 shape wrong: %+v", d)
+	}
+}
+
+func TestEveryMachineOpHasSemantics(t *testing.T) {
+	d := EV6()
+	for termOp, op := range d.Ops {
+		ar, ok := semantics.Arity(termOp)
+		if !ok {
+			t.Errorf("machine op %s (%s) has no reference semantics", termOp, op.Mnemonic)
+			continue
+		}
+		if ar < 1 || ar > 3 {
+			t.Errorf("machine op %s has surprising arity %d", termOp, ar)
+		}
+	}
+}
+
+func TestUnitAssignments(t *testing.T) {
+	d := EV6()
+	// Byte ops on upper units only (cf. Figure 4: extbl/insbl on U0/U1).
+	for _, op := range []string{"extbl", "insbl", "mskbl", "sll"} {
+		info, ok := d.Op(op)
+		if !ok {
+			t.Fatalf("missing %s", op)
+		}
+		for _, u := range info.Units {
+			if u != U0 && u != U1 {
+				t.Errorf("%s allowed on non-upper unit %v", op, u)
+			}
+		}
+	}
+	// Loads/stores on lower units.
+	for _, op := range []string{"select", "store"} {
+		info, _ := d.Op(op)
+		for _, u := range info.Units {
+			if u != L0 && u != L1 {
+				t.Errorf("%s allowed on non-lower unit %v", op, u)
+			}
+		}
+	}
+	// Multiply only on U1 with long latency.
+	mul, _ := d.Op("mul64")
+	if len(mul.Units) != 1 || mul.Units[0] != U1 || mul.Latency != LatMul {
+		t.Errorf("mul64 = %+v", mul)
+	}
+	// Plain adds anywhere.
+	addOp, _ := d.Op("add64")
+	if len(addOp.Units) != 4 {
+		t.Errorf("add64 units = %v", addOp.Units)
+	}
+}
+
+func TestClusters(t *testing.T) {
+	d := EV6()
+	c0 := d.UnitsOn(0)
+	c1 := d.UnitsOn(1)
+	if len(c0) != 2 || len(c1) != 2 {
+		t.Fatalf("clusters: %v / %v", c0, c1)
+	}
+	// U0 and L0 share cluster 0.
+	if d.Units[U0].Cluster != 0 || d.Units[L0].Cluster != 0 {
+		t.Fatal("U0/L0 should be cluster 0")
+	}
+	if d.Units[U1].Cluster != 1 || d.Units[L1].Cluster != 1 {
+		t.Fatal("U1/L1 should be cluster 1")
+	}
+}
+
+func TestLiteralAndDisplacement(t *testing.T) {
+	d := EV6()
+	if !d.FitsLiteral(0) || !d.FitsLiteral(255) || d.FitsLiteral(256) {
+		t.Fatal("literal range should be 0..255")
+	}
+	if !d.FitsDisplacement(8) || !d.FitsDisplacement(^uint64(7)) /* -8 */ {
+		t.Fatal("small displacements should fit")
+	}
+	if d.FitsDisplacement(40000) {
+		t.Fatal("40000 exceeds the 16-bit displacement")
+	}
+}
+
+func TestVariants(t *testing.T) {
+	si := SingleIssue()
+	if si.IssueWidth != 1 {
+		t.Fatal("single issue")
+	}
+	di := DualIssue()
+	if di.IssueWidth != 2 {
+		t.Fatal("dual issue")
+	}
+	nc := NoClusters()
+	if nc.CrossClusterDelay != 0 {
+		t.Fatal("no clusters")
+	}
+	// Variants must not mutate the base description.
+	base := EV6()
+	if base.IssueWidth != 4 || base.CrossClusterDelay != 1 {
+		t.Fatal("EV6 base mutated by variant construction")
+	}
+	for _, d := range []*arch.Description{si, di, nc} {
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := EV6()
+	c := d.Clone()
+	op := c.Ops["add64"]
+	op.Latency = 99
+	c.Ops["add64"] = op
+	c.Units[0].Cluster = 1
+	if d.Ops["add64"].Latency == 99 || d.Units[0].Cluster == 1 {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []func(*arch.Description){
+		func(d *arch.Description) { d.Units = nil },
+		func(d *arch.Description) { d.IssueWidth = 0 },
+		func(d *arch.Description) { d.NumClusters = 0 },
+		func(d *arch.Description) { d.Units[0].Cluster = 5 },
+		func(d *arch.Description) {
+			op := d.Ops["add64"]
+			op.Latency = 0
+			d.Ops["add64"] = op
+		},
+		func(d *arch.Description) {
+			op := d.Ops["add64"]
+			op.Units = nil
+			d.Ops["add64"] = op
+		},
+		func(d *arch.Description) {
+			op := d.Ops["add64"]
+			op.Units = []arch.Unit{17}
+			d.Ops["add64"] = op
+		},
+	}
+	for i, corrupt := range cases {
+		d := EV6().Clone()
+		corrupt(d)
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestNonMachineOps(t *testing.T) {
+	d := EV6()
+	for _, op := range []string{"**", "selectb", "storeb", "cmpne", "not64"} {
+		if d.IsMachine(op) {
+			t.Errorf("%s must not be a machine op", op)
+		}
+	}
+	for _, op := range []string{"add64", "select", "store", "ldiq", "neg64"} {
+		if !d.IsMachine(op) {
+			t.Errorf("%s should be a machine op", op)
+		}
+	}
+}

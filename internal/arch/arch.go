@@ -1,0 +1,165 @@
+// Package arch defines the architecture-description interface consumed by
+// Denali's constraint generator: which functional units exist (and on which
+// cluster each lives), which operations each unit can execute, the latency
+// of every operation, and the operand forms (literal operands, load/store
+// displacements) the encodings allow.
+//
+// The paper's constraint generator takes "an architectural description,
+// which includes tables specifying which functional units can execute
+// which instructions, and a table of latencies" — this package is that
+// description, in Go rather than tables on paper. The Alpha EV6 instance
+// lives in the arch/alpha subpackage.
+package arch
+
+import "fmt"
+
+// Unit indexes a functional unit in a Description.
+type Unit int
+
+// UnitInfo describes one functional unit.
+type UnitInfo struct {
+	// Name is the unit's label (U0, U1, L0, L1 on the EV6).
+	Name string
+	// Cluster is the execution cluster the unit belongs to. Results
+	// produced on one cluster are visible to the other only after the
+	// description's CrossClusterDelay.
+	Cluster int
+}
+
+// OpClass categorizes operations for scheduling constraints.
+type OpClass int
+
+const (
+	// ClassALU is a register-to-register operation.
+	ClassALU OpClass = iota
+	// ClassLoad reads memory.
+	ClassLoad
+	// ClassStore writes memory.
+	ClassStore
+	// ClassConst materializes a constant into a register.
+	ClassConst
+)
+
+// OpInfo describes one machine operation.
+type OpInfo struct {
+	// TermOp is the operator name in the term language (e.g. "add64").
+	TermOp string
+	// Mnemonic is the assembly mnemonic (e.g. "addq").
+	Mnemonic string
+	// Latency is the number of cycles from launch to completion.
+	Latency int
+	// Units lists the functional units that can execute the operation.
+	Units []Unit
+	// Class categorizes the operation.
+	Class OpClass
+	// LitArg is the index of an operand that the encoding allows to be a
+	// small literal instead of a register, or -1. On the Alpha this is
+	// the second source operand of operate-format instructions.
+	LitArg int
+}
+
+// Description is a complete machine description.
+type Description struct {
+	// Name identifies the description (e.g. "Alpha EV6").
+	Name string
+	// Units are the functional units.
+	Units []UnitInfo
+	// NumClusters is the number of execution clusters.
+	NumClusters int
+	// CrossClusterDelay is the extra delay, in cycles, before a result
+	// computed on one cluster is available on another.
+	CrossClusterDelay int
+	// IssueWidth bounds the number of instructions launched per cycle
+	// (in addition to the one-per-unit limit).
+	IssueWidth int
+	// Ops maps term operators to machine operations.
+	Ops map[string]OpInfo
+	// LitMax is the largest unsigned literal an operand field can hold.
+	LitMax uint64
+	// DispMin and DispMax bound load/store displacement immediates.
+	DispMin, DispMax int64
+	// MissLatency is the load latency to assume for memory references
+	// annotated as likely cache misses.
+	MissLatency int
+}
+
+// IsMachine reports whether the term operator is directly computable by
+// some instruction of the architecture.
+func (d *Description) IsMachine(termOp string) bool {
+	_, ok := d.Ops[termOp]
+	return ok
+}
+
+// Op returns the machine operation for a term operator.
+func (d *Description) Op(termOp string) (OpInfo, bool) {
+	op, ok := d.Ops[termOp]
+	return op, ok
+}
+
+// UnitsOn returns the units residing on the given cluster.
+func (d *Description) UnitsOn(cluster int) []Unit {
+	var out []Unit
+	for u, info := range d.Units {
+		if info.Cluster == cluster {
+			out = append(out, Unit(u))
+		}
+	}
+	return out
+}
+
+// FitsLiteral reports whether the constant can be encoded as an operand
+// literal.
+func (d *Description) FitsLiteral(v uint64) bool { return v <= d.LitMax }
+
+// FitsDisplacement reports whether the constant can be encoded as a
+// load/store displacement. The value is interpreted as a signed 64-bit
+// offset.
+func (d *Description) FitsDisplacement(v uint64) bool {
+	s := int64(v)
+	return s >= d.DispMin && s <= d.DispMax
+}
+
+// Validate checks internal consistency of the description.
+func (d *Description) Validate() error {
+	if len(d.Units) == 0 {
+		return fmt.Errorf("arch %s: no functional units", d.Name)
+	}
+	if d.IssueWidth <= 0 {
+		return fmt.Errorf("arch %s: non-positive issue width", d.Name)
+	}
+	if d.NumClusters <= 0 {
+		return fmt.Errorf("arch %s: non-positive cluster count", d.Name)
+	}
+	for _, u := range d.Units {
+		if u.Cluster < 0 || u.Cluster >= d.NumClusters {
+			return fmt.Errorf("arch %s: unit %s on invalid cluster %d", d.Name, u.Name, u.Cluster)
+		}
+	}
+	for name, op := range d.Ops {
+		if op.Latency <= 0 {
+			return fmt.Errorf("arch %s: op %s has non-positive latency", d.Name, name)
+		}
+		if len(op.Units) == 0 {
+			return fmt.Errorf("arch %s: op %s has no units", d.Name, name)
+		}
+		for _, u := range op.Units {
+			if int(u) < 0 || int(u) >= len(d.Units) {
+				return fmt.Errorf("arch %s: op %s references invalid unit %d", d.Name, name, u)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy, so callers can derive ablation variants
+// without mutating shared state.
+func (d *Description) Clone() *Description {
+	c := *d
+	c.Units = append([]UnitInfo(nil), d.Units...)
+	c.Ops = make(map[string]OpInfo, len(d.Ops))
+	for k, v := range d.Ops {
+		v.Units = append([]Unit(nil), v.Units...)
+		c.Ops[k] = v
+	}
+	return &c
+}

@@ -1,0 +1,93 @@
+package arch
+
+import "testing"
+
+func testDesc() *Description {
+	return &Description{
+		Name: "test",
+		Units: []UnitInfo{
+			{Name: "A", Cluster: 0},
+			{Name: "B", Cluster: 1},
+			{Name: "C", Cluster: 0},
+		},
+		NumClusters:       2,
+		CrossClusterDelay: 1,
+		IssueWidth:        3,
+		LitMax:            255,
+		DispMin:           -128,
+		DispMax:           127,
+		Ops: map[string]OpInfo{
+			"add64": {TermOp: "add64", Mnemonic: "add", Latency: 1, Units: []Unit{0, 1, 2}, LitArg: 1},
+			"select": {TermOp: "select", Mnemonic: "ld", Latency: 2,
+				Units: []Unit{2}, Class: ClassLoad, LitArg: -1},
+		},
+	}
+}
+
+func TestIsMachineAndOp(t *testing.T) {
+	d := testDesc()
+	if !d.IsMachine("add64") || d.IsMachine("frob") {
+		t.Fatal("IsMachine")
+	}
+	op, ok := d.Op("select")
+	if !ok || op.Class != ClassLoad || op.Latency != 2 {
+		t.Fatalf("Op = %+v", op)
+	}
+	if _, ok := d.Op("nosuch"); ok {
+		t.Fatal("unknown op should miss")
+	}
+}
+
+func TestUnitsOn(t *testing.T) {
+	d := testDesc()
+	c0 := d.UnitsOn(0)
+	if len(c0) != 2 || c0[0] != 0 || c0[1] != 2 {
+		t.Fatalf("cluster 0 units = %v", c0)
+	}
+	c1 := d.UnitsOn(1)
+	if len(c1) != 1 || c1[0] != 1 {
+		t.Fatalf("cluster 1 units = %v", c1)
+	}
+	if len(d.UnitsOn(7)) != 0 {
+		t.Fatal("no units on an absent cluster")
+	}
+}
+
+func TestFits(t *testing.T) {
+	d := testDesc()
+	if !d.FitsLiteral(255) || d.FitsLiteral(256) {
+		t.Fatal("FitsLiteral")
+	}
+	if !d.FitsDisplacement(127) || d.FitsDisplacement(128) {
+		t.Fatal("FitsDisplacement positive bound")
+	}
+	if !d.FitsDisplacement(^uint64(127)) /* -128 */ || d.FitsDisplacement(^uint64(128)) /* -129 */ {
+		t.Fatal("FitsDisplacement negative bound")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testDesc().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testDesc()
+	bad.Units[1].Cluster = 9
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid cluster accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := testDesc()
+	c := d.Clone()
+	c.Units[0].Name = "Z"
+	op := c.Ops["add64"]
+	op.Units[0] = 9
+	c.Ops["add64"] = op
+	if d.Units[0].Name == "Z" {
+		t.Fatal("units shared")
+	}
+	if d.Ops["add64"].Units[0] == 9 {
+		t.Fatal("op units shared")
+	}
+}

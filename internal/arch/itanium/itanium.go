@@ -1,0 +1,111 @@
+// Package itanium provides a simplified Intel Itanium machine description.
+// Section 1 of the paper reports that the authors were "currently making
+// the changes necessary to target the Intel Itanium architecture" and that
+// "the changes will mostly be to the axioms" — this package demonstrates
+// that retargeting in the reproduction: the mathematical axiom file is
+// untouched, and only the operation repertoire, functional units, and
+// encoding rules change.
+//
+// The model is deliberately simplified (see DESIGN.md): two memory units
+// and two integer units issued four-wide from one cluster, in the spirit
+// of the Itanium's M/I templates. Characteristic differences from the EV6
+// that the constraint generator must honor:
+//
+//   - loads and stores have no displacement field (ld8 r1=[r3]), so address
+//     arithmetic costs explicit instructions;
+//   - there are no mask/zap byte instructions; byte assembly must go
+//     through extract/deposit and or;
+//   - shladd covers the scaled adds with shift counts 1..4;
+//   - integer multiply goes through the FP unit with a long latency.
+package itanium
+
+import "repro/internal/arch"
+
+// Functional unit indices.
+const (
+	M0 arch.Unit = iota
+	M1
+	I0
+	I1
+)
+
+// Latency constants (cycles), loosely Itanium 2.
+const (
+	LatALU   = 1
+	LatMul   = 15 // xmpy.l via the FP unit
+	LatLoad  = 2
+	LatStore = 1
+	LatMiss  = 14
+)
+
+// Itanium returns the simplified Itanium description.
+func Itanium() *arch.Description {
+	d := &arch.Description{
+		Name: "Itanium (simplified)",
+		Units: []arch.UnitInfo{
+			{Name: "M0", Cluster: 0},
+			{Name: "M1", Cluster: 0},
+			{Name: "I0", Cluster: 0},
+			{Name: "I1", Cluster: 0},
+		},
+		NumClusters:       1,
+		CrossClusterDelay: 0,
+		IssueWidth:        4,
+		LitMax:            8191, // adds imm14, positive range
+		DispMin:           0,    // ld/st have no displacement field
+		DispMax:           0,
+		MissLatency:       LatMiss,
+		Ops:               map[string]arch.OpInfo{},
+	}
+	all := []arch.Unit{M0, M1, I0, I1}
+	iUnits := []arch.Unit{I0, I1}
+	mUnits := []arch.Unit{M0, M1}
+	add := func(termOp, mnemonic string, lat int, units []arch.Unit, class arch.OpClass, litArg int) {
+		d.Ops[termOp] = arch.OpInfo{
+			TermOp: termOp, Mnemonic: mnemonic, Latency: lat,
+			Units: units, Class: class, LitArg: litArg,
+		}
+	}
+	// Plain ALU on any unit.
+	for termOp, mn := range map[string]string{
+		"add64":  "add",
+		"sub64":  "sub",
+		"and64":  "and",
+		"bis":    "or",
+		"xor64":  "xor",
+		"bic":    "andcm",
+		"cmpeq":  "cmp.eq",
+		"cmplt":  "cmp.lt",
+		"cmple":  "cmp.le",
+		"cmpult": "cmp.ltu",
+		"cmpule": "cmp.leu",
+	} {
+		add(termOp, mn, LatALU, all, arch.ClassALU, 1)
+	}
+	add("neg64", "sub0", LatALU, all, arch.ClassALU, -1)
+	// Shifts, extracts and deposits on the I units.
+	for termOp, mn := range map[string]string{
+		"sll":   "shl",
+		"srl":   "shr.u",
+		"sra":   "shr",
+		"extbl": "extr.u8",
+		"extwl": "extr.u16",
+		"extll": "extr.u32",
+		"insbl": "dep.z8",
+		"inswl": "dep.z16",
+		"insll": "dep.z32",
+	} {
+		add(termOp, mn, LatALU, iUnits, arch.ClassALU, 1)
+	}
+	// Scaled adds via shladd.
+	add("s4addq", "shladd2", LatALU, all, arch.ClassALU, 1)
+	add("s8addq", "shladd3", LatALU, all, arch.ClassALU, 1)
+	// Multiply through the FP path.
+	add("mul64", "xmpy.l", LatMul, []arch.Unit{I0}, arch.ClassALU, 1)
+	// Memory on the M units; no displacement (enforced by Disp bounds).
+	add("select", "ld8", LatLoad, mUnits, arch.ClassLoad, -1)
+	add("store", "st8", LatStore, mUnits, arch.ClassStore, -1)
+	// Constants via movl.
+	add("ldiq", "movl", LatALU, all, arch.ClassConst, -1)
+	return d
+}

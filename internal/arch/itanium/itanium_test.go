@@ -1,0 +1,136 @@
+package itanium
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/axioms"
+	"repro/internal/core"
+	"repro/internal/gma"
+	"repro/internal/semantics"
+	"repro/internal/sim"
+	"repro/internal/term"
+)
+
+func TestDescriptionValid(t *testing.T) {
+	d := Itanium()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumClusters != 1 || d.CrossClusterDelay != 0 {
+		t.Fatal("itanium model is single-cluster")
+	}
+	for termOp := range d.Ops {
+		if _, ok := semantics.Arity(termOp); !ok {
+			t.Errorf("op %s lacks semantics", termOp)
+		}
+	}
+	// No mask/zap instructions — byte assembly must avoid them.
+	for _, op := range []string{"mskbl", "mskwl", "zap", "zapnot"} {
+		if d.IsMachine(op) {
+			t.Errorf("%s should not exist on the Itanium model", op)
+		}
+	}
+	// No load displacement.
+	if d.FitsDisplacement(8) {
+		t.Fatal("ld8 has no displacement field")
+	}
+	if !d.FitsDisplacement(0) {
+		t.Fatal("zero displacement is the register-indirect form")
+	}
+}
+
+func compileOn(t *testing.T, g *gma.GMA) *core.Compiled {
+	t.Helper()
+	axs, err := axioms.Builtin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.CompileGMA(g, core.Options{Desc: Itanium(), Axioms: axs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestRetargetScaledAdd: the same axioms retarget reg6*4+1 to shladd2.
+func TestRetargetScaledAdd(t *testing.T) {
+	g := &gma.GMA{
+		Name:    "s4",
+		Targets: []gma.Target{{Kind: gma.Reg, Name: "res"}},
+		Values:  []*term.Term{term.MustParse("(add64 (mul64 reg6 4) 1)")},
+		Inputs:  []string{"reg6"},
+	}
+	c := compileOn(t, g)
+	if c.Cycles != 1 || c.Schedule.Launches[0].Mnemonic != "shladd2" {
+		t.Fatalf("cycles=%d launches=%s", c.Cycles, c.Schedule.Compact())
+	}
+}
+
+// TestRetargetByteswap: byteswap4 compiles on the Itanium model without
+// the mask instructions, using extract/deposit/or only, and still verifies
+// against the reference semantics in the (architecture-generic) simulator.
+func TestRetargetByteswap(t *testing.T) {
+	val := term.NewConst(0)
+	for i := 0; i < 4; i++ {
+		val = term.NewApp("storeb", val, term.NewConst(uint64(i)),
+			term.NewApp("selectb", term.NewVar("a"), term.NewConst(uint64(3-i))))
+	}
+	g := &gma.GMA{
+		Name:    "bs4",
+		Targets: []gma.Target{{Kind: gma.Reg, Name: "res"}},
+		Values:  []*term.Term{val},
+		Inputs:  []string{"a"},
+	}
+	c := compileOn(t, g)
+	asm := c.Schedule.Compact()
+	for _, forbidden := range []string{"mskbl", "zapnot"} {
+		if strings.Contains(asm, forbidden) {
+			t.Fatalf("itanium listing uses %s:\n%s", forbidden, asm)
+		}
+	}
+	if !strings.Contains(asm, "extr.u8") || !strings.Contains(asm, "dep.z8") {
+		t.Fatalf("expected extract/deposit forms:\n%s", asm)
+	}
+	if err := sim.Verify(g, c.Schedule, Itanium(), rand.New(rand.NewSource(1)), 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoDisplacementCostsAnAdd: select(M, p+8) needs an explicit add on
+// Itanium (no displacement field), unlike the EV6's folded ldq 8($16).
+func TestNoDisplacementCostsAnAdd(t *testing.T) {
+	g := &gma.GMA{
+		Name:       "ld",
+		Targets:    []gma.Target{{Kind: gma.Reg, Name: "res"}},
+		Values:     []*term.Term{term.MustParse("(select M (add64 p 8))")},
+		Inputs:     []string{"p"},
+		MemoryVars: []string{"M"},
+	}
+	c := compileOn(t, g)
+	if c.Schedule.Instructions() != 2 {
+		t.Fatalf("expected add + ld8, got:\n%s", c.Schedule.Compact())
+	}
+	if c.Cycles != 1+LatLoad {
+		t.Fatalf("cycles = %d", c.Cycles)
+	}
+	if err := sim.Verify(g, c.Schedule, Itanium(), rand.New(rand.NewSource(2)), 50); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWideLiterals: the imm14 literal field accepts constants the Alpha's
+// 8-bit field cannot.
+func TestWideLiterals(t *testing.T) {
+	g := &gma.GMA{
+		Name:    "imm",
+		Targets: []gma.Target{{Kind: gma.Reg, Name: "res"}},
+		Values:  []*term.Term{term.MustParse("(add64 a 5000)")},
+		Inputs:  []string{"a"},
+	}
+	c := compileOn(t, g)
+	if c.Cycles != 1 || c.Schedule.Instructions() != 1 {
+		t.Fatalf("5000 should fit the imm14 field:\n%s", c.Schedule.Compact())
+	}
+}

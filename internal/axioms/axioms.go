@@ -1,0 +1,284 @@
+// Package axioms defines Denali's declarative axiom language (section 4 of
+// the paper): quantified equalities, distinctions, and clauses over terms,
+// each with optional trigger patterns ("pats") that determine which
+// instances the matcher introduces, and optional side conditions ("where")
+// that restrict instantiation to bindings satisfying a ground predicate.
+//
+// Two built-in axiom files are embedded: the mathematical axioms (facts
+// about add64, select/store, bytes, booleans useful for any target) and the
+// Alpha architectural axioms (definitions of EV6 operations in terms of
+// mathematical functions). Programs may add their own axioms, which the
+// paper notes act as a powerful substitute for macros (the checksum
+// example's add/carry operators).
+package axioms
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sexpr"
+	"repro/internal/term"
+)
+
+// BodyKind classifies an axiom's body.
+type BodyKind int
+
+const (
+	// Equality asserts LHS = RHS for every instance.
+	Equality BodyKind = iota
+	// Distinction asserts LHS ≠ RHS for every instance.
+	Distinction
+	// ClauseBody asserts a disjunction of literals for every instance.
+	ClauseBody
+)
+
+// ClauseLit is one literal of a clausal axiom body.
+type ClauseLit struct {
+	Eq   bool
+	A, B *term.Term
+}
+
+// Axiom is a single quantified fact.
+type Axiom struct {
+	// Name is a diagnostic label (source position or a given name).
+	Name string
+	// Vars are the universally quantified variable names.
+	Vars []string
+	// Patterns are the trigger terms; an instance is introduced whenever
+	// all patterns match simultaneously (a multi-pattern). If the source
+	// gave no pats, defaults are derived from the body.
+	Patterns []*term.Term
+	// Conditions are side conditions: ground terms that must evaluate to
+	// a nonzero word under the candidate binding for the instance to be
+	// introduced.
+	Conditions []*term.Term
+
+	Kind   BodyKind
+	LHS    *term.Term
+	RHS    *term.Term
+	Clause []ClauseLit
+}
+
+// VarSet returns the quantified variables as a set.
+func (a *Axiom) VarSet() map[string]bool {
+	m := make(map[string]bool, len(a.Vars))
+	for _, v := range a.Vars {
+		m[v] = true
+	}
+	return m
+}
+
+// String renders a compact description for diagnostics.
+func (a *Axiom) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "axiom %s: forall %v. ", a.Name, a.Vars)
+	switch a.Kind {
+	case Equality:
+		fmt.Fprintf(&b, "%s = %s", a.LHS, a.RHS)
+	case Distinction:
+		fmt.Fprintf(&b, "%s != %s", a.LHS, a.RHS)
+	default:
+		for i, l := range a.Clause {
+			if i > 0 {
+				b.WriteString(" or ")
+			}
+			op := "="
+			if !l.Eq {
+				op = "!="
+			}
+			fmt.Fprintf(&b, "%s %s %s", l.A, op, l.B)
+		}
+	}
+	return b.String()
+}
+
+// Parse parses a single (\axiom ...) form.
+func Parse(e *sexpr.Expr) (*Axiom, error) {
+	if e.Head() != `\axiom` && e.Head() != "axiom" {
+		return nil, fmt.Errorf("axioms: %d:%d: expected (\\axiom ...), got %q", e.Line, e.Col, e.Head())
+	}
+	if len(e.List) != 2 {
+		return nil, fmt.Errorf("axioms: %d:%d: \\axiom takes exactly one argument", e.Line, e.Col)
+	}
+	ax := &Axiom{Name: fmt.Sprintf("%d:%d", e.Line, e.Col)}
+	body := e.List[1]
+	if body.Head() == "forall" {
+		if len(body.List) < 3 {
+			return nil, fmt.Errorf("axioms: %d:%d: (forall (vars) ... body)", body.Line, body.Col)
+		}
+		varsExpr := body.List[1]
+		if !varsExpr.IsList() {
+			return nil, fmt.Errorf("axioms: %d:%d: forall variable list must be a list", varsExpr.Line, varsExpr.Col)
+		}
+		for _, v := range varsExpr.List {
+			if !v.IsAtom() {
+				return nil, fmt.Errorf("axioms: %d:%d: quantified variable must be an atom", v.Line, v.Col)
+			}
+			ax.Vars = append(ax.Vars, term.CanonOp(v.Atom))
+		}
+		items := body.List[2:]
+		for len(items) > 1 {
+			switch items[0].Head() {
+			case "pats":
+				for _, p := range items[0].List[1:] {
+					t, err := term.FromSexpr(p)
+					if err != nil {
+						return nil, err
+					}
+					ax.Patterns = append(ax.Patterns, t)
+				}
+			case "where":
+				for _, c := range items[0].List[1:] {
+					t, err := term.FromSexpr(c)
+					if err != nil {
+						return nil, err
+					}
+					ax.Conditions = append(ax.Conditions, t)
+				}
+			default:
+				return nil, fmt.Errorf("axioms: %d:%d: unexpected %q before axiom body", items[0].Line, items[0].Col, items[0].Head())
+			}
+			items = items[1:]
+		}
+		if len(items) != 1 {
+			return nil, fmt.Errorf("axioms: %d:%d: missing axiom body", body.Line, body.Col)
+		}
+		body = items[0]
+	}
+	if err := parseBody(ax, body); err != nil {
+		return nil, err
+	}
+	if len(ax.Patterns) == 0 {
+		ax.Patterns = defaultPatterns(ax)
+		if len(ax.Patterns) == 0 {
+			return nil, fmt.Errorf("axioms: %s: cannot derive trigger patterns; add (pats ...)", ax.Name)
+		}
+	}
+	// Every quantified variable must be bound by the patterns.
+	bound := map[string]bool{}
+	for _, p := range ax.Patterns {
+		for _, v := range p.Vars() {
+			bound[v] = true
+		}
+	}
+	for _, v := range ax.Vars {
+		if !bound[v] {
+			return nil, fmt.Errorf("axioms: %s: variable %q not bound by any pattern", ax.Name, v)
+		}
+	}
+	return ax, nil
+}
+
+func parseBody(ax *Axiom, body *sexpr.Expr) error {
+	switch body.Head() {
+	case "eq", "neq":
+		if len(body.List) != 3 {
+			return fmt.Errorf("axioms: %d:%d: %s takes two terms", body.Line, body.Col, body.Head())
+		}
+		l, err := term.FromSexpr(body.List[1])
+		if err != nil {
+			return err
+		}
+		r, err := term.FromSexpr(body.List[2])
+		if err != nil {
+			return err
+		}
+		ax.LHS, ax.RHS = l, r
+		if body.Head() == "eq" {
+			ax.Kind = Equality
+		} else {
+			ax.Kind = Distinction
+		}
+		return nil
+	case "or":
+		ax.Kind = ClauseBody
+		for _, le := range body.List[1:] {
+			if le.Head() != "eq" && le.Head() != "neq" {
+				return fmt.Errorf("axioms: %d:%d: clause literal must be eq or neq", le.Line, le.Col)
+			}
+			if len(le.List) != 3 {
+				return fmt.Errorf("axioms: %d:%d: literal takes two terms", le.Line, le.Col)
+			}
+			a, err := term.FromSexpr(le.List[1])
+			if err != nil {
+				return err
+			}
+			b, err := term.FromSexpr(le.List[2])
+			if err != nil {
+				return err
+			}
+			ax.Clause = append(ax.Clause, ClauseLit{Eq: le.Head() == "eq", A: a, B: b})
+		}
+		if len(ax.Clause) == 0 {
+			return fmt.Errorf("axioms: %d:%d: empty clause", body.Line, body.Col)
+		}
+		return nil
+	default:
+		return fmt.Errorf("axioms: %d:%d: axiom body must be eq, neq, or or; got %q", body.Line, body.Col, body.Head())
+	}
+}
+
+// defaultPatterns derives trigger patterns when the source omitted (pats):
+// the LHS if it is an application binding all variables, otherwise the LHS
+// and RHS together, otherwise (for clauses) the first application literal
+// side binding all variables.
+func defaultPatterns(ax *Axiom) []*term.Term {
+	covers := func(pats []*term.Term) bool {
+		bound := map[string]bool{}
+		for _, p := range pats {
+			if p.Kind != term.App {
+				return false
+			}
+			for _, v := range p.Vars() {
+				bound[v] = true
+			}
+		}
+		for _, v := range ax.Vars {
+			if !bound[v] {
+				return false
+			}
+		}
+		return true
+	}
+	switch ax.Kind {
+	case Equality, Distinction:
+		if covers([]*term.Term{ax.LHS}) {
+			return []*term.Term{ax.LHS}
+		}
+		if covers([]*term.Term{ax.RHS}) {
+			return []*term.Term{ax.RHS}
+		}
+		if covers([]*term.Term{ax.LHS, ax.RHS}) {
+			return []*term.Term{ax.LHS, ax.RHS}
+		}
+	case ClauseBody:
+		for _, l := range ax.Clause {
+			if covers([]*term.Term{l.A}) {
+				return []*term.Term{l.A}
+			}
+			if covers([]*term.Term{l.B}) {
+				return []*term.Term{l.B}
+			}
+		}
+	}
+	return nil
+}
+
+// ParseAll parses every (\axiom ...) form in src, ignoring nothing: any
+// non-axiom top-level form is an error. The name prefix labels diagnostics.
+func ParseAll(src, name string) ([]*Axiom, error) {
+	exprs, err := sexpr.ReadAll(src)
+	if err != nil {
+		return nil, fmt.Errorf("axioms: %s: %w", name, err)
+	}
+	var out []*Axiom
+	for _, e := range exprs {
+		ax, err := Parse(e)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		ax.Name = name + ":" + ax.Name
+		out = append(out, ax)
+	}
+	return out, nil
+}

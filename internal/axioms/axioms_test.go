@@ -1,0 +1,266 @@
+package axioms
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sexpr"
+	"repro/internal/term"
+)
+
+func parseOne(t *testing.T, src string) *Axiom {
+	t.Helper()
+	e, err := sexpr.ReadOne(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax, err := Parse(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ax
+}
+
+func TestParseCommutativity(t *testing.T) {
+	ax := parseOne(t, `(\axiom (forall (a b) (pats (add a b)) (eq (add a b) (add b a))))`)
+	if len(ax.Vars) != 2 || ax.Vars[0] != "a" || ax.Vars[1] != "b" {
+		t.Fatalf("vars = %v", ax.Vars)
+	}
+	if ax.Kind != Equality {
+		t.Fatal("expected equality")
+	}
+	if len(ax.Patterns) != 1 || ax.Patterns[0].String() != "(add a b)" {
+		t.Fatalf("patterns = %v", ax.Patterns)
+	}
+	if ax.LHS.String() != "(add a b)" || ax.RHS.String() != "(add b a)" {
+		t.Fatalf("body: %s = %s", ax.LHS, ax.RHS)
+	}
+}
+
+func TestParseDefaultPattern(t *testing.T) {
+	ax := parseOne(t, `(\axiom (forall (x y) (eq (\add64 x y) (\add64 y x))))`)
+	if len(ax.Patterns) != 1 || ax.Patterns[0].String() != "(add64 x y)" {
+		t.Fatalf("default pattern = %v", ax.Patterns)
+	}
+}
+
+func TestParseRHSDefaultPattern(t *testing.T) {
+	// LHS is a bare variable; the RHS must be used as the trigger.
+	ax := parseOne(t, `(\axiom (forall (x) (eq x (\bis x 0))))`)
+	if len(ax.Patterns) != 1 || ax.Patterns[0].String() != "(bis x 0)" {
+		t.Fatalf("default pattern = %v", ax.Patterns)
+	}
+}
+
+func TestParseWhereCondition(t *testing.T) {
+	ax := parseOne(t, `(\axiom (forall (k n) (pats (\mul64 k (** 2 n))) (where (\cmpult n 64))
+		(eq (\mul64 k (** 2 n)) (\sll k n))))`)
+	if len(ax.Conditions) != 1 || ax.Conditions[0].String() != "(cmpult n 64)" {
+		t.Fatalf("conditions = %v", ax.Conditions)
+	}
+}
+
+func TestParseClause(t *testing.T) {
+	ax := parseOne(t, `(\axiom (forall (a i j x) (pats (\select (\store a i x) j))
+		(or (eq i j) (eq (\select (\store a i x) j) (\select a j)))))`)
+	if ax.Kind != ClauseBody || len(ax.Clause) != 2 {
+		t.Fatalf("clause = %+v", ax.Clause)
+	}
+	if !ax.Clause[0].Eq {
+		t.Fatal("first literal should be an equality")
+	}
+}
+
+func TestParseDistinction(t *testing.T) {
+	ax := parseOne(t, `(\axiom (forall (x) (neq (\add64 x 1) x)))`)
+	if ax.Kind != Distinction {
+		t.Fatal("expected distinction")
+	}
+}
+
+func TestParseUnquantified(t *testing.T) {
+	ax := parseOne(t, `(\axiom (eq (\f c1) (\g c2)))`)
+	if len(ax.Vars) != 0 || ax.Kind != Equality {
+		t.Fatalf("got %+v", ax)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`(\notaxiom (eq a b))`,
+		`(\axiom)`,
+		`(\axiom (forall (x)))`,
+		`(\axiom (forall x (eq x x)))`,
+		`(\axiom (forall ((x)) (eq x x)))`,
+		`(\axiom (forall (x) (frob x)))`,
+		`(\axiom (forall (x) (eq x)))`,
+		`(\axiom (forall (x) (or)))`,
+		`(\axiom (forall (x) (or (frob x y))))`,
+		`(\axiom (forall (x y) (eq x y)))`,                  // no derivable pattern
+		`(\axiom (forall (x y) (pats (f x)) (eq (f x) y)))`, // y unbound
+		`(\axiom (forall (x) (bogus (f x)) (eq (f x) x)))`,  // unknown item
+	}
+	for _, src := range bad {
+		e, err := sexpr.ReadOne(src)
+		if err != nil {
+			t.Fatalf("reading %q: %v", src, err)
+		}
+		if _, err := Parse(e); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	axs, err := ParseAll(`
+; two axioms
+(\axiom (forall (x) (eq (\add64 x 0) x)))
+(\axiom (forall (x y) (eq (\mul64 x y) (\mul64 y x))))
+`, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(axs) != 2 {
+		t.Fatalf("got %d axioms", len(axs))
+	}
+	if !strings.HasPrefix(axs[0].Name, "test:") {
+		t.Fatalf("name = %q", axs[0].Name)
+	}
+}
+
+func TestBuiltinParse(t *testing.T) {
+	m, err := Math()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Alpha()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) < 20 {
+		t.Fatalf("math axioms: %d, expected a substantial set", len(m))
+	}
+	if len(a) < 15 {
+		t.Fatalf("alpha axioms: %d, expected a substantial set", len(a))
+	}
+	all, err := Builtin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(m)+len(a) {
+		t.Fatal("Builtin should concatenate")
+	}
+}
+
+// TestBuiltinAxiomsValid is the load-bearing test of this package: every
+// built-in axiom must hold for the reference semantics on random inputs.
+// Denali's output is "correct by design" only if the axioms are true.
+func TestBuiltinAxiomsValid(t *testing.T) {
+	all, err := Builtin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(20020617)) // PLDI 2002 opening day
+	for _, ax := range all {
+		if err := Check(ax, rng, 400); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}
+
+// TestCheckCatchesFalseAxiom makes sure the validity checker is not
+// vacuous: a deliberately wrong axiom must be rejected.
+func TestCheckCatchesFalseAxiom(t *testing.T) {
+	ax := parseOne(t, `(\axiom (forall (x y) (pats (\add64 x y)) (eq (\add64 x y) (\sub64 x y))))`)
+	rng := rand.New(rand.NewSource(1))
+	if err := Check(ax, rng, 200); err == nil {
+		t.Fatal("false axiom passed validation")
+	}
+}
+
+func TestCheckCatchesDeadAxiom(t *testing.T) {
+	// A side condition that never holds makes the axiom dead; Check
+	// reports that.
+	ax := parseOne(t, `(\axiom (forall (x) (pats (\add64 x x)) (where (\cmpult x 0)) (eq (\add64 x x) x)))`)
+	rng := rand.New(rand.NewSource(1))
+	if err := Check(ax, rng, 50); err == nil {
+		t.Fatal("dead axiom passed validation")
+	}
+}
+
+func TestCheckClauseAxiom(t *testing.T) {
+	ax := parseOne(t, `(\axiom (forall (a i j x) (pats (\select (\store a i x) j))
+		(or (eq i j) (eq (\select (\store a i x) j) (\select a j)))))`)
+	rng := rand.New(rand.NewSource(7))
+	if err := Check(ax, rng, 300); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryVars(t *testing.T) {
+	ax := parseOne(t, `(\axiom (forall (a i x) (eq (\select (\store a i x) i) x)))`)
+	mv := MemoryVars(ax)
+	if !mv["a"] || mv["i"] || mv["x"] {
+		t.Fatalf("memory vars = %v", mv)
+	}
+}
+
+func TestVarSetAndString(t *testing.T) {
+	ax := parseOne(t, `(\axiom (forall (x y) (eq (\add64 x y) (\add64 y x))))`)
+	vs := ax.VarSet()
+	if !vs["x"] || !vs["y"] || len(vs) != 2 {
+		t.Fatalf("VarSet = %v", vs)
+	}
+	if s := ax.String(); !strings.Contains(s, "=") {
+		t.Fatalf("String = %q", s)
+	}
+	cl := parseOne(t, `(\axiom (forall (i j) (pats (\f i j)) (or (eq i j) (neq (\f i j) i))))`)
+	if s := cl.String(); !strings.Contains(s, "or") || !strings.Contains(s, "!=") {
+		t.Fatalf("clause String = %q", s)
+	}
+	d := parseOne(t, `(\axiom (forall (x) (neq (\add64 x 1) x)))`)
+	if s := d.String(); !strings.Contains(s, "!=") {
+		t.Fatalf("distinction String = %q", s)
+	}
+}
+
+// TestProgramLocalAxioms parses the checksum program's add/carry axioms
+// from Figure 6 verbatim.
+func TestProgramLocalAxioms(t *testing.T) {
+	src := `
+(\axiom (forall (a b) (pats (carry a b))
+  (eq (carry a b) (\cmpult (\add64 a b) a))))
+(\axiom (forall (a b) (pats (carry a b))
+  (eq (carry a b) (\cmpult (\add64 a b) b))))
+(\axiom (forall (a b c) (pats (add a (add b c)))
+  (eq (add a (add b c)) (add (add a b) c))))
+(\axiom (forall (a b c) (pats (add (add a b) c))
+  (eq (add a (add b c)) (add (add a b) c))))
+(\axiom (forall (a b) (pats (add a b))
+  (eq (add a b) (add b a))))
+(\axiom (forall (a b) (pats (add a b))
+  (eq (add a b) (\add64 (\add64 a b) (carry a b)))))
+`
+	axs, err := ParseAll(src, "checksum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(axs) != 6 {
+		t.Fatalf("got %d axioms", len(axs))
+	}
+	// The second assoc axiom's pattern is the RHS shape.
+	if axs[3].Patterns[0].String() != "(add (add a b) c)" {
+		t.Fatalf("pattern = %v", axs[3].Patterns[0])
+	}
+}
+
+func TestTermAliasInAxiom(t *testing.T) {
+	ax := parseOne(t, `(\axiom (forall (k n) (pats (+ (* k 4) n)) (eq (+ (* k 4) n) (\s4addq k n))))`)
+	if ax.Patterns[0].String() != "(add64 (mul64 k 4) n)" {
+		t.Fatalf("pattern = %s", ax.Patterns[0])
+	}
+	if _, err := term.FromSexpr(sexpr.Atom("x")); err != nil {
+		t.Fatal(err)
+	}
+}

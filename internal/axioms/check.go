@@ -1,0 +1,169 @@
+package axioms
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/semantics"
+	"repro/internal/term"
+)
+
+// MemoryVars infers which of the axiom's quantified variables range over
+// memories: any variable that occurs as the first argument of select or
+// store in the axiom's terms.
+func MemoryVars(ax *Axiom) map[string]bool {
+	mem := map[string]bool{}
+	var scan func(t *term.Term)
+	scan = func(t *term.Term) {
+		if t.Kind == term.App {
+			if (t.Op == "select" || t.Op == "store") && len(t.Args) > 0 && t.Args[0].Kind == term.Var {
+				mem[t.Args[0].Name] = true
+			}
+			for _, a := range t.Args {
+				scan(a)
+			}
+		}
+	}
+	for _, p := range ax.Patterns {
+		scan(p)
+	}
+	for _, c := range ax.Conditions {
+		scan(c)
+	}
+	switch ax.Kind {
+	case Equality, Distinction:
+		scan(ax.LHS)
+		scan(ax.RHS)
+	default:
+		for _, l := range ax.Clause {
+			scan(l.A)
+			scan(l.B)
+		}
+	}
+	return mem
+}
+
+// interestingWords is the sampling pool for axiom validity checking: small
+// indices, byte boundaries, masks, and extremes, which exercise the side
+// conditions and wraparound behaviour.
+var interestingWords = []uint64{
+	0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 31, 32, 63, 64,
+	255, 256, 65535, 65536, 1 << 20, 1 << 32, 1 << 63,
+	^uint64(0), ^uint64(0) - 7, 0x8877665544332211, 0x0123456789abcdef,
+}
+
+func sampleWord(rng *rand.Rand) uint64 {
+	switch rng.Intn(3) {
+	case 0:
+		return interestingWords[rng.Intn(len(interestingWords))]
+	case 1:
+		return uint64(rng.Intn(16))
+	default:
+		return rng.Uint64()
+	}
+}
+
+// Check validates the axiom against the reference semantics on `samples`
+// random variable bindings. It returns an error describing the first
+// falsifying binding, or an error if no sample ever satisfied the side
+// conditions (which would make the axiom dead).
+func Check(ax *Axiom, rng *rand.Rand, samples int) error {
+	memVars := MemoryVars(ax)
+	passed := 0
+	for s := 0; s < samples; s++ {
+		env := semantics.NewEnv()
+		for _, v := range ax.Vars {
+			if memVars[v] {
+				contents := map[uint64]uint64{}
+				for i := 0; i < 4; i++ {
+					contents[sampleWord(rng)] = rng.Uint64()
+				}
+				env.MemContents[v] = contents
+			} else {
+				env.Words[v] = sampleWord(rng)
+			}
+		}
+		ok, err := holdsUnder(ax, env)
+		if err != nil {
+			return err
+		}
+		if ok == condSkipped {
+			continue
+		}
+		passed++
+		if ok == holdsFalse {
+			return fmt.Errorf("axiom %s falsified under %v", ax.Name, env.Words)
+		}
+	}
+	if passed == 0 {
+		return fmt.Errorf("axiom %s: side conditions never satisfied in %d samples", ax.Name, samples)
+	}
+	return nil
+}
+
+type holdResult int
+
+const (
+	holdsTrue holdResult = iota
+	holdsFalse
+	condSkipped
+)
+
+func holdsUnder(ax *Axiom, env *semantics.Env) (holdResult, error) {
+	for _, c := range ax.Conditions {
+		v, err := semantics.EvalWord(c, env)
+		if err != nil {
+			return holdsFalse, fmt.Errorf("axiom %s condition %s: %v", ax.Name, c, err)
+		}
+		if v == 0 {
+			return condSkipped, nil
+		}
+	}
+	probe := make([]uint64, 0, len(env.Words))
+	for _, w := range env.Words {
+		probe = append(probe, w)
+	}
+	litHolds := func(a, b *term.Term, wantEq bool) (bool, error) {
+		av, err := semantics.Eval(a, env)
+		if err != nil {
+			return false, fmt.Errorf("axiom %s term %s: %v", ax.Name, a, err)
+		}
+		bv, err := semantics.Eval(b, env)
+		if err != nil {
+			return false, fmt.Errorf("axiom %s term %s: %v", ax.Name, b, err)
+		}
+		eq := semantics.ValuesEqual(av, bv, env, probe)
+		return eq == wantEq, nil
+	}
+	switch ax.Kind {
+	case Equality:
+		ok, err := litHolds(ax.LHS, ax.RHS, true)
+		if err != nil {
+			return holdsFalse, err
+		}
+		if ok {
+			return holdsTrue, nil
+		}
+		return holdsFalse, nil
+	case Distinction:
+		ok, err := litHolds(ax.LHS, ax.RHS, false)
+		if err != nil {
+			return holdsFalse, err
+		}
+		if ok {
+			return holdsTrue, nil
+		}
+		return holdsFalse, nil
+	default:
+		for _, l := range ax.Clause {
+			ok, err := litHolds(l.A, l.B, l.Eq)
+			if err != nil {
+				return holdsFalse, err
+			}
+			if ok {
+				return holdsTrue, nil
+			}
+		}
+		return holdsFalse, nil
+	}
+}

@@ -1,0 +1,70 @@
+package axioms
+
+import (
+	"repro/internal/semantics"
+	"repro/internal/term"
+)
+
+// Definitions extracts executable definitions for program-local operators
+// from equality axioms of the shape
+//
+//	(forall (x1 .. xn) (eq (op x1 .. xn) body))
+//
+// where op has no built-in semantics, the arguments are distinct quantified
+// variables, and body does not mention op (which excludes commutativity and
+// associativity axioms). The first qualifying axiom for each operator wins;
+// the checksum program's carry, for instance, has two equivalent defining
+// axioms and either would do.
+//
+// The resulting map lets the reference evaluator (and hence the verifier)
+// execute GMAs that use \opdecl-declared operators.
+func Definitions(axs []*Axiom) map[string]semantics.Def {
+	defs := map[string]semantics.Def{}
+	for _, ax := range axs {
+		if ax.Kind != Equality {
+			continue
+		}
+		lhs := ax.LHS
+		if lhs.Kind != term.App {
+			continue
+		}
+		if _, builtin := semantics.Arity(lhs.Op); builtin {
+			continue
+		}
+		if _, done := defs[lhs.Op]; done {
+			continue
+		}
+		// Arguments must be distinct quantified variables.
+		varSet := ax.VarSet()
+		seen := map[string]bool{}
+		ok := true
+		params := make([]string, 0, len(lhs.Args))
+		for _, a := range lhs.Args {
+			if a.Kind != term.Var || !varSet[a.Name] || seen[a.Name] {
+				ok = false
+				break
+			}
+			seen[a.Name] = true
+			params = append(params, a.Name)
+		}
+		if !ok || mentionsOp(ax.RHS, lhs.Op) {
+			continue
+		}
+		defs[lhs.Op] = semantics.Def{Params: params, Body: ax.RHS}
+	}
+	return defs
+}
+
+func mentionsOp(t *term.Term, op string) bool {
+	if t.Kind == term.App {
+		if t.Op == op {
+			return true
+		}
+		for _, a := range t.Args {
+			if mentionsOp(a, op) {
+				return true
+			}
+		}
+	}
+	return false
+}

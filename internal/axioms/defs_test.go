@@ -1,0 +1,102 @@
+package axioms
+
+import (
+	"testing"
+
+	"repro/internal/semantics"
+	"repro/internal/term"
+)
+
+func TestDefinitionsFromChecksumAxioms(t *testing.T) {
+	axs, err := ParseAll(`
+(\axiom (forall (a b) (pats (carry a b))
+  (eq (carry a b) (\cmpult (\add64 a b) a))))
+(\axiom (forall (a b) (pats (carry a b))
+  (eq (carry a b) (\cmpult (\add64 a b) b))))
+(\axiom (forall (a b) (pats (add a b)) (eq (add a b) (add b a))))
+(\axiom (forall (a b) (pats (add a b))
+  (eq (add a b) (\add64 (\add64 a b) (carry a b)))))
+`, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs := Definitions(axs)
+	if len(defs) != 2 {
+		t.Fatalf("defs = %v", defs)
+	}
+	// carry uses the FIRST defining axiom.
+	carry := defs["carry"]
+	if len(carry.Params) != 2 || carry.Body.String() != "(cmpult (add64 a b) a)" {
+		t.Fatalf("carry def = %+v", carry)
+	}
+	// add's commutativity axiom is skipped (mentions add); the
+	// implementation axiom qualifies.
+	add := defs["add"]
+	if add.Body.String() != "(add64 (add64 a b) (carry a b))" {
+		t.Fatalf("add def = %+v", add)
+	}
+	// And the definitions evaluate: 2^64-1 + 1 wraps with carry 1.
+	env := semantics.NewEnv()
+	env.Defs = defs
+	env.Words["x"] = ^uint64(0)
+	env.Words["y"] = 1
+	v, err := semantics.EvalWord(term.MustParse("(add x y)"), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 { // wrap to 0, then +carry -> 1
+		t.Fatalf("add(max,1) = %d, want 1 (end-around carry)", v)
+	}
+}
+
+func TestDefinitionsSkipBuiltins(t *testing.T) {
+	axs, err := ParseAll(`
+(\axiom (forall (x y) (eq (\add64 x y) (\add64 y x))))
+`, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defs := Definitions(axs); len(defs) != 0 {
+		t.Fatalf("built-in op got a definition: %v", defs)
+	}
+}
+
+func TestDefinitionsSkipNonVarArgs(t *testing.T) {
+	axs, err := ParseAll(`
+(\axiom (forall (x) (pats (f x 0)) (eq (f x 0) x)))
+(\axiom (forall (x) (pats (g x x)) (eq (g x x) x)))
+`, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs := Definitions(axs)
+	if len(defs) != 0 {
+		t.Fatalf("constant/repeated-arg axioms must not define: %v", defs)
+	}
+}
+
+func TestDefinitionsRecursiveSkipped(t *testing.T) {
+	axs, err := ParseAll(`
+(\axiom (forall (x y) (pats (h x y)) (eq (h x y) (\add64 (h y x) 0))))
+`, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if defs := Definitions(axs); len(defs) != 0 {
+		t.Fatalf("self-referential axiom must not define: %v", defs)
+	}
+}
+
+func TestRecursiveDefDepthLimit(t *testing.T) {
+	// Two mutually recursive defs constructed directly must hit the
+	// evaluator's depth limit rather than hang.
+	env := semantics.NewEnv()
+	env.Defs = map[string]semantics.Def{
+		"f": {Params: []string{"x"}, Body: term.MustParse("(g x)")},
+		"g": {Params: []string{"x"}, Body: term.MustParse("(f x)")},
+	}
+	env.Words["a"] = 1
+	if _, err := semantics.EvalWord(term.MustParse("(f a)"), env); err == nil {
+		t.Fatal("expected depth-limit error")
+	}
+}

@@ -1,0 +1,310 @@
+// Package brute implements a Massalin-style superoptimizer — the approach
+// of the GNU superoptimizer the paper compares against (sections 1 and 8):
+// exhaustive enumeration of all instruction sequences in order of
+// increasing length, screening each candidate against a suite of test
+// vectors, followed by verification of survivors on fresh random vectors.
+//
+// Its purpose in this reproduction is the comparison experiment: the
+// enumeration cost grows exponentially with sequence length ("glacially
+// slow ... limited to sequences of around half-a-dozen instructions"),
+// while Denali's goal-directed search does not. It also inherits the
+// other limitations the paper lists: it finds the shortest program rather
+// than the fastest on a multiple-issue machine, it needs a bank of tests,
+// passing tests is not correctness, and it is restricted to
+// register-to-register computations.
+package brute
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/semantics"
+)
+
+// Instr is one enumerated instruction: op applied to prior values (inputs
+// or earlier results) or small constants.
+type Instr struct {
+	Op string
+	// A is a value index: 0..nin-1 are the inputs, nin+i is the result
+	// of instruction i.
+	A int
+	// B is the second operand for binary ops: a value index, or a
+	// constant when BConst is set.
+	B      int
+	BConst bool
+	BVal   uint64
+}
+
+// Program is an instruction sequence; the last instruction's result is the
+// program's output.
+type Program struct {
+	NumInputs int
+	Instrs    []Instr
+}
+
+// Run executes the program on the given inputs.
+func (p *Program) Run(inputs []uint64) (uint64, error) {
+	vals := make([]uint64, 0, p.NumInputs+len(p.Instrs))
+	vals = append(vals, inputs...)
+	for _, ins := range p.Instrs {
+		args := []uint64{vals[ins.A]}
+		if op, _ := semantics.LookupWordOp(ins.Op); op.Arity == 2 {
+			b := ins.BVal
+			if !ins.BConst {
+				b = vals[ins.B]
+			}
+			args = append(args, b)
+		}
+		v, ok := semantics.FoldWord(ins.Op, args)
+		if !ok {
+			return 0, fmt.Errorf("brute: bad op %s", ins.Op)
+		}
+		vals = append(vals, v)
+	}
+	return vals[len(vals)-1], nil
+}
+
+// String renders the program in a readable three-operand form.
+func (p *Program) String() string {
+	var b strings.Builder
+	name := func(i int) string {
+		if i < p.NumInputs {
+			return fmt.Sprintf("in%d", i)
+		}
+		return fmt.Sprintf("t%d", i-p.NumInputs)
+	}
+	for i, ins := range p.Instrs {
+		fmt.Fprintf(&b, "%s %s", ins.Op, name(ins.A))
+		if op, _ := semantics.LookupWordOp(ins.Op); op.Arity == 2 {
+			if ins.BConst {
+				fmt.Fprintf(&b, ", %d", ins.BVal)
+			} else {
+				fmt.Fprintf(&b, ", %s", name(ins.B))
+			}
+		}
+		fmt.Fprintf(&b, " -> t%d\n", i)
+	}
+	return b.String()
+}
+
+// Config bounds the search.
+type Config struct {
+	// Ops is the instruction repertoire (term operator names with pure
+	// word semantics).
+	Ops []string
+	// Consts are the constants usable as second operands.
+	Consts []uint64
+	// NumInputs is the number of input registers.
+	NumInputs int
+	// MaxLen is the longest sequence to try.
+	MaxLen int
+	// TestVectors is the size of the screening suite.
+	TestVectors int
+	// VerifyVectors is the size of the verification suite applied to
+	// screen survivors.
+	VerifyVectors int
+	// MaxCandidates aborts the search after enumerating this many
+	// sequences (0 = unbounded). The scaling experiment uses this to
+	// bound the exponential blowup.
+	MaxCandidates int64
+	// Seed drives test-vector generation.
+	Seed int64
+}
+
+// Result reports a search.
+type Result struct {
+	// Found is the shortest program discovered, or nil.
+	Found *Program
+	// Candidates counts enumerated sequences (leaves of the search).
+	Candidates int64
+	// Screened counts candidates that passed the test vectors and went
+	// to verification.
+	Screened int64
+	// Aborted reports that MaxCandidates was hit.
+	Aborted bool
+	// Elapsed is the wall-clock search time.
+	Elapsed time.Duration
+	// LengthCandidates records the candidates enumerated per sequence
+	// length, exposing the exponential growth.
+	LengthCandidates []int64
+}
+
+// Search enumerates programs of increasing length until one computes
+// target on every test vector and survives verification.
+func Search(target func(in []uint64) uint64, cfg Config) Result {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.TestVectors <= 0 {
+		cfg.TestVectors = 16
+	}
+	if cfg.VerifyVectors <= 0 {
+		cfg.VerifyVectors = 256
+	}
+	vectors := make([][]uint64, cfg.TestVectors)
+	expect := make([]uint64, cfg.TestVectors)
+	for i := range vectors {
+		vectors[i] = randomVector(rng, cfg.NumInputs, i)
+		expect[i] = target(vectors[i])
+	}
+
+	res := Result{}
+	type opInfo struct {
+		name  string
+		arity int
+	}
+	var ops []opInfo
+	for _, name := range cfg.Ops {
+		w, ok := semantics.LookupWordOp(name)
+		if !ok || w.Arity > 2 {
+			continue // three-operand ops (cmov) are outside the model
+		}
+		ops = append(ops, opInfo{name, w.Arity})
+	}
+
+	// vals[v][k] is the value of slot v on vector k.
+	for maxLen := 1; maxLen <= cfg.MaxLen; maxLen++ {
+		res.LengthCandidates = append(res.LengthCandidates, 0)
+		lenIdx := maxLen - 1
+		prog := make([]Instr, 0, maxLen)
+		vals := make([][]uint64, cfg.NumInputs, cfg.NumInputs+maxLen)
+		for v := 0; v < cfg.NumInputs; v++ {
+			vals[v] = make([]uint64, cfg.TestVectors)
+			for k := range vectors {
+				vals[v][k] = vectors[k][v]
+			}
+		}
+		var dfs func(depth int) *Program
+		dfs = func(depth int) *Program {
+			if res.Aborted {
+				return nil
+			}
+			if depth == maxLen {
+				res.Candidates++
+				res.LengthCandidates[lenIdx]++
+				if cfg.MaxCandidates > 0 && res.Candidates >= cfg.MaxCandidates {
+					res.Aborted = true
+					return nil
+				}
+				last := vals[len(vals)-1]
+				for k := range expect {
+					if last[k] != expect[k] {
+						return nil
+					}
+				}
+				res.Screened++
+				cand := &Program{NumInputs: cfg.NumInputs, Instrs: append([]Instr(nil), prog...)}
+				if verify(cand, target, rng, cfg.VerifyVectors) {
+					return cand
+				}
+				return nil
+			}
+			nvals := len(vals)
+			row := make([]uint64, cfg.TestVectors)
+			for _, op := range ops {
+				for a := 0; a < nvals; a++ {
+					tryOne := func(ins Instr, operandB func(k int) (uint64, bool)) *Program {
+						for k := 0; k < cfg.TestVectors; k++ {
+							args := []uint64{vals[ins.A][k]}
+							if op.arity == 2 {
+								b, _ := operandB(k)
+								args = append(args, b)
+							}
+							v, _ := semantics.FoldWord(op.name, args)
+							row[k] = v
+						}
+						newRow := make([]uint64, cfg.TestVectors)
+						copy(newRow, row)
+						vals = append(vals, newRow)
+						prog = append(prog, ins)
+						found := dfs(depth + 1)
+						prog = prog[:len(prog)-1]
+						vals = vals[:len(vals)-1]
+						return found
+					}
+					if op.arity == 1 {
+						if f := tryOne(Instr{Op: op.name, A: a}, nil); f != nil {
+							return f
+						}
+						continue
+					}
+					for b := 0; b < nvals; b++ {
+						b := b
+						if f := tryOne(Instr{Op: op.name, A: a, B: b},
+							func(k int) (uint64, bool) { return vals[b][k], false }); f != nil {
+							return f
+						}
+					}
+					for _, c := range cfg.Consts {
+						c := c
+						if f := tryOne(Instr{Op: op.name, A: a, BConst: true, BVal: c},
+							func(int) (uint64, bool) { return c, true }); f != nil {
+							return f
+						}
+					}
+				}
+			}
+			return nil
+		}
+		if found := dfs(0); found != nil {
+			res.Found = found
+			break
+		}
+		if res.Aborted {
+			break
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+func verify(p *Program, target func([]uint64) uint64, rng *rand.Rand, n int) bool {
+	for i := 0; i < n; i++ {
+		in := randomVector(rng, p.NumInputs, i)
+		got, err := p.Run(in)
+		if err != nil || got != target(in) {
+			return false
+		}
+	}
+	return true
+}
+
+func randomVector(rng *rand.Rand, n, salt int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		switch (salt + i) % 3 {
+		case 0:
+			out[i] = uint64(rng.Intn(256))
+		case 1:
+			out[i] = rng.Uint64()
+		default:
+			out[i] = uint64(rng.Intn(1 << 16))
+		}
+	}
+	return out
+}
+
+// SpaceSize estimates the number of sequences of exactly length n for the
+// configuration (the per-step branching factor compounds: ops × operand
+// choices), conveying why exhaustive search is "glacially slow".
+func SpaceSize(cfg Config, n int) float64 {
+	total := 1.0
+	for depth := 0; depth < n; depth++ {
+		slots := cfg.NumInputs + depth
+		perStep := 0.0
+		for _, name := range cfg.Ops {
+			w, ok := semantics.LookupWordOp(name)
+			if !ok {
+				continue
+			}
+			if w.Arity == 1 {
+				perStep += float64(slots)
+			} else {
+				perStep += float64(slots) * float64(slots+len(cfg.Consts))
+			}
+		}
+		total *= perStep
+	}
+	return total
+}

@@ -1,0 +1,135 @@
+package brute
+
+import (
+	"testing"
+)
+
+var smallOps = []string{"add64", "sub64", "and64", "bis", "xor64", "sll", "srl"}
+
+func TestFindsDouble(t *testing.T) {
+	// 2*x: a single addq x,x (or sll x,1).
+	res := Search(func(in []uint64) uint64 { return 2 * in[0] }, Config{
+		Ops: smallOps, Consts: []uint64{1, 2}, NumInputs: 1, MaxLen: 2, Seed: 1,
+	})
+	if res.Found == nil {
+		t.Fatal("should find 2*x")
+	}
+	if len(res.Found.Instrs) != 1 {
+		t.Fatalf("expected a 1-instruction program, got:\n%s", res.Found)
+	}
+}
+
+func TestFindsAverageTrick(t *testing.T) {
+	// Unsigned average without overflow: (a&b) + ((a^b)>>1). A classic
+	// superoptimizer discovery; 3 instructions plus the add = 4... the
+	// shortest form is (a&b)+((a^b)>>1) = 4 instructions; allow up to 4.
+	target := func(in []uint64) uint64 {
+		a, b := in[0], in[1]
+		return (a & b) + ((a ^ b) >> 1)
+	}
+	res := Search(target, Config{
+		Ops: smallOps, Consts: []uint64{1}, NumInputs: 2, MaxLen: 4, Seed: 2,
+		MaxCandidates: 50_000_000,
+	})
+	if res.Found == nil {
+		t.Fatalf("should find the average trick (aborted=%v, candidates=%d)", res.Aborted, res.Candidates)
+	}
+	if len(res.Found.Instrs) > 4 {
+		t.Fatalf("program too long:\n%s", res.Found)
+	}
+}
+
+func TestFindsMask(t *testing.T) {
+	// x & 255 — one instruction with the constant.
+	res := Search(func(in []uint64) uint64 { return in[0] & 255 }, Config{
+		Ops: smallOps, Consts: []uint64{255}, NumInputs: 1, MaxLen: 1, Seed: 3,
+	})
+	if res.Found == nil || len(res.Found.Instrs) != 1 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestShortestFirst(t *testing.T) {
+	// x+x+x is findable in 2 instructions; Search must not return a
+	// 3-instruction variant.
+	res := Search(func(in []uint64) uint64 { return 3 * in[0] }, Config{
+		Ops: smallOps, Consts: []uint64{1, 2}, NumInputs: 1, MaxLen: 3, Seed: 4,
+	})
+	if res.Found == nil {
+		t.Fatal("should find 3*x")
+	}
+	if len(res.Found.Instrs) != 2 {
+		t.Fatalf("expected the 2-instruction form:\n%s", res.Found)
+	}
+}
+
+func TestExponentialGrowth(t *testing.T) {
+	// Candidates per length must grow by well over an order of magnitude
+	// per added instruction — the paper's "glacially slow".
+	res := Search(func(in []uint64) uint64 { return in[0]*12345 + 999 }, Config{
+		Ops: smallOps, Consts: []uint64{1, 8}, NumInputs: 1, MaxLen: 3, Seed: 5,
+		MaxCandidates: 3_000_000,
+	})
+	if res.Found != nil {
+		t.Fatalf("surprising find:\n%s", res.Found)
+	}
+	if len(res.LengthCandidates) < 2 {
+		t.Fatalf("lengths explored: %v", res.LengthCandidates)
+	}
+	if res.LengthCandidates[1] < 10*res.LengthCandidates[0] {
+		t.Fatalf("expected explosive growth, got %v", res.LengthCandidates)
+	}
+	// The analytic space size agrees on the trend.
+	cfg := Config{Ops: smallOps, Consts: []uint64{1, 8}, NumInputs: 1}
+	if SpaceSize(cfg, 3) <= SpaceSize(cfg, 2)*10 {
+		t.Fatalf("space sizes: %g vs %g", SpaceSize(cfg, 2), SpaceSize(cfg, 3))
+	}
+}
+
+func TestAbort(t *testing.T) {
+	res := Search(func(in []uint64) uint64 { return in[0] ^ 0xdeadbeef }, Config{
+		Ops: smallOps, Consts: []uint64{1}, NumInputs: 1, MaxLen: 4, Seed: 6,
+		MaxCandidates: 1000,
+	})
+	if !res.Aborted {
+		t.Fatal("should abort under the candidate budget")
+	}
+	if res.Found != nil {
+		t.Fatal("no program should be found")
+	}
+}
+
+func TestProgramRunAndString(t *testing.T) {
+	p := &Program{
+		NumInputs: 2,
+		Instrs: []Instr{
+			{Op: "xor64", A: 0, B: 1},
+			{Op: "srl", A: 2, BConst: true, BVal: 1},
+			{Op: "and64", A: 0, B: 1},
+			{Op: "add64", A: 3, B: 4},
+		},
+	}
+	got, err := p.Run([]uint64{10, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 { // average of 10 and 4
+		t.Fatalf("avg = %d", got)
+	}
+	s := p.String()
+	if s == "" || len(s) < 20 {
+		t.Fatalf("String: %q", s)
+	}
+	if _, err := (&Program{NumInputs: 1, Instrs: []Instr{{Op: "nosuch", A: 0}}}).Run([]uint64{1}); err == nil {
+		t.Fatal("bad op should error")
+	}
+}
+
+func TestUnaryOps(t *testing.T) {
+	res := Search(func(in []uint64) uint64 { return ^in[0] }, Config{
+		Ops: []string{"not64", "add64"}, Consts: []uint64{1}, NumInputs: 1, MaxLen: 1, Seed: 8,
+	})
+	if res.Found == nil || res.Found.Instrs[0].Op != "not64" {
+		t.Fatalf("result: %+v", res.Found)
+	}
+}

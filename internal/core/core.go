@@ -1,0 +1,354 @@
+// Package core is Denali's crucial inner subroutine (Figure 1 of the
+// paper): it converts one guarded multi-assignment into near-optimal
+// machine code by matching (E-graph saturation with the axiom set) followed
+// by satisfiability search over increasing cycle budgets, returning both
+// the winning schedule and the refutation evidence that smaller budgets are
+// infeasible.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/axioms"
+	"repro/internal/egraph"
+	"repro/internal/gma"
+	"repro/internal/matcher"
+	"repro/internal/sat"
+	"repro/internal/schedule"
+)
+
+// SearchStrategy selects how cycle budgets are probed.
+type SearchStrategy int
+
+const (
+	// LinearSearch probes K = 0, 1, 2, ... until satisfiable; every
+	// smaller budget is refuted along the way, so optimality (relative
+	// to the E-graph and machine model) is proved as a side effect.
+	LinearSearch SearchStrategy = iota
+	// BinarySearch doubles the budget until satisfiable and then binary
+	// searches, as sketched in section 1.3 of the paper. It can be
+	// faster when the optimum is large, at the cost of probing some
+	// larger-K problems.
+	BinarySearch
+	// DescendSearch starts from an upper bound (Options.UpperBoundHint,
+	// typically the conventional baseline's cycle count) and probes
+	// downward while satisfiable. Near-optimal SAT probes are usually
+	// cheap while the just-infeasible refutations are the hard
+	// pigeonhole-like instances, so descending pays the expensive probe
+	// only once — the alternative strategy the paper says it has not
+	// explored (section 1.3).
+	DescendSearch
+)
+
+// Options configures compilation of a GMA.
+type Options struct {
+	// Desc is the machine description; defaults are not provided — the
+	// caller chooses the architecture (e.g. alpha.EV6()).
+	Desc *arch.Description
+	// Axioms is the axiom set (built-in plus program-local).
+	Axioms []*axioms.Axiom
+	// Matcher bounds saturation.
+	Matcher matcher.Options
+	// Schedule configures constraint generation.
+	Schedule schedule.Options
+	// MaxCycles bounds the search (default 24).
+	MaxCycles int
+	// Search selects the probing strategy.
+	Search SearchStrategy
+	// UpperBoundHint seeds DescendSearch with a known-feasible budget
+	// (e.g. the baseline compiler's cycle count); 0 means MaxCycles.
+	UpperBoundHint int
+}
+
+// Probe records one SAT probe with its wall-clock cost.
+type Probe struct {
+	schedule.Stat
+	Elapsed time.Duration
+}
+
+// Compiled is the result of compiling one GMA.
+type Compiled struct {
+	GMA   *gma.GMA
+	Graph *egraph.Graph
+	// Match reports the saturation statistics.
+	Match matcher.Result
+	// Probes are the SAT probes in the order performed.
+	Probes []Probe
+	// Schedule is the winning schedule.
+	Schedule *schedule.Schedule
+	// Cycles is the winning budget.
+	Cycles int
+	// OptimalProven reports that every budget below Cycles was refuted
+	// (UNSAT), i.e. the schedule is optimal with respect to the E-graph
+	// and the machine model.
+	OptimalProven bool
+	// MatchTime and SolveTime split the pipeline cost, mirroring the
+	// paper's "less than 0.3 seconds is spent in the SAT solver".
+	MatchTime time.Duration
+	SolveTime time.Duration
+}
+
+// ErrNoSchedule is returned when no budget up to MaxCycles admits a
+// schedule.
+var ErrNoSchedule = errors.New("core: no schedule found within the cycle bound")
+
+// CompileGMA runs the full matching + satisfiability pipeline on one GMA.
+func CompileGMA(gm *gma.GMA, opt Options) (*Compiled, error) {
+	if opt.Desc == nil {
+		return nil, fmt.Errorf("core: Options.Desc is required")
+	}
+	if err := gm.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.MaxCycles <= 0 {
+		opt.MaxCycles = 24
+	}
+	opt.Schedule.Desc = opt.Desc
+
+	c := &Compiled{GMA: gm, Graph: egraph.New()}
+	for _, goal := range gm.Goals() {
+		c.Graph.AddTerm(goal)
+	}
+	// Programmer-trusted facts go in before matching, so axiom clauses
+	// (select-store aliasing in particular) can discharge against them.
+	for _, as := range gm.Assumes {
+		a := c.Graph.AddTerm(as.A)
+		b := c.Graph.AddTerm(as.B)
+		var err error
+		if as.Eq {
+			err = c.Graph.Merge(a, b)
+		} else {
+			err = c.Graph.AssertDistinct(a, b)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: assumption %s/%s contradicts: %w", as.A, as.B, err)
+		}
+	}
+	start := time.Now()
+	mres, err := matcher.Saturate(c.Graph, opt.Axioms, opt.Matcher)
+	if err != nil {
+		return nil, err
+	}
+	c.Match = mres
+	c.MatchTime = time.Since(start)
+
+	probe := func(k int) (*schedule.Schedule, sat.Result, error) {
+		p, err := schedule.NewProblem(c.Graph, gm, k, opt.Schedule)
+		if err != nil {
+			return nil, sat.Unknown, err
+		}
+		t0 := time.Now()
+		sched, stat, err := p.Solve()
+		elapsed := time.Since(t0)
+		c.SolveTime += elapsed
+		c.Probes = append(c.Probes, Probe{Stat: stat, Elapsed: elapsed})
+		if err != nil {
+			return nil, stat.Result, err
+		}
+		return sched, stat.Result, nil
+	}
+
+	switch opt.Search {
+	case BinarySearch:
+		return c, c.binarySearch(probe, opt.MaxCycles)
+	case DescendSearch:
+		return c, c.descendSearch(probe, opt.MaxCycles, opt.UpperBoundHint)
+	default:
+		return c, c.linearSearch(probe, opt.MaxCycles)
+	}
+}
+
+// descendSearch probes downward from a feasible upper bound, paying the
+// expensive just-below-optimal refutation exactly once. If the hint turns
+// out infeasible it falls back to searching upward from there.
+func (c *Compiled) descendSearch(probe probeFunc, maxCycles, hint int) error {
+	ub := hint
+	if ub <= 0 || ub > maxCycles {
+		ub = maxCycles
+	}
+	found := false
+	for k := ub; k >= 0; k-- {
+		sched, res, err := probe(k)
+		if err != nil {
+			return err
+		}
+		if res == sat.Sat {
+			c.Schedule = sched
+			c.Cycles = k
+			found = true
+			continue
+		}
+		if found {
+			// The first failing budget below a success: optimal if the
+			// failure is a proof, merely best-known on a budget timeout.
+			c.OptimalProven = res == sat.Unsat
+			return nil
+		}
+		break // the hint itself failed; search upward instead
+	}
+	if found {
+		c.OptimalProven = true // descended all the way to K=0
+		return nil
+	}
+	for k := ub + 1; k <= maxCycles; k++ {
+		sched, res, err := probe(k)
+		if err != nil {
+			return err
+		}
+		if res == sat.Sat {
+			c.Schedule = sched
+			c.Cycles = k
+			c.OptimalProven = false
+			return nil
+		}
+	}
+	return ErrNoSchedule
+}
+
+type probeFunc func(k int) (*schedule.Schedule, sat.Result, error)
+
+func (c *Compiled) linearSearch(probe probeFunc, maxCycles int) error {
+	allRefuted := true
+	for k := 0; k <= maxCycles; k++ {
+		sched, res, err := probe(k)
+		if err != nil {
+			return err
+		}
+		switch res {
+		case sat.Sat:
+			c.Schedule = sched
+			c.Cycles = k
+			c.OptimalProven = allRefuted
+			return nil
+		case sat.Unknown:
+			allRefuted = false
+		}
+	}
+	return ErrNoSchedule
+}
+
+func (c *Compiled) binarySearch(probe probeFunc, maxCycles int) error {
+	// Phase 1: find a satisfiable upper bound by doubling.
+	lo := 0 // all budgets < lo+? unknown; we track the largest refuted+1
+	hi := -1
+	var hiSched *schedule.Schedule
+	certain := true
+	for k := 1; k <= maxCycles; k *= 2 {
+		sched, res, err := probe(k)
+		if err != nil {
+			return err
+		}
+		switch res {
+		case sat.Sat:
+			hi = k
+			hiSched = sched
+		case sat.Unsat:
+			lo = k + 1
+		default:
+			certain = false
+		}
+		if hi >= 0 {
+			break
+		}
+	}
+	if hi < 0 {
+		// Try the bound itself before giving up.
+		sched, res, err := probe(maxCycles)
+		if err != nil {
+			return err
+		}
+		if res != sat.Sat {
+			return ErrNoSchedule
+		}
+		hi = maxCycles
+		hiSched = sched
+	}
+	// Phase 2: binary search in [lo, hi].
+	for lo < hi {
+		mid := (lo + hi) / 2
+		sched, res, err := probe(mid)
+		if err != nil {
+			return err
+		}
+		switch res {
+		case sat.Sat:
+			hi = mid
+			hiSched = sched
+		case sat.Unsat:
+			lo = mid + 1
+		default:
+			certain = false
+			lo = mid + 1
+		}
+	}
+	c.Schedule = hiSched
+	c.Cycles = hi
+	c.OptimalProven = certain
+	return nil
+}
+
+// Assembly renders the compiled GMA as an annotated assembly listing:
+// header comment, register map, and the launched instructions in issue
+// order with cycle and functional-unit annotations. For the nop-padded
+// Figure 4 form, use Schedule.Listing.
+func (c *Compiled) Assembly() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// %s\n", c.GMA)
+	fmt.Fprintf(&b, "// Register Map: {")
+	first := true
+	for name, reg := range c.Schedule.InputRegs {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%s=%s", name, reg)
+	}
+	b.WriteString("}\n")
+	fmt.Fprintf(&b, "%s:\n", sanitizeLabel(c.GMA.Name))
+	b.WriteString(c.Schedule.Compact())
+	for target, op := range c.Schedule.ResultRegs {
+		fmt.Fprintf(&b, "    // %s in %s\n", target, op)
+	}
+	if c.GMA.Guard != nil {
+		guard := c.Schedule.ResultRegs["<guard>"]
+		fmt.Fprintf(&b, "    beq %s, %s\n", guard, exitLabel(c.GMA))
+	}
+	return b.String()
+}
+
+func sanitizeLabel(s string) string {
+	if s == "" {
+		return "gma"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+func exitLabel(g *gma.GMA) string {
+	if g.ExitLabel != "" {
+		return sanitizeLabel(g.ExitLabel)
+	}
+	return sanitizeLabel(g.Name) + "_exit"
+}
+
+// ProbeSummary formats the probe sequence like the paper's report of SAT
+// problem sizes ("1639 variables and 4613 clauses for the 4-cycle
+// refutation ... 9203 variables and 26415 clauses for the 8-cycle
+// solution").
+func (c *Compiled) ProbeSummary() string {
+	var b strings.Builder
+	for _, p := range c.Probes {
+		fmt.Fprintf(&b, "K=%-3d %-7s %6d vars %7d clauses %7d conflicts %10s\n",
+			p.K, p.Result, p.Vars, p.Clauses, p.Conflicts, p.Elapsed.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package egraph
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/term"
+)
+
+// BenchmarkAddTerm measures hash-consed interning throughput.
+func BenchmarkAddTerm(b *testing.B) {
+	t := term.MustParse("(add64 (mul64 a 4) (bis (sll b 2) (xor64 c 255)))")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := New()
+		for j := 0; j < 100; j++ {
+			g.AddTerm(t)
+		}
+	}
+}
+
+// BenchmarkCongruenceClosure measures merge + upward propagation on a
+// chain f(f(...f(x))) when the leaves collapse.
+func BenchmarkCongruenceClosure(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := New()
+		const depth = 200
+		mk := func(leaf string) ClassID {
+			c := g.AddTerm(term.NewVar(leaf))
+			for d := 0; d < depth; d++ {
+				c = g.AddApp("f", []ClassID{c})
+			}
+			return c
+		}
+		ta := mk("a")
+		tb := mk("b")
+		a := g.AddTerm(term.NewVar("a"))
+		bb := g.AddTerm(term.NewVar("b"))
+		if err := g.Merge(a, bb); err != nil {
+			b.Fatal(err)
+		}
+		if g.Find(ta) != g.Find(tb) {
+			b.Fatal("closure failed")
+		}
+	}
+}
+
+// BenchmarkMatch measures E-matching over a populated graph.
+func BenchmarkMatch(b *testing.B) {
+	g := New()
+	for i := 0; i < 50; i++ {
+		g.AddTerm(term.MustParse(fmt.Sprintf("(add64 (mul64 x%d 4) %d)", i, i)))
+	}
+	pat := term.MustParse("(add64 (mul64 k 4) n)")
+	vars := map[string]bool{"k": true, "n": true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if subs := g.Match(pat, vars); len(subs) != 50 {
+			b.Fatalf("matches = %d", len(subs))
+		}
+	}
+}
+
+// BenchmarkCountComputations measures the representation-counting walk.
+func BenchmarkCountComputations(b *testing.B) {
+	g := New()
+	goal := g.AddTerm(term.MustParse("(add64 a (add64 c2 (add64 c (add64 d e))))"))
+	// Install alternates: every add64 node also equals its mirror.
+	for _, id := range append([]NodeID(nil), g.NodesWithOp("add64")...) {
+		args := g.CanonArgs(id)
+		mirror := g.AddApp("add64", []ClassID{args[1], args[0]})
+		if err := g.Merge(ClassID(id), mirror); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := g.CountComputations(goal, 1<<20); n < 2 {
+			b.Fatalf("ways = %d", n)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package egraph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// WriteDot renders the E-graph in Graphviz dot format, in the style of the
+// paper's Figure 2: solid arrows are term-DAG edges, classes are drawn as
+// clusters so the dashed equivalence arcs of the figure become boxes.
+// Useful for debugging axiom sets and matching behaviour.
+func (g *Graph) WriteDot(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("digraph egraph {\n  compound=true;\n  node [shape=box, fontname=\"monospace\"];\n")
+	classes := g.Classes()
+	for _, c := range classes {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=\"class %d\";\n    style=dashed;\n", c, c)
+		nodes := append([]NodeID(nil), g.ClassNodes(c)...)
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		for _, id := range nodes {
+			n := g.Node(id)
+			var label string
+			switch n.Kind {
+			case term.Const:
+				label = fmt.Sprintf("%d", n.Word)
+			case term.Var:
+				label = n.Name
+			default:
+				label = n.Op
+			}
+			fmt.Fprintf(&b, "    n%d [label=%q];\n", id, label)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, c := range classes {
+		for _, id := range g.ClassNodes(c) {
+			n := g.Node(id)
+			if n.Kind != term.App {
+				continue
+			}
+			for ai, a := range g.CanonArgs(id) {
+				// Point at the first node of the argument class.
+				argNodes := g.ClassNodes(a)
+				if len(argNodes) == 0 {
+					continue
+				}
+				tgt := argNodes[0]
+				for _, cand := range argNodes {
+					if cand < tgt {
+						tgt = cand
+					}
+				}
+				fmt.Fprintf(&b, "  n%d -> n%d [label=\"%d\", lhead=cluster_%d];\n", id, tgt, ai, g.Find(a))
+			}
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

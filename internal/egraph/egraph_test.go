@@ -1,0 +1,402 @@
+package egraph
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/term"
+)
+
+func TestAddTermHashConsing(t *testing.T) {
+	g := New()
+	a := g.AddTerm(term.MustParse("(add64 x y)"))
+	b := g.AddTerm(term.MustParse("(add64 x y)"))
+	if a != b {
+		t.Fatal("identical terms must intern to the same class")
+	}
+	c := g.AddTerm(term.MustParse("(add64 y x)"))
+	if g.Find(a) == g.Find(c) {
+		t.Fatal("distinct terms must not be equal before any merge")
+	}
+}
+
+func TestMergeAndFind(t *testing.T) {
+	g := New()
+	a := g.AddTerm(term.NewVar("a"))
+	b := g.AddTerm(term.NewVar("b"))
+	if err := g.Merge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if g.Find(a) != g.Find(b) {
+		t.Fatal("merged classes must share a root")
+	}
+}
+
+func TestCongruenceClosure(t *testing.T) {
+	g := New()
+	fa := g.AddTerm(term.MustParse("(f a)"))
+	fb := g.AddTerm(term.MustParse("(f b)"))
+	if g.Find(fa) == g.Find(fb) {
+		t.Fatal("f(a) and f(b) must start distinct")
+	}
+	a := g.AddTerm(term.NewVar("a"))
+	b := g.AddTerm(term.NewVar("b"))
+	if err := g.Merge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if g.Find(fa) != g.Find(fb) {
+		t.Fatal("congruence: a=b must imply f(a)=f(b)")
+	}
+}
+
+func TestCongruenceTransitiveChain(t *testing.T) {
+	// Classic: merging a=b should collapse f(f(a)) and f(f(b)) via two
+	// congruence steps.
+	g := New()
+	ffa := g.AddTerm(term.MustParse("(f (f a))"))
+	ffb := g.AddTerm(term.MustParse("(f (f b))"))
+	a := g.AddTerm(term.NewVar("a"))
+	b := g.AddTerm(term.NewVar("b"))
+	if err := g.Merge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if g.Find(ffa) != g.Find(ffb) {
+		t.Fatal("congruence must propagate transitively")
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	g := New()
+	c := g.AddTerm(term.MustParse("(add64 3 4)"))
+	v, ok := g.ConstValue(c)
+	if !ok || v != 7 {
+		t.Fatalf("add64(3,4) should fold to 7, got %d,%v", v, ok)
+	}
+}
+
+func TestFoldingAfterMerge(t *testing.T) {
+	g := New()
+	sum := g.AddTerm(term.MustParse("(add64 x 4)"))
+	if _, ok := g.ConstValue(sum); ok {
+		t.Fatal("x+4 must not fold while x is symbolic")
+	}
+	x := g.AddTerm(term.NewVar("x"))
+	three := g.AddTerm(term.NewConst(3))
+	if err := g.Merge(x, three); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := g.ConstValue(sum)
+	if !ok || v != 7 {
+		t.Fatalf("after x=3, x+4 should fold to 7, got %d,%v", v, ok)
+	}
+}
+
+func TestDistinctConstantsContradiction(t *testing.T) {
+	g := New()
+	a := g.AddTerm(term.NewConst(1))
+	b := g.AddTerm(term.NewConst(2))
+	if err := g.Merge(a, b); !errors.Is(err, ErrContradiction) {
+		t.Fatalf("merging 1 and 2 should contradict, got %v", err)
+	}
+}
+
+func TestAssertDistinct(t *testing.T) {
+	g := New()
+	a := g.AddTerm(term.NewVar("a"))
+	b := g.AddTerm(term.NewVar("b"))
+	if g.Distinct(a, b) {
+		t.Fatal("not distinct yet")
+	}
+	if err := g.AssertDistinct(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Distinct(a, b) {
+		t.Fatal("should be distinct now")
+	}
+	if err := g.Merge(a, b); !errors.Is(err, ErrContradiction) {
+		t.Fatalf("merge of distinct classes should contradict, got %v", err)
+	}
+}
+
+func TestAssertDistinctOnEqual(t *testing.T) {
+	g := New()
+	a := g.AddTerm(term.NewVar("a"))
+	b := g.AddTerm(term.NewVar("b"))
+	if err := g.Merge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AssertDistinct(a, b); !errors.Is(err, ErrContradiction) {
+		t.Fatalf("distinct on merged classes should contradict, got %v", err)
+	}
+}
+
+func TestDistinctByConstants(t *testing.T) {
+	g := New()
+	a := g.AddTerm(term.NewConst(5))
+	b := g.AddTerm(term.NewConst(6))
+	if !g.Distinct(a, b) {
+		t.Fatal("different constants are implicitly distinct")
+	}
+}
+
+func TestClausePropagation(t *testing.T) {
+	// Model the select-store example: clause (p = q) ∨ (l1 = l2) where
+	// p and q are then made distinct, forcing l1 = l2.
+	g := New()
+	p := g.AddTerm(term.NewVar("p"))
+	q := g.AddTerm(term.NewVar("q"))
+	l1 := g.AddTerm(term.MustParse("(select (store M p x) q)"))
+	l2 := g.AddTerm(term.MustParse("(select M q)"))
+	g.AddClause([]Literal{{Eq: true, A: p, B: q}, {Eq: true, A: l1, B: l2}})
+	if err := g.PropagateClauses(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Find(l1) == g.Find(l2) {
+		t.Fatal("clause should not fire before the distinction")
+	}
+	if err := g.AssertDistinct(p, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.PropagateClauses(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Find(l1) != g.Find(l2) {
+		t.Fatal("unit clause literal should have been asserted")
+	}
+}
+
+func TestClauseSatisfied(t *testing.T) {
+	g := New()
+	p := g.AddTerm(term.NewVar("p"))
+	q := g.AddTerm(term.NewVar("q"))
+	a := g.AddTerm(term.NewVar("a"))
+	b := g.AddTerm(term.NewVar("b"))
+	g.AddClause([]Literal{{Eq: true, A: p, B: q}, {Eq: true, A: a, B: b}})
+	if err := g.Merge(p, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.PropagateClauses(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Find(a) == g.Find(b) {
+		t.Fatal("satisfied clause must not assert its other literal")
+	}
+	if g.NumClauses() != 0 {
+		t.Fatal("satisfied clause should be discharged")
+	}
+}
+
+func TestClauseContradiction(t *testing.T) {
+	g := New()
+	a := g.AddTerm(term.NewConst(1))
+	b := g.AddTerm(term.NewConst(2))
+	g.AddClause([]Literal{{Eq: true, A: a, B: b}})
+	if err := g.PropagateClauses(); !errors.Is(err, ErrContradiction) {
+		t.Fatalf("expected contradiction, got %v", err)
+	}
+}
+
+func TestTermOf(t *testing.T) {
+	g := New()
+	c := g.AddTerm(term.MustParse("(add64 (mul64 reg6 4) 1)"))
+	got := g.TermOf(c)
+	if got.String() != "(add64 (mul64 reg6 4) 1)" {
+		t.Fatalf("TermOf = %s", got)
+	}
+	// After merging with a cyclic identity x = add64(x, 0), TermOf must
+	// still terminate.
+	x := g.AddTerm(term.NewVar("x"))
+	x0 := g.AddTerm(term.MustParse("(add64 x 0)"))
+	if err := g.Merge(x, x0); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.TermOf(x); got.String() != "x" {
+		t.Fatalf("TermOf cyclic class = %s", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := New()
+	g.AddTerm(term.MustParse("(add64 a b)"))
+	s := g.Stats()
+	if s.Nodes != 3 || s.Classes != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	a := g.AddTerm(term.NewVar("a"))
+	b := g.AddTerm(term.NewVar("b"))
+	if err := g.Merge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumClasses() != 2 {
+		t.Fatalf("classes after merge = %d", g.NumClasses())
+	}
+}
+
+func TestHasNode(t *testing.T) {
+	g := New()
+	a := g.AddTerm(term.NewVar("a"))
+	b := g.AddTerm(term.NewVar("b"))
+	g.AddApp("f", []ClassID{a, b})
+	if _, ok := g.HasNode("f", []ClassID{a, b}); !ok {
+		t.Fatal("HasNode should find f(a,b)")
+	}
+	if _, ok := g.HasNode("g", []ClassID{a, b}); ok {
+		t.Fatal("HasNode should not find g(a,b)")
+	}
+}
+
+// Property: union-find invariants — Find is idempotent, merged classes stay
+// merged, and equivalence is transitive under random merge sequences.
+func TestUnionFindProperty(t *testing.T) {
+	f := func(seed int64, nVars uint8, nMerges uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nVars%20) + 2
+		g := New()
+		ids := make([]ClassID, n)
+		for i := range ids {
+			ids[i] = g.AddTerm(term.NewVar(varName(i)))
+		}
+		// Shadow union-find for reference.
+		ref := make([]int, n)
+		for i := range ref {
+			ref[i] = i
+		}
+		var refFind func(int) int
+		refFind = func(x int) int {
+			if ref[x] != x {
+				ref[x] = refFind(ref[x])
+			}
+			return ref[x]
+		}
+		for k := 0; k < int(nMerges%40); k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if err := g.Merge(ids[i], ids[j]); err != nil {
+				return false
+			}
+			ref[refFind(i)] = refFind(j)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				same := g.Find(ids[i]) == g.Find(ids[j])
+				refSame := refFind(i) == refFind(j)
+				if same != refSame {
+					return false
+				}
+			}
+			if g.Find(ids[i]) != g.Find(ClassID(g.Find(ids[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: congruence closure agrees with a naive O(n^3) reference on
+// random unary/binary term universes.
+func TestCongruenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		// Universe: variables v0..v3, terms f(vi), h(vi,vj).
+		vars := make([]ClassID, 4)
+		for i := range vars {
+			vars[i] = g.AddTerm(term.NewVar(varName(i)))
+		}
+		type entry struct {
+			key  string
+			id   ClassID
+			args []int
+			op   string
+		}
+		var entries []entry
+		for i := 0; i < 4; i++ {
+			id := g.AddApp("f", []ClassID{vars[i]})
+			entries = append(entries, entry{op: "f", args: []int{i}, id: id})
+		}
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				id := g.AddApp("h", []ClassID{vars[i], vars[j]})
+				entries = append(entries, entry{op: "h", args: []int{i, j}, id: id})
+			}
+		}
+		// Random merges of variables.
+		merged := [][2]int{}
+		for k := 0; k < 3; k++ {
+			i, j := rng.Intn(4), rng.Intn(4)
+			if err := g.Merge(vars[i], vars[j]); err != nil {
+				return false
+			}
+			merged = append(merged, [2]int{i, j})
+		}
+		// Reference: variable equivalence closure.
+		ref := []int{0, 1, 2, 3}
+		var refFind func(int) int
+		refFind = func(x int) int {
+			if ref[x] != x {
+				ref[x] = refFind(ref[x])
+			}
+			return ref[x]
+		}
+		for _, m := range merged {
+			ref[refFind(m[0])] = refFind(m[1])
+		}
+		// f(vi) = f(vj) iff vi ~ vj; h likewise componentwise.
+		for _, e1 := range entries {
+			for _, e2 := range entries {
+				if e1.op != e2.op || len(e1.args) != len(e2.args) {
+					continue
+				}
+				want := true
+				for k := range e1.args {
+					if refFind(e1.args[k]) != refFind(e2.args[k]) {
+						want = false
+					}
+				}
+				got := g.Find(e1.id) == g.Find(e2.id)
+				if got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func varName(i int) string {
+	return string(rune('a'+i%26)) + string(rune('0'+i/26))
+}
+
+func TestWriteDot(t *testing.T) {
+	g := New()
+	goal := g.AddTerm(term.MustParse("(add64 (mul64 reg6 4) 1)"))
+	mul := g.AddTerm(term.MustParse("(mul64 reg6 4)"))
+	shift := g.AddTerm(term.MustParse("(sll reg6 2)"))
+	if err := g.Merge(mul, shift); err != nil {
+		t.Fatal(err)
+	}
+	_ = goal
+	var buf strings.Builder
+	if err := g.WriteDot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	for _, want := range []string{"digraph egraph", "cluster_", "add64", "sll", "reg6"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+	// Merged mul and sll should be in the same cluster: the cluster count
+	// equals the class count.
+	if got := strings.Count(dot, "subgraph cluster_"); got != g.NumClasses() {
+		t.Fatalf("clusters = %d, classes = %d", got, g.NumClasses())
+	}
+}

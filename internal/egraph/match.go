@@ -1,0 +1,220 @@
+package egraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// Subst binds pattern variables to equivalence classes.
+type Subst map[string]ClassID
+
+// Fingerprint returns a canonical key for the substitution, used to avoid
+// re-instantiating an axiom with bindings already seen.
+func (s Subst) Fingerprint(g *Graph) string {
+	names := make([]string, 0, len(s))
+	for n := range s {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s=%d;", n, g.Find(s[n]))
+	}
+	return b.String()
+}
+
+func (s Subst) clone() Subst {
+	c := make(Subst, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Match finds every substitution θ of the pattern's variables (the names in
+// patVars) such that the instance θ(pat) is represented in the graph. This
+// is matching modulo equivalence: a sub-pattern matches a node in any node
+// of the candidate equivalence class, which is what lets the pattern
+// k * 2**n match the term reg6*4 once 4 = 2**2 has been recorded
+// (Figure 2 of the paper).
+//
+// The pattern must be an application. Substitutions are deduplicated by
+// fingerprint.
+func (g *Graph) Match(pat *term.Term, patVars map[string]bool) []Subst {
+	if pat.Kind != term.App {
+		return nil
+	}
+	var out []Subst
+	seen := map[string]bool{}
+	for _, id := range g.byOp[pat.Op] {
+		n := &g.nodes[id]
+		if len(n.Args) != len(pat.Args) {
+			continue
+		}
+		g.matchArgs(pat.Args, g.CanonArgs(id), patVars, Subst{}, func(s Subst) {
+			fp := s.Fingerprint(g)
+			if !seen[fp] {
+				seen[fp] = true
+				out = append(out, s.clone())
+			}
+		})
+	}
+	return out
+}
+
+// MatchSeq matches a sequence of patterns (a multi-pattern) conjunctively,
+// threading bindings left to right.
+func (g *Graph) MatchSeq(pats []*term.Term, patVars map[string]bool) []Subst {
+	var out []Subst
+	seen := map[string]bool{}
+	var rec func(i int, s Subst)
+	rec = func(i int, s Subst) {
+		if i == len(pats) {
+			fp := s.Fingerprint(g)
+			if !seen[fp] {
+				seen[fp] = true
+				out = append(out, s.clone())
+			}
+			return
+		}
+		g.matchAnywhere(pats[i], patVars, s, func(s2 Subst) { rec(i+1, s2) })
+	}
+	rec(0, Subst{})
+	return out
+}
+
+// matchAnywhere matches pat against any node in the graph (used for
+// multi-pattern continuation).
+func (g *Graph) matchAnywhere(pat *term.Term, patVars map[string]bool, s Subst, yield func(Subst)) {
+	if pat.Kind != term.App {
+		return
+	}
+	for _, id := range g.byOp[pat.Op] {
+		n := &g.nodes[id]
+		if len(n.Args) != len(pat.Args) {
+			continue
+		}
+		g.matchArgs(pat.Args, g.CanonArgs(id), patVars, s, yield)
+	}
+}
+
+// matchArgs matches pattern arguments against candidate classes,
+// backtracking over class members for nested application patterns.
+func (g *Graph) matchArgs(pats []*term.Term, classes []ClassID, patVars map[string]bool, s Subst, yield func(Subst)) {
+	if len(pats) == 0 {
+		yield(s)
+		return
+	}
+	g.matchOne(pats[0], classes[0], patVars, s, func(s2 Subst) {
+		g.matchArgs(pats[1:], classes[1:], patVars, s2, yield)
+	})
+}
+
+// matchOne matches a single pattern against an equivalence class.
+func (g *Graph) matchOne(pat *term.Term, class ClassID, patVars map[string]bool, s Subst, yield func(Subst)) {
+	class = g.Find(class)
+	switch pat.Kind {
+	case term.Const:
+		if v, ok := g.ConstValue(class); ok && v == pat.Word {
+			yield(s)
+		}
+	case term.Var:
+		if patVars[pat.Name] {
+			if bound, ok := s[pat.Name]; ok {
+				if g.Find(bound) == class {
+					yield(s)
+				}
+				return
+			}
+			s[pat.Name] = class
+			yield(s)
+			delete(s, pat.Name)
+			return
+		}
+		// A free (non-pattern) variable matches only a class containing
+		// that named variable.
+		for _, id := range g.ClassNodes(class) {
+			n := &g.nodes[id]
+			if n.Kind == term.Var && n.Name == pat.Name {
+				yield(s)
+				return
+			}
+		}
+	default:
+		for _, id := range g.ClassNodes(class) {
+			n := &g.nodes[id]
+			if n.Kind != term.App || n.Op != pat.Op || len(n.Args) != len(pat.Args) {
+				continue
+			}
+			g.matchArgs(pat.Args, g.CanonArgs(id), patVars, s, yield)
+		}
+	}
+}
+
+// Instantiate interns the instance of t under substitution s: pattern
+// variables become their bound classes, other leaves are interned directly.
+func (g *Graph) Instantiate(t *term.Term, s Subst) ClassID {
+	switch t.Kind {
+	case term.Const:
+		return g.addConst(t.Word)
+	case term.Var:
+		if c, ok := s[t.Name]; ok {
+			return g.Find(c)
+		}
+		return g.addVar(t.Name)
+	default:
+		args := make([]ClassID, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = g.Instantiate(a, s)
+		}
+		return g.AddApp(t.Op, args)
+	}
+}
+
+// CountComputations returns the number of distinct computations of class c
+// representable in the graph, up to the given cap (to bound the inherent
+// exponential blowup). A computation chooses one node of the class and,
+// recursively, computations of each argument class. Cycles introduced by
+// identities such as x = x+0 contribute nothing on the cyclic path.
+func (g *Graph) CountComputations(c ClassID, cap int) int {
+	return g.countComp(g.Find(c), cap, map[ClassID]bool{})
+}
+
+func (g *Graph) countComp(c ClassID, cap int, visiting map[ClassID]bool) int {
+	if visiting[c] {
+		return 0
+	}
+	visiting[c] = true
+	defer delete(visiting, c)
+	total := 0
+	for _, id := range g.ClassNodes(c) {
+		n := &g.nodes[id]
+		if n.Kind != term.App {
+			total++ // a leaf is one way
+			if total >= cap {
+				return cap
+			}
+			continue
+		}
+		ways := 1
+		for _, a := range n.Args {
+			w := g.countComp(g.Find(a), cap, visiting)
+			ways *= w
+			if ways >= cap {
+				ways = cap
+				break
+			}
+			if ways == 0 {
+				break
+			}
+		}
+		total += ways
+		if total >= cap {
+			return cap
+		}
+	}
+	return total
+}

@@ -1,0 +1,166 @@
+// Package gma defines the guarded multi-assignment (GMA), the intermediate
+// representation at the heart of Denali's translation strategy (section 3
+// of the paper). A GMA
+//
+//	G -> (targets) := (newvals)
+//
+// assigns, if the guard G holds, a vector of new values to a vector of
+// targets simultaneously; otherwise control exits to a label. Pointer
+// references have already been translated into select/store applications on
+// a memory variable, so the right-hand sides are pure terms.
+package gma
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/semantics"
+	"repro/internal/term"
+)
+
+// TargetKind distinguishes register-like targets from memory targets.
+type TargetKind int
+
+const (
+	// Reg is a word-valued target (a variable, parameter or result).
+	Reg TargetKind = iota
+	// Memory is a memory-valued target (the variable M); its new value
+	// is a store(...) chain over the old memory.
+	Memory
+)
+
+// Target is one left-hand side of a GMA.
+type Target struct {
+	Kind TargetKind
+	// Name is the variable being assigned.
+	Name string
+}
+
+// GMA is a guarded multi-assignment.
+type GMA struct {
+	// Name labels the GMA for diagnostics and output (procedure name,
+	// possibly with a block suffix).
+	Name string
+	// Guard is the boolean guard expression; nil means true (an
+	// unconditional multi-assignment). By Alpha convention the guard is
+	// a word that is nonzero when the assignment should proceed.
+	Guard *term.Term
+	// Targets and Values are the parallel assignment; they have equal
+	// length.
+	Targets []Target
+	// Values are the right-hand sides.
+	Values []*term.Term
+	// Inputs are the variables whose values are available in registers
+	// on entry (procedure parameters and loop-carried variables).
+	Inputs []string
+	// MemoryVars names the memory variables (normally just "M").
+	MemoryVars []string
+	// MissAddrs lists address terms whose loads the programmer annotated
+	// as likely cache misses; such loads are scheduled with the
+	// architecture's miss latency (section 6 of the paper: latency
+	// annotations matter for performance, not correctness).
+	MissAddrs []*term.Term
+	// ProtectLoads forces every load to be scheduled after the guard is
+	// known, for GMAs whose memory references are unsafe when the guard
+	// is false (section 7 of the paper).
+	ProtectLoads bool
+	// ExitLabel is the label jumped to when the guard is false.
+	ExitLabel string
+	// Defs supplies definitional expansions for program-local operators
+	// (from \opdecl + defining axioms), used when evaluating the GMA's
+	// reference semantics during verification.
+	Defs map[string]semantics.Def
+	// Assumes are programmer-asserted facts about the inputs ("features
+	// by which the programmer can indicate ... that the code generator
+	// should trust the programmer that certain conditions hold",
+	// section 2). They are asserted into the E-graph before matching;
+	// a typical use is (\assume (neq p q)) to license load/store
+	// reordering across possibly-aliasing pointers.
+	Assumes []Assumption
+}
+
+// Assumption is a programmer-asserted equality or distinction between two
+// input expressions.
+type Assumption struct {
+	Eq   bool
+	A, B *term.Term
+}
+
+// Goals returns the expressions the machine code must evaluate: the guard
+// (if any) and every right-hand side. (Addresses of non-register targets
+// appear inside the store chains of memory values, so they are covered.)
+func (g *GMA) Goals() []*term.Term {
+	var out []*term.Term
+	if g.Guard != nil {
+		out = append(out, g.Guard)
+	}
+	out = append(out, g.Values...)
+	return out
+}
+
+// Validate checks structural consistency.
+func (g *GMA) Validate() error {
+	if len(g.Targets) != len(g.Values) {
+		return fmt.Errorf("gma %s: %d targets but %d values", g.Name, len(g.Targets), len(g.Values))
+	}
+	if len(g.Targets) == 0 {
+		return fmt.Errorf("gma %s: empty assignment", g.Name)
+	}
+	memSet := map[string]bool{}
+	for _, m := range g.MemoryVars {
+		memSet[m] = true
+	}
+	for i, t := range g.Targets {
+		switch t.Kind {
+		case Memory:
+			if !memSet[t.Name] {
+				return fmt.Errorf("gma %s: memory target %q not declared in MemoryVars", g.Name, t.Name)
+			}
+			if g.Values[i].Kind != term.App || g.Values[i].Op != "store" {
+				return fmt.Errorf("gma %s: memory target %q must be assigned a store chain, got %s", g.Name, t.Name, g.Values[i])
+			}
+		case Reg:
+			if memSet[t.Name] {
+				return fmt.Errorf("gma %s: register target %q is a declared memory variable", g.Name, t.Name)
+			}
+		}
+	}
+	// Every free variable of the values and guard must be an input or a
+	// memory variable.
+	inputs := map[string]bool{}
+	for _, in := range g.Inputs {
+		inputs[in] = true
+	}
+	for _, goal := range g.Goals() {
+		for _, v := range goal.Vars() {
+			if !inputs[v] && !memSet[v] {
+				return fmt.Errorf("gma %s: free variable %q is not an input", g.Name, v)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the GMA in the paper's notation.
+func (g *GMA) String() string {
+	var b strings.Builder
+	if g.Guard != nil {
+		fmt.Fprintf(&b, "%s -> ", g.Guard)
+	}
+	b.WriteByte('(')
+	for i, t := range g.Targets {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Name)
+	}
+	b.WriteString(") := (")
+	for i, v := range g.Values {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package gma
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/term"
+)
+
+func TestGoals(t *testing.T) {
+	g := &GMA{
+		Name:    "g",
+		Guard:   term.MustParse("(cmplt p r)"),
+		Targets: []Target{{Kind: Reg, Name: "p"}},
+		Values:  []*term.Term{term.MustParse("(add64 p 8)")},
+		Inputs:  []string{"p", "r"},
+	}
+	goals := g.Goals()
+	if len(goals) != 2 {
+		t.Fatalf("goals = %d", len(goals))
+	}
+	if goals[0].Op != "cmplt" {
+		t.Fatal("guard must be first goal")
+	}
+	g.Guard = nil
+	if len(g.Goals()) != 1 {
+		t.Fatal("unguarded GMA has only value goals")
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	g := &GMA{
+		Name: "copy",
+		Targets: []Target{
+			{Kind: Memory, Name: "M"},
+			{Kind: Reg, Name: "p"},
+		},
+		Values: []*term.Term{
+			term.MustParse("(store M p (select M q))"),
+			term.MustParse("(add64 p 8)"),
+		},
+		Inputs:     []string{"p", "q"},
+		MemoryVars: []string{"M"},
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *GMA
+	}{
+		{"mismatched", &GMA{Name: "x", Targets: []Target{{Kind: Reg, Name: "a"}}}},
+		{"empty", &GMA{Name: "x"}},
+		{"undeclared-mem", &GMA{
+			Name:    "x",
+			Targets: []Target{{Kind: Memory, Name: "M"}},
+			Values:  []*term.Term{term.MustParse("(store M p v)")},
+			Inputs:  []string{"p", "v"},
+		}},
+		{"mem-not-store", &GMA{
+			Name:       "x",
+			Targets:    []Target{{Kind: Memory, Name: "M"}},
+			Values:     []*term.Term{term.MustParse("(add64 p 1)")},
+			Inputs:     []string{"p"},
+			MemoryVars: []string{"M"},
+		}},
+		{"reg-is-mem", &GMA{
+			Name:       "x",
+			Targets:    []Target{{Kind: Reg, Name: "M"}},
+			Values:     []*term.Term{term.MustParse("(add64 p 1)")},
+			Inputs:     []string{"p"},
+			MemoryVars: []string{"M"},
+		}},
+		{"free-var", &GMA{
+			Name:    "x",
+			Targets: []Target{{Kind: Reg, Name: "r"}},
+			Values:  []*term.Term{term.MustParse("(add64 p 1)")},
+		}},
+	}
+	for _, c := range cases {
+		if err := c.g.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	g := &GMA{
+		Name:  "copy",
+		Guard: term.MustParse("(cmplt p r)"),
+		Targets: []Target{
+			{Kind: Memory, Name: "M"},
+			{Kind: Reg, Name: "p"},
+		},
+		Values: []*term.Term{
+			term.MustParse("(store M p (select M q))"),
+			term.MustParse("(add64 p 8)"),
+		},
+	}
+	s := g.String()
+	// The paper's notation: guard -> (targets) := (values).
+	if !strings.Contains(s, "->") || !strings.Contains(s, "(M, p) := (") {
+		t.Fatalf("String = %q", s)
+	}
+}

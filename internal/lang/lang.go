@@ -1,0 +1,483 @@
+// Package lang implements the Denali input language of section 2 and
+// Figure 6 of the paper: a parenthesized low-level language with procedure
+// declarations, variables, parallel assignment, while loops, pointer
+// dereferences, loop unrolling and cache-miss annotations, plus
+// program-local axiom and operator declarations.
+//
+// The translation strategy follows section 3: each procedure is converted
+// into a set of guarded multi-assignments by symbolic execution of
+// straight-line code. Pointer references become select/store applications
+// on the memory variable M, and updates to M[p] become updates to M
+// itself, since the theorem prover treats entire arrays as values.
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/axioms"
+	"repro/internal/gma"
+	"repro/internal/sexpr"
+	"repro/internal/term"
+)
+
+// MemVar is the canonical memory variable name.
+const MemVar = "M"
+
+// OpDecl is a program-local operator declaration.
+type OpDecl struct {
+	Name  string
+	Arity int
+}
+
+// Proc is one translated procedure: a sequence of GMAs in control order.
+type Proc struct {
+	Name   string
+	Params []string
+	GMAs   []*gma.GMA
+}
+
+// Program is a parsed-and-translated Denali source file.
+type Program struct {
+	Ops    []OpDecl
+	Axioms []*axioms.Axiom
+	Procs  []*Proc
+}
+
+// Parse reads a Denali source file and translates every procedure into
+// GMAs.
+func Parse(src string) (*Program, error) {
+	exprs, err := sexpr.ReadAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{}
+	for _, e := range exprs {
+		switch e.Head() {
+		case `\opdecl`:
+			od, err := parseOpDecl(e)
+			if err != nil {
+				return nil, err
+			}
+			p.Ops = append(p.Ops, od)
+		case `\axiom`:
+			ax, err := axioms.Parse(e)
+			if err != nil {
+				return nil, err
+			}
+			p.Axioms = append(p.Axioms, ax)
+		case `\procdecl`:
+			proc, err := parseProc(e)
+			if err != nil {
+				return nil, err
+			}
+			p.Procs = append(p.Procs, proc)
+		default:
+			return nil, fmt.Errorf("lang: %d:%d: unexpected top-level form %q", e.Line, e.Col, e.Head())
+		}
+	}
+	// Program-local operator definitions make the GMAs executable by the
+	// reference evaluator (checksum's add/carry, for example).
+	defs := axioms.Definitions(p.Axioms)
+	if len(defs) > 0 {
+		for _, proc := range p.Procs {
+			for _, g := range proc.GMAs {
+				g.Defs = defs
+			}
+		}
+	}
+	return p, nil
+}
+
+// Proc returns the named procedure.
+func (p *Program) Proc(name string) (*Proc, bool) {
+	for _, pr := range p.Procs {
+		if pr.Name == name {
+			return pr, true
+		}
+	}
+	return nil, false
+}
+
+func parseOpDecl(e *sexpr.Expr) (OpDecl, error) {
+	// (\opdecl name (argtypes...) rettype)
+	if len(e.List) != 4 || !e.List[1].IsAtom() || !e.List[2].IsList() {
+		return OpDecl{}, fmt.Errorf("lang: %d:%d: \\opdecl takes (name (argtypes) rettype)", e.Line, e.Col)
+	}
+	return OpDecl{Name: term.CanonOp(e.List[1].Atom), Arity: len(e.List[2].List)}, nil
+}
+
+// translator carries the symbolic-execution state for one procedure.
+type translator struct {
+	proc *Proc
+	// env maps variable names to their current symbolic values; nil
+	// means declared but not yet assigned.
+	env map[string]*term.Term
+	// declared remembers declaration order for deterministic output.
+	declared []string
+	// missAddrs accumulates \derefm annotations for the current GMA.
+	missAddrs []*term.Term
+	// assumes accumulates \assume facts for the current GMA.
+	assumes []gma.Assumption
+	// blockSeq numbers emitted GMAs.
+	blockSeq int
+	// final marks the procedure's last block: only res and memory are
+	// live-out, so dead locals are not emitted as targets.
+	final bool
+}
+
+func parseProc(e *sexpr.Expr) (*Proc, error) {
+	// (\procdecl name ((param type)...) rettype stmt)
+	if len(e.List) != 5 || !e.List[1].IsAtom() || !e.List[2].IsList() {
+		return nil, fmt.Errorf("lang: %d:%d: \\procdecl takes (name ((param type)...) rettype stmt)", e.Line, e.Col)
+	}
+	tr := &translator{
+		proc: &Proc{Name: term.CanonOp(e.List[1].Atom)},
+		env:  map[string]*term.Term{},
+	}
+	for _, pe := range e.List[2].List {
+		if !pe.IsList() || len(pe.List) < 1 || !pe.List[0].IsAtom() {
+			return nil, fmt.Errorf("lang: %d:%d: parameter must be (name type)", pe.Line, pe.Col)
+		}
+		name := term.CanonOp(pe.List[0].Atom)
+		tr.proc.Params = append(tr.proc.Params, name)
+		tr.env[name] = term.NewVar(name)
+		tr.declared = append(tr.declared, name)
+	}
+	tr.env[MemVar] = term.NewVar(MemVar)
+	tr.env["res"] = nil
+	tr.declared = append(tr.declared, "res")
+	if err := tr.stmt(e.List[4]); err != nil {
+		return nil, err
+	}
+	tr.final = true // only res and memory escape the last block
+	tr.flush("")
+	return tr.proc, nil
+}
+
+// freshState resets every variable to itself as an input symbol (used at
+// loop boundaries, where values flow through registers).
+func (tr *translator) freshState() {
+	for name, v := range tr.env {
+		if v != nil || name == "res" {
+			tr.env[name] = term.NewVar(name)
+		}
+	}
+	tr.env[MemVar] = term.NewVar(MemVar)
+}
+
+// flush emits the current symbolic state as an unconditional GMA (if any
+// variable changed) and resets to a fresh state.
+func (tr *translator) flush(suffix string) {
+	g := tr.buildGMA(nil, suffix)
+	if g != nil {
+		tr.proc.GMAs = append(tr.proc.GMAs, g)
+	}
+	tr.freshState()
+	tr.missAddrs = nil
+	tr.assumes = nil
+}
+
+// buildGMA collects every variable whose symbolic value differs from its
+// entry symbol into a guarded multi-assignment.
+func (tr *translator) buildGMA(guard *term.Term, suffix string) *gma.GMA {
+	var targets []gma.Target
+	var values []*term.Term
+	for _, name := range tr.declared {
+		v := tr.env[name]
+		if v == nil {
+			continue
+		}
+		if v.Kind == term.Var && v.Name == name {
+			continue // unchanged
+		}
+		if tr.final && name != "res" {
+			continue // dead local at procedure exit
+		}
+		targets = append(targets, gma.Target{Kind: gma.Reg, Name: name})
+		values = append(values, v)
+	}
+	if m := tr.env[MemVar]; m != nil && !(m.Kind == term.Var && m.Name == MemVar) {
+		targets = append(targets, gma.Target{Kind: gma.Memory, Name: MemVar})
+		values = append(values, m)
+	}
+	if len(targets) == 0 && guard == nil {
+		return nil
+	}
+	name := tr.proc.Name
+	if suffix != "" {
+		name += "_" + suffix
+	} else if tr.blockSeq > 0 {
+		name += fmt.Sprintf("_block%d", tr.blockSeq)
+	}
+	tr.blockSeq++
+	// Inputs: every declared variable could carry a value in a register
+	// at block entry. Unassigned variables are excluded by Validate only
+	// if actually referenced, so list them all.
+	var inputs []string
+	for _, n := range tr.declared {
+		inputs = append(inputs, n)
+	}
+	return &gma.GMA{
+		Name:       name,
+		Guard:      guard,
+		Targets:    targets,
+		Values:     values,
+		Inputs:     inputs,
+		MemoryVars: []string{MemVar},
+		MissAddrs:  tr.missAddrs,
+		Assumes:    tr.assumes,
+		ExitLabel:  tr.proc.Name + "_exit",
+	}
+}
+
+func (tr *translator) stmt(e *sexpr.Expr) error {
+	switch e.Head() {
+	case `\var`:
+		// (\var (name type [init]) stmt)
+		if len(e.List) != 3 || !e.List[1].IsList() || len(e.List[1].List) < 2 {
+			return fmt.Errorf("lang: %d:%d: \\var takes ((name type [init]) stmt)", e.Line, e.Col)
+		}
+		decl := e.List[1]
+		name := term.CanonOp(decl.List[0].Atom)
+		if _, exists := tr.env[name]; exists {
+			return fmt.Errorf("lang: %d:%d: variable %q redeclared", decl.Line, decl.Col, name)
+		}
+		var init *term.Term
+		if len(decl.List) == 3 {
+			var err error
+			init, err = tr.expr(decl.List[2])
+			if err != nil {
+				return err
+			}
+		}
+		tr.env[name] = init
+		tr.declared = append(tr.declared, name)
+		return tr.stmt(e.List[2])
+	case `\semi`:
+		for _, s := range e.List[1:] {
+			if err := tr.stmt(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	case ":=":
+		return tr.assign(e)
+	case `\do`:
+		return tr.loop(e, 1)
+	case `\assume`:
+		// (\assume (eq a b)) or (\assume (neq a b)): trust the
+		// programmer that the fact holds here.
+		if len(e.List) != 2 || (e.List[1].Head() != "eq" && e.List[1].Head() != "neq") || len(e.List[1].List) != 3 {
+			return fmt.Errorf("lang: %d:%d: \assume takes (eq a b) or (neq a b)", e.Line, e.Col)
+		}
+		fact := e.List[1]
+		a, err := tr.expr(fact.List[1])
+		if err != nil {
+			return err
+		}
+		b, err := tr.expr(fact.List[2])
+		if err != nil {
+			return err
+		}
+		tr.assumes = append(tr.assumes, gma.Assumption{Eq: fact.Head() == "eq", A: a, B: b})
+		return nil
+	case `\unroll`:
+		// (\unroll n (\do ...))
+		if len(e.List) != 3 {
+			return fmt.Errorf("lang: %d:%d: \\unroll takes (n (\\do ...))", e.Line, e.Col)
+		}
+		n, ok := e.List[1].Int()
+		if !ok || n == 0 || n > 64 {
+			return fmt.Errorf("lang: %d:%d: bad unroll factor", e.Line, e.Col)
+		}
+		if e.List[2].Head() != `\do` {
+			return fmt.Errorf("lang: %d:%d: \\unroll applies to a \\do loop", e.Line, e.Col)
+		}
+		return tr.loop(e.List[2], int(n))
+	default:
+		return fmt.Errorf("lang: %d:%d: unknown statement %q", e.Line, e.Col, e.Head())
+	}
+}
+
+// loop translates (\do (-> cond body)) into a loop-body GMA, unrolled
+// `unroll` times. The straight-line code before the loop is flushed as its
+// own GMA; the loop body starts from a fresh register state.
+func (tr *translator) loop(e *sexpr.Expr, unroll int) error {
+	if len(e.List) != 2 || e.List[1].Head() != "->" || len(e.List[1].List) != 3 {
+		return fmt.Errorf("lang: %d:%d: \\do takes ((-> cond stmt))", e.Line, e.Col)
+	}
+	arm := e.List[1]
+	tr.flush("") // entry block
+	guard, err := tr.expr(arm.List[1])
+	if err != nil {
+		return err
+	}
+	for i := 0; i < unroll; i++ {
+		if err := tr.stmt(arm.List[2]); err != nil {
+			return err
+		}
+	}
+	g := tr.buildGMA(guard, "loop")
+	if g != nil {
+		tr.proc.GMAs = append(tr.proc.GMAs, g)
+	}
+	tr.freshState()
+	tr.missAddrs = nil
+	tr.assumes = nil
+	return nil
+}
+
+// assign translates (:= (target expr)...), a parallel assignment: all
+// right-hand sides and target addresses are evaluated in the pre-state.
+func (tr *translator) assign(e *sexpr.Expr) error {
+	type regAssign struct {
+		name string
+		val  *term.Term
+	}
+	type memAssign struct {
+		addr, val *term.Term
+	}
+	var regs []regAssign
+	var mems []memAssign
+	for _, pair := range e.List[1:] {
+		if !pair.IsList() || len(pair.List) != 2 {
+			return fmt.Errorf("lang: %d:%d: assignment pair must be (target expr)", pair.Line, pair.Col)
+		}
+		val, err := tr.expr(pair.List[1])
+		if err != nil {
+			return err
+		}
+		target := pair.List[0]
+		switch {
+		case target.IsAtom():
+			name := term.CanonOp(target.Atom)
+			if _, declared := tr.env[name]; !declared {
+				return fmt.Errorf("lang: %d:%d: assignment to undeclared variable %q", target.Line, target.Col, name)
+			}
+			regs = append(regs, regAssign{name, val})
+		case target.Head() == `\deref` || target.Head() == `\derefm`:
+			if len(target.List) != 2 {
+				return fmt.Errorf("lang: %d:%d: \\deref takes one address", target.Line, target.Col)
+			}
+			addr, err := tr.expr(target.List[1])
+			if err != nil {
+				return err
+			}
+			mems = append(mems, memAssign{addr, val})
+		default:
+			return fmt.Errorf("lang: %d:%d: bad assignment target", target.Line, target.Col)
+		}
+	}
+	for _, r := range regs {
+		tr.env[r.name] = r.val
+	}
+	for _, m := range mems {
+		tr.env[MemVar] = term.NewApp("store", tr.env[MemVar], m.addr, m.val)
+	}
+	return nil
+}
+
+// expr evaluates an expression to a term in the current symbolic state.
+func (tr *translator) expr(e *sexpr.Expr) (*term.Term, error) {
+	if e.IsAtom() {
+		if w, ok := e.Int(); ok {
+			return term.NewConst(w), nil
+		}
+		name := term.CanonOp(e.Atom)
+		v, declared := tr.env[name]
+		if !declared {
+			return nil, fmt.Errorf("lang: %d:%d: undeclared variable %q", e.Line, e.Col, e.Atom)
+		}
+		if v == nil {
+			return nil, fmt.Errorf("lang: %d:%d: variable %q read before assignment", e.Line, e.Col, e.Atom)
+		}
+		return v, nil
+	}
+	if len(e.List) == 0 {
+		return nil, fmt.Errorf("lang: %d:%d: empty expression", e.Line, e.Col)
+	}
+	head := e.Head()
+	switch head {
+	case `\deref`, `\derefm`:
+		if len(e.List) != 2 {
+			return nil, fmt.Errorf("lang: %d:%d: \\deref takes one address", e.Line, e.Col)
+		}
+		addr, err := tr.expr(e.List[1])
+		if err != nil {
+			return nil, err
+		}
+		if head == `\derefm` {
+			tr.missAddrs = append(tr.missAddrs, addr)
+		}
+		return term.NewApp("select", tr.env[MemVar], addr), nil
+	case `\if`:
+		// (\if cond then else) — a value-level conditional, compiled to
+		// a conditional move.
+		if len(e.List) != 4 {
+			return nil, fmt.Errorf(`lang: %d:%d: \if takes (cond then else)`, e.Line, e.Col)
+		}
+		c, err := tr.expr(e.List[1])
+		if err != nil {
+			return nil, err
+		}
+		thn, err := tr.expr(e.List[2])
+		if err != nil {
+			return nil, err
+		}
+		els, err := tr.expr(e.List[3])
+		if err != nil {
+			return nil, err
+		}
+		return term.NewApp("cmovne", c, thn, els), nil
+	case `\cast`:
+		// (\cast type expr) or (\cast expr type)
+		if len(e.List) != 3 {
+			return nil, fmt.Errorf("lang: %d:%d: \\cast takes a type and an expression", e.Line, e.Col)
+		}
+		typeIdx, exprIdx := 1, 2
+		if !isTypeName(e.List[1]) {
+			typeIdx, exprIdx = 2, 1
+		}
+		if !isTypeName(e.List[typeIdx]) {
+			return nil, fmt.Errorf("lang: %d:%d: \\cast needs a type name", e.Line, e.Col)
+		}
+		v, err := tr.expr(e.List[exprIdx])
+		if err != nil {
+			return nil, err
+		}
+		switch term.CanonOp(e.List[typeIdx].Atom) {
+		case "byte":
+			return term.NewApp("and64", v, term.NewConst(0xff)), nil
+		case "short", "word":
+			return term.NewApp("and64", v, term.NewConst(0xffff)), nil
+		case "int":
+			return term.NewApp("and64", v, term.NewConst(0xffffffff)), nil
+		default: // long: identity
+			return v, nil
+		}
+	}
+	if !e.List[0].IsAtom() {
+		return nil, fmt.Errorf("lang: %d:%d: operator must be an atom", e.Line, e.Col)
+	}
+	op := term.NormalizeOp(term.CanonOp(head))
+	args := make([]*term.Term, 0, len(e.List)-1)
+	for _, ae := range e.List[1:] {
+		a, err := tr.expr(ae)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	return term.NewApp(op, args...), nil
+}
+
+func isTypeName(e *sexpr.Expr) bool {
+	if !e.IsAtom() {
+		return false
+	}
+	switch term.CanonOp(e.Atom) {
+	case "byte", "short", "word", "int", "long":
+		return true
+	}
+	return false
+}

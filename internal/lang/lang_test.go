@@ -1,0 +1,367 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gma"
+	"repro/internal/term"
+)
+
+// Byteswap4Source is the 4-byte swap of the paper's Figure 3, written in
+// the prototype's parenthesized syntax (the figure's r<i> := a<j> byte
+// assignments become storeb/selectb).
+const Byteswap4Source = `
+(\procdecl byteswap4 ((a long)) long
+  (\var (r long 0)
+    (\semi
+      (:= (r (\storeb r 0 (\selectb a 3))))
+      (:= (r (\storeb r 1 (\selectb a 2))))
+      (:= (r (\storeb r 2 (\selectb a 1))))
+      (:= (r (\storeb r 3 (\selectb a 0))))
+      (:= (\res r)))))
+`
+
+func TestByteswap4Translation(t *testing.T) {
+	p, err := Parse(Byteswap4Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, ok := p.Proc("byteswap4")
+	if !ok {
+		t.Fatal("missing proc")
+	}
+	if len(proc.Params) != 1 || proc.Params[0] != "a" {
+		t.Fatalf("params = %v", proc.Params)
+	}
+	if len(proc.GMAs) != 1 {
+		t.Fatalf("expected a single GMA, got %d", len(proc.GMAs))
+	}
+	g := proc.GMAs[0]
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The symbolic execution must have collapsed the four byte stores
+	// into one nested storeb chain assigned to res (and r).
+	var resVal *term.Term
+	for i, tg := range g.Targets {
+		if tg.Name == "res" {
+			resVal = g.Values[i]
+		}
+	}
+	if resVal == nil {
+		t.Fatalf("no res target in %s", g)
+	}
+	want := "(storeb (storeb (storeb (storeb 0 0 (selectb a 3)) 1 (selectb a 2)) 2 (selectb a 1)) 3 (selectb a 0))"
+	if resVal.String() != want {
+		t.Fatalf("res = %s\nwant %s", resVal, want)
+	}
+}
+
+func TestParallelAssignment(t *testing.T) {
+	src := `
+(\procdecl swapadd ((a long) (b long)) long
+  (\semi
+    (:= (a b) (b a))
+    (:= (\res (+ a b)))))
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Procs[0].GMAs[0]
+	// After the parallel swap, a = b0 and b = a0, so res = b0 + a0. The
+	// procedure's final block keeps only the live-out res target.
+	var vals = map[string]string{}
+	for i, tg := range g.Targets {
+		vals[tg.Name] = g.Values[i].String()
+	}
+	if len(vals) != 1 || vals["res"] != "(add64 b a)" {
+		t.Fatalf("res = %v", vals)
+	}
+}
+
+func TestDerefTranslation(t *testing.T) {
+	// The copy-loop example from section 3 of the paper:
+	// p < r -> (*p, p, q) := (*q, p+8, q+8)
+	src := `
+(\procdecl copy ((p long) (q long) (r long)) long
+  (\do (-> (< p r)
+    (\semi
+      (:= ((\deref p) (\deref q)))
+      (:= (p (+ p 8)) (q (+ q 8)))))))
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := p.Procs[0]
+	if len(proc.GMAs) != 1 {
+		t.Fatalf("GMAs = %d", len(proc.GMAs))
+	}
+	g := proc.GMAs[0]
+	if g.Guard == nil || g.Guard.String() != "(cmplt p r)" {
+		t.Fatalf("guard = %v", g.Guard)
+	}
+	var vals = map[string]string{}
+	for i, tg := range g.Targets {
+		vals[tg.Name] = g.Values[i].String()
+		if tg.Name == MemVar && tg.Kind != gma.Memory {
+			t.Fatal("M target should be memory kind")
+		}
+	}
+	// Exactly the paper's translated GMA:
+	// p<r -> (M, p, q) := (store(M, p, M[q]), p+8, q+8)
+	if vals[MemVar] != "(store M p (select M q))" {
+		t.Fatalf("M = %s", vals[MemVar])
+	}
+	if vals["p"] != "(add64 p 8)" || vals["q"] != "(add64 q 8)" {
+		t.Fatalf("pointer updates: %v", vals)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoopSplitsBlocks(t *testing.T) {
+	src := `
+(\procdecl f ((n long)) long
+  (\var (i long 0)
+    (\var (s long 0)
+      (\semi
+        (:= (s (+ s 5)))
+        (\do (-> (< i n) (:= (i (+ i 1)))))
+        (:= (\res s))))))
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := p.Procs[0]
+	if len(proc.GMAs) != 3 {
+		for _, g := range proc.GMAs {
+			t.Logf("gma: %s", g)
+		}
+		t.Fatalf("expected 3 GMAs (pre-loop, loop, post-loop), got %d", len(proc.GMAs))
+	}
+	if proc.GMAs[1].Guard == nil {
+		t.Fatal("loop GMA should be guarded")
+	}
+	if !strings.Contains(proc.GMAs[1].Name, "loop") {
+		t.Fatalf("loop GMA name = %s", proc.GMAs[1].Name)
+	}
+	// Post-loop block reads s as a loop-carried register input.
+	last := proc.GMAs[2]
+	found := false
+	for i, tg := range last.Targets {
+		if tg.Name == "res" && last.Values[i].String() == "s" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("post-loop block wrong: %s", last)
+	}
+}
+
+func TestUnroll(t *testing.T) {
+	src := `
+(\procdecl sumloop ((ptr long) (ptrend long)) long
+  (\var (sum long 0)
+    (\semi
+      (\unroll 2 (\do (-> (< ptr ptrend)
+        (\semi
+          (:= (sum (+ sum (\deref ptr))))
+          (:= (ptr (+ ptr 8)))))))
+      (:= (\res sum)))))
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := p.Procs[0]
+	var loop *gma.GMA
+	for _, g := range proc.GMAs {
+		if g.Guard != nil {
+			loop = g
+		}
+	}
+	if loop == nil {
+		t.Fatal("no loop GMA")
+	}
+	var vals = map[string]string{}
+	for i, tg := range loop.Targets {
+		vals[tg.Name] = loop.Values[i].String()
+	}
+	// Two iterations: sum += M[ptr]; ptr += 8; sum += M[ptr+8]; ptr += 16.
+	if vals["ptr"] != "(add64 (add64 ptr 8) 8)" {
+		t.Fatalf("ptr = %s", vals["ptr"])
+	}
+	if !strings.Contains(vals["sum"], "(select M (add64 ptr 8))") {
+		t.Fatalf("sum should load from ptr+8 in the second iteration: %s", vals["sum"])
+	}
+}
+
+func TestMissAnnotation(t *testing.T) {
+	src := `
+(\procdecl g ((p long)) long
+  (:= (\res (\derefm p))))
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Procs[0].GMAs[0]
+	if len(g.MissAddrs) != 1 || g.MissAddrs[0].String() != "p" {
+		t.Fatalf("miss addrs = %v", g.MissAddrs)
+	}
+}
+
+func TestCast(t *testing.T) {
+	src := `
+(\procdecl c ((x long)) short
+  (:= (\res (\cast short x))))
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Procs[0].GMAs[0]
+	if g.Values[0].String() != "(and64 x 65535)" {
+		t.Fatalf("cast = %s", g.Values[0])
+	}
+	// Reversed argument order also accepted.
+	src2 := `(\procdecl c2 ((x long)) byte (:= (\res (\cast x byte))))`
+	p2, err := Parse(src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Procs[0].GMAs[0].Values[0].String() != "(and64 x 255)" {
+		t.Fatalf("byte cast = %s", p2.Procs[0].GMAs[0].Values[0])
+	}
+}
+
+func TestOpDeclAndAxiom(t *testing.T) {
+	src := `
+(\opdecl carry (long long) long)
+(\axiom (forall (a b) (pats (carry a b))
+  (eq (carry a b) (\cmpult (\add64 a b) a))))
+(\procdecl h ((x long) (y long)) long
+  (:= (\res (carry x y))))
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Ops) != 1 || p.Ops[0].Name != "carry" || p.Ops[0].Arity != 2 {
+		t.Fatalf("ops = %v", p.Ops)
+	}
+	if len(p.Axioms) != 1 {
+		t.Fatalf("axioms = %d", len(p.Axioms))
+	}
+	if p.Procs[0].GMAs[0].Values[0].String() != "(carry x y)" {
+		t.Fatalf("res = %s", p.Procs[0].GMAs[0].Values[0])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		`(foo)`,
+		`(\opdecl x)`,
+		`(\procdecl p)`,
+		`(\procdecl p ((a long)) long (\bogus))`,
+		`(\procdecl p ((a long)) long (:= (q 1)))`,                    // undeclared target
+		`(\procdecl p ((a long)) long (:= (\res b)))`,                 // undeclared read
+		`(\procdecl p ((a long)) long (\var (a long) (:= (\res a))))`, // redeclared
+		`(\procdecl p ((a long)) long (\var (x long) (:= (\res x))))`, // read before assign
+		`(\procdecl p ((a long)) long (\do (-> a)))`,
+		`(\procdecl p ((a long)) long (\unroll 0 (\do (-> a (:= (\res a))))))`,
+		`(\procdecl p ((a long)) long (\unroll 2 (:= (\res a))))`,
+		`(\procdecl p ((a long)) long (:= ((\deref) 1)))`,
+		`(\procdecl p ((a long)) long (:= (\res (\cast foo a))))`,
+		`(\procdecl p ((a long)) long (:= (\res ())))`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestNoEmptyGMAs(t *testing.T) {
+	src := `(\procdecl nop ((a long)) long (:= (a a)))`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Procs[0].GMAs) != 0 {
+		t.Fatalf("identity assignment should produce no GMAs, got %v", p.Procs[0].GMAs)
+	}
+}
+
+func TestIfExpression(t *testing.T) {
+	src := `(\procdecl max ((a long) (b long)) long
+  (:= (\res (\if (< a b) b a))))`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Procs[0].GMAs[0]
+	if g.Values[0].String() != "(cmovne (cmplt a b) b a)" {
+		t.Fatalf("\\if = %s", g.Values[0])
+	}
+}
+
+func TestAssumeStatement(t *testing.T) {
+	src := `(\procdecl f ((p long) (q long)) long
+  (\semi
+    (\assume (neq p q))
+    (\assume (eq p p))
+    (:= (\res (+ p q)))))`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Procs[0].GMAs[0]
+	if len(g.Assumes) != 2 {
+		t.Fatalf("assumes = %d", len(g.Assumes))
+	}
+	if g.Assumes[0].Eq || g.Assumes[0].A.String() != "p" || g.Assumes[0].B.String() != "q" {
+		t.Fatalf("first assume = %+v", g.Assumes[0])
+	}
+	if !g.Assumes[1].Eq {
+		t.Fatal("second assume should be an equality")
+	}
+}
+
+func TestAssumeEvaluatesInCurrentState(t *testing.T) {
+	// The assumption refers to the symbolic state at the point it is
+	// written: after p := p+8, (\assume (neq p q)) is about p+8.
+	src := `(\procdecl f ((p long) (q long)) long
+  (\semi
+    (:= (p (+ p 8)))
+    (\assume (neq p q))
+    (:= (\res p))))`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := prog.Procs[0].GMAs[0]
+	if g.Assumes[0].A.String() != "(add64 p 8)" {
+		t.Fatalf("assume A = %s", g.Assumes[0].A)
+	}
+}
+
+func TestIfAndAssumeErrors(t *testing.T) {
+	bad := []string{
+		`(\procdecl p ((a long)) long (:= (\res (\if a b))))`,
+		`(\procdecl p ((a long)) long (\assume a))`,
+		`(\procdecl p ((a long)) long (\assume (lt a a)))`,
+		`(\procdecl p ((a long)) long (\assume (eq a)))`,
+		`(\procdecl p ((a long)) long (\assume (eq a undeclared)))`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Package matcher implements Denali's matching phase (section 5 of the
+// paper): it repeatedly instantiates relevant axiom instances in the
+// E-graph until a quiescent state is reached in which the graph records all
+// relevant instances — and therefore all the ways of computing the goal
+// terms that the axiom set can justify.
+//
+// Beyond plain axiom instantiation the matcher contributes two enrichment
+// passes the paper relies on:
+//
+//   - power-of-two constants: for each constant 2^n in the graph the fact
+//     2^n = 2**n is recorded, enabling the shift axioms (the 4 = 2**2 step
+//     of Figure 2);
+//   - constant-offset distinctions: x and x+c (c a nonzero constant) are
+//     asserted uncombinable, which is how literals like p = p+8 are
+//     "discovered to be untenable" and deleted from select-store clauses.
+//
+// Saturation is budgeted (rounds and node count); exceeding a budget
+// stops matching early, which is one of the reasons the paper calls
+// Denali's output "near-optimal" rather than "optimal".
+package matcher
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/axioms"
+	"repro/internal/egraph"
+	"repro/internal/semantics"
+	"repro/internal/term"
+)
+
+// Options bound the saturation process.
+type Options struct {
+	// MaxRounds bounds the number of saturation rounds (default 16).
+	MaxRounds int
+	// MaxNodes stops saturation when the graph exceeds this many nodes
+	// (default 50000).
+	MaxNodes int
+	// MaxMatchesPerAxiom truncates the per-round match list of a single
+	// axiom (default 20000).
+	MaxMatchesPerAxiom int
+	// DisablePow2 turns off the power-of-two constant enrichment.
+	DisablePow2 bool
+	// DisableOffsets turns off constant-offset distinctions.
+	DisableOffsets bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 16
+	}
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 50000
+	}
+	if o.MaxMatchesPerAxiom <= 0 {
+		o.MaxMatchesPerAxiom = 20000
+	}
+	return o
+}
+
+// Result reports what saturation did.
+type Result struct {
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Instantiations counts axiom instances asserted into the graph.
+	Instantiations int
+	// Quiescent reports whether a fixpoint was reached within budget.
+	Quiescent bool
+	// Nodes and Classes are the final graph size.
+	Nodes, Classes int
+	// ByAxiom counts instantiations per axiom name — the diagnostic for
+	// spotting axioms that dominate saturation cost.
+	ByAxiom map[string]int
+}
+
+// Saturate runs the matching phase over g with the given axioms.
+func Saturate(g *egraph.Graph, axs []*axioms.Axiom, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	res := Result{ByAxiom: map[string]int{}}
+	done := make([]map[string]bool, len(axs))
+	varSets := make([]map[string]bool, len(axs))
+	for i, ax := range axs {
+		done[i] = map[string]bool{}
+		varSets[i] = ax.VarSet()
+	}
+	for round := 1; round <= opt.MaxRounds; round++ {
+		res.Rounds = round
+		if !opt.DisablePow2 {
+			enrichPow2(g)
+		}
+		if !opt.DisableOffsets {
+			if err := enrichOffsetDistinctions(g); err != nil {
+				return res, err
+			}
+		}
+		nodesBefore, classesBefore := g.NumNodes(), g.NumClasses()
+		for i, ax := range axs {
+			subs := g.MatchSeq(ax.Patterns, varSets[i])
+			if len(subs) > opt.MaxMatchesPerAxiom {
+				subs = subs[:opt.MaxMatchesPerAxiom]
+			}
+			for _, sub := range subs {
+				fp := sub.Fingerprint(g)
+				if done[i][fp] {
+					continue
+				}
+				// Fully-constant instances are redundant with constant
+				// folding and, worse, breed fresh constants without
+				// bound (0 -> add64(0,0) -> mul64(0,2) -> 2 -> 4 ...).
+				if len(sub) > 0 && allConstant(g, sub) {
+					done[i][fp] = true
+					continue
+				}
+				condOK, condGround := checkConditions(g, ax, sub)
+				if !condOK {
+					if condGround {
+						// Definitely false: never revisit.
+						done[i][fp] = true
+					}
+					continue
+				}
+				done[i][fp] = true
+				if err := instantiate(g, ax, sub); err != nil {
+					return res, fmt.Errorf("matcher: instantiating %s: %w", ax.Name, err)
+				}
+				res.Instantiations++
+				res.ByAxiom[ax.Name]++
+			}
+			if g.NumNodes() > opt.MaxNodes {
+				break
+			}
+		}
+		if err := g.PropagateClauses(); err != nil {
+			return res, err
+		}
+		if g.NumNodes() == nodesBefore && g.NumClasses() == classesBefore {
+			res.Quiescent = true
+			break
+		}
+		if g.NumNodes() > opt.MaxNodes {
+			break
+		}
+	}
+	res.Nodes = g.NumNodes()
+	res.Classes = g.NumClasses()
+	return res, nil
+}
+
+// allConstant reports whether every class bound by the substitution holds a
+// constant.
+func allConstant(g *egraph.Graph, sub egraph.Subst) bool {
+	for _, cls := range sub {
+		if _, ok := g.ConstValue(cls); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// checkConditions evaluates the axiom's side conditions under the binding.
+// The first result is whether all conditions hold; the second is whether
+// the verdict is final (all condition variables were bound to constants).
+func checkConditions(g *egraph.Graph, ax *axioms.Axiom, sub egraph.Subst) (ok, ground bool) {
+	for _, c := range ax.Conditions {
+		repl := map[string]*term.Term{}
+		groundHere := true
+		for _, v := range c.Vars() {
+			cls, bound := sub[v]
+			if !bound {
+				groundHere = false
+				break
+			}
+			w, isConst := g.ConstValue(cls)
+			if !isConst {
+				groundHere = false
+				break
+			}
+			repl[v] = term.NewConst(w)
+		}
+		if !groundHere {
+			return false, false
+		}
+		inst := c.Substitute(repl)
+		v, err := semantics.EvalWord(inst, semantics.NewEnv())
+		if err != nil || v == 0 {
+			return false, true
+		}
+	}
+	return true, true
+}
+
+func instantiate(g *egraph.Graph, ax *axioms.Axiom, sub egraph.Subst) error {
+	switch ax.Kind {
+	case axioms.Equality:
+		l := g.Instantiate(ax.LHS, sub)
+		r := g.Instantiate(ax.RHS, sub)
+		return g.Merge(l, r)
+	case axioms.Distinction:
+		l := g.Instantiate(ax.LHS, sub)
+		r := g.Instantiate(ax.RHS, sub)
+		if g.Find(l) == g.Find(r) {
+			return fmt.Errorf("distinction %s contradicted", ax.Name)
+		}
+		if g.Distinct(l, r) {
+			return nil
+		}
+		return g.AssertDistinct(l, r)
+	default:
+		lits := make([]egraph.Literal, 0, len(ax.Clause))
+		for _, cl := range ax.Clause {
+			a := g.Instantiate(cl.A, sub)
+			b := g.Instantiate(cl.B, sub)
+			lits = append(lits, egraph.Literal{Eq: cl.Eq, A: a, B: b})
+		}
+		g.AddClause(lits)
+		return nil
+	}
+}
+
+// enrichPow2 records 2^n = 2**n for every power-of-two constant present in
+// the graph, so that the shift axioms can fire (Figure 2's "4 = 2**2").
+func enrichPow2(g *egraph.Graph) {
+	for _, c := range g.Classes() {
+		v, ok := g.ConstValue(c)
+		if !ok || v == 0 || v&(v-1) != 0 {
+			continue
+		}
+		n := uint64(bits.TrailingZeros64(v))
+		two := g.AddTerm(term.NewConst(2))
+		exp := g.AddTerm(term.NewConst(n))
+		// Constant folding merges 2**n with the constant automatically.
+		g.AddApp("**", []egraph.ClassID{two, exp})
+	}
+}
+
+// enrichOffsetDistinctions asserts that x and add64(x, c) are distinct for
+// every nonzero constant c, and that add64(x, c1) and add64(x, c2) are
+// distinct for c1 != c2. This is the arithmetic fact that discharges
+// select-store clause literals like p = p+8.
+func enrichOffsetDistinctions(g *egraph.Graph) error {
+	type baseConst struct {
+		base egraph.ClassID
+		val  uint64
+	}
+	offsets := map[baseConst]egraph.ClassID{}
+	var pending [][2]egraph.ClassID
+	for _, id := range g.NodesWithOp("add64") {
+		args := g.CanonArgs(id)
+		if len(args) != 2 {
+			continue
+		}
+		nodeCls := g.ClassOf(id)
+		for i := 0; i < 2; i++ {
+			c, ok := g.ConstValue(args[i])
+			if !ok || c == 0 {
+				continue
+			}
+			base := args[1-i]
+			if _, baseConstToo := g.ConstValue(base); baseConstToo {
+				continue // fully constant; folding handles it
+			}
+			if !g.Distinct(nodeCls, base) && g.Find(nodeCls) != g.Find(base) {
+				pending = append(pending, [2]egraph.ClassID{nodeCls, base})
+			}
+			key := baseConst{g.Find(base), c}
+			if prev, ok := offsets[key]; ok {
+				_ = prev // same base and offset: same class by congruence
+			}
+			offsets[key] = nodeCls
+		}
+	}
+	// Distinct offsets from the same base are distinct classes.
+	byBase := map[egraph.ClassID][]baseConst{}
+	for k := range offsets {
+		byBase[k.base] = append(byBase[k.base], k)
+	}
+	for _, ks := range byBase {
+		for i := 0; i < len(ks); i++ {
+			for j := i + 1; j < len(ks); j++ {
+				if ks[i].val == ks[j].val {
+					continue
+				}
+				a, b := offsets[ks[i]], offsets[ks[j]]
+				if g.Find(a) != g.Find(b) && !g.Distinct(a, b) {
+					pending = append(pending, [2]egraph.ClassID{a, b})
+				}
+			}
+		}
+	}
+	for _, p := range pending {
+		if g.Find(p[0]) == g.Find(p[1]) || g.Distinct(p[0], p[1]) {
+			continue
+		}
+		if err := g.AssertDistinct(p[0], p[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

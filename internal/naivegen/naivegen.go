@@ -1,0 +1,515 @@
+// Package naivegen is the reproduction's stand-in for the production C
+// compiler the paper compares against (section 8): a conventional code
+// generator that lowers a GMA by a single greedy tree-walk — instruction
+// selection with common-subexpression elimination and the usual strength
+// reductions — followed by greedy list scheduling on the same EV6 machine
+// model Denali uses.
+//
+// Unlike Denali it commits to one rewriting of each term (the "thorny
+// problems for rewriting engines" of section 5): it will turn 4 into a
+// shift count but can never recover the s4addq form afterwards, and it
+// explores no alternative computations. The benchmarks measure how many
+// cycles that costs.
+package naivegen
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/gma"
+	"repro/internal/schedule"
+	"repro/internal/term"
+)
+
+// vinst is a selected (virtual) instruction before scheduling.
+type vinst struct {
+	termOp string
+	op     arch.OpInfo
+	// args are operand references: either literal values or producer
+	// indices (earlier vinsts) or input names.
+	args []vref
+	// memory form
+	isMem   bool
+	isLoad  bool
+	isStore bool
+	base    *vref
+	disp    int64
+	val     *vref
+	latency int
+}
+
+// vref references a value: a literal, an input variable, or the result of
+// an earlier instruction.
+type vref struct {
+	isLit   bool
+	lit     uint64
+	isInput bool
+	input   string
+	idx     int // producer instruction index
+}
+
+// Compiler holds selection state for one GMA.
+type Compiler struct {
+	desc   *arch.Description
+	g      *gma.GMA
+	inputs map[string]bool
+	memo   map[string]vref
+	code   []vinst
+	// lastStore forces memory operations to stay in program order
+	// relative to stores (a compiler without alias analysis).
+	lastStore int
+	missAddrs map[string]bool
+	defDepth  int
+}
+
+// Compile lowers and schedules a GMA, returning a schedule executable by
+// the simulator and directly comparable with Denali's output.
+func Compile(g *gma.GMA, desc *arch.Description) (*schedule.Schedule, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Compiler{
+		desc:      desc,
+		g:         g,
+		inputs:    map[string]bool{},
+		memo:      map[string]vref{},
+		lastStore: -1,
+		missAddrs: map[string]bool{},
+	}
+	for _, in := range g.Inputs {
+		c.inputs[in] = true
+	}
+	for _, m := range g.MissAddrs {
+		c.missAddrs[m.Key()] = true
+	}
+	results := map[string]vref{}
+	// Register-valued results must live in registers: a value that folds
+	// to a nonzero constant still costs its materialization.
+	materializeResult := func(r vref) vref {
+		if r.isLit && r.lit != 0 {
+			return c.materialize(r.lit)
+		}
+		if r.isLit {
+			return vref{isInput: true, input: zeroInput}
+		}
+		return r
+	}
+	if g.Guard != nil {
+		r, err := c.selectTerm(g.Guard)
+		if err != nil {
+			return nil, err
+		}
+		results["<guard>"] = materializeResult(r)
+	}
+	var memTargets []string
+	for i, t := range g.Targets {
+		if t.Kind == gma.Memory {
+			if _, err := c.selectTerm(g.Values[i]); err != nil {
+				return nil, err
+			}
+			memTargets = append(memTargets, t.Name)
+			continue
+		}
+		r, err := c.selectTerm(g.Values[i])
+		if err != nil {
+			return nil, err
+		}
+		results[t.Name] = materializeResult(r)
+	}
+	sched, regOf, err := c.listSchedule()
+	if err != nil {
+		return nil, err
+	}
+	sched.MemTargets = memTargets
+	for name, r := range results {
+		sched.ResultRegs[name] = c.operandFor(r, regOf, sched)
+	}
+	return sched, nil
+}
+
+func (c *Compiler) operandFor(r vref, regOf []string, sched *schedule.Schedule) schedule.Operand {
+	switch {
+	case r.isLit:
+		return schedule.Operand{IsLit: true, Lit: r.lit}
+	case r.isInput:
+		return schedule.Operand{Reg: sched.InputRegs[r.input]}
+	default:
+		return schedule.Operand{Reg: regOf[r.idx]}
+	}
+}
+
+// selectTerm lowers a term to instructions, memoizing shared subterms
+// (CSE).
+func (c *Compiler) selectTerm(t *term.Term) (vref, error) {
+	key := t.Key()
+	if r, ok := c.memo[key]; ok {
+		return r, nil
+	}
+	r, err := c.selectUncached(t)
+	if err != nil {
+		return vref{}, err
+	}
+	c.memo[key] = r
+	return r, nil
+}
+
+func (c *Compiler) selectUncached(t *term.Term) (vref, error) {
+	switch t.Kind {
+	case term.Const:
+		return vref{isLit: true, lit: t.Word}, nil
+	case term.Var:
+		if !c.inputs[t.Name] {
+			for _, m := range c.g.MemoryVars {
+				if m == t.Name {
+					return vref{isInput: true, input: t.Name}, nil
+				}
+			}
+			return vref{}, fmt.Errorf("naivegen: free variable %q", t.Name)
+		}
+		return vref{isInput: true, input: t.Name}, nil
+	}
+	// Greedy rewrites of non-machine operators and strength reductions.
+	switch t.Op {
+	case "selectb":
+		return c.selectTerm(term.NewApp("extbl", t.Args[0], t.Args[1]))
+	case "storeb":
+		// storeb(w,i,x) = bis(mskbl(w,i), insbl(x,i)); constant-fold the
+		// mask of a constant word (e.g. storeb(0, i, x)).
+		w, i, x := t.Args[0], t.Args[1], t.Args[2]
+		ins := term.NewApp("insbl", x, i)
+		if w.Kind == term.Const && w.Word == 0 {
+			return c.selectTerm(ins)
+		}
+		return c.selectTerm(term.NewApp("bis", term.NewApp("mskbl", w, i), ins))
+	case "mul64":
+		// Strength reduction: multiply by a power of two becomes a
+		// shift — committing to the rewrite, as rewriting engines do.
+		for i := 0; i < 2; i++ {
+			if cst := t.Args[i]; cst.Kind == term.Const && cst.Word != 0 && cst.Word&(cst.Word-1) == 0 {
+				n := uint64(bits.TrailingZeros64(cst.Word))
+				return c.selectTerm(term.NewApp("sll", t.Args[1-i], term.NewConst(n)))
+			}
+		}
+	case "**":
+		return vref{}, fmt.Errorf("naivegen: non-constant exponentiation")
+	case "select":
+		return c.selectLoad(t)
+	case "store":
+		return c.selectStore(t)
+	}
+	op, ok := c.desc.Op(t.Op)
+	if !ok {
+		// Program-local operators expand through their definitions, the
+		// way a compiler would inline the macro (section 4 of the paper).
+		if def, hasDef := c.g.Defs[t.Op]; hasDef && len(def.Params) == len(t.Args) {
+			if c.defDepth > 64 {
+				return vref{}, fmt.Errorf("naivegen: definition expansion too deep at %q", t.Op)
+			}
+			sub := map[string]*term.Term{}
+			for i, p := range def.Params {
+				sub[p] = t.Args[i]
+			}
+			c.defDepth++
+			r, err := c.selectTerm(def.Body.Substitute(sub))
+			c.defDepth--
+			return r, err
+		}
+		return vref{}, fmt.Errorf("naivegen: no machine instruction for %q", t.Op)
+	}
+	args := make([]vref, len(t.Args))
+	for i, a := range t.Args {
+		r, err := c.selectTerm(a)
+		if err != nil {
+			return vref{}, err
+		}
+		args[i] = r
+	}
+	// Literal operands in the allowed position; other constants must be
+	// materialized.
+	for i := range args {
+		if args[i].isLit {
+			if i == op.LitArg && c.desc.FitsLiteral(args[i].lit) {
+				continue
+			}
+			args[i] = c.materialize(args[i].lit)
+		}
+	}
+	c.code = append(c.code, vinst{termOp: t.Op, op: op, args: args, latency: op.Latency})
+	return vref{idx: len(c.code) - 1}, nil
+}
+
+// zeroInput is the pseudo-input name mapped to the Alpha zero register.
+const zeroInput = "__zero"
+
+func (c *Compiler) materialize(v uint64) vref {
+	if v == 0 {
+		return vref{isInput: true, input: zeroInput}
+	}
+	op, _ := c.desc.Op("ldiq")
+	c.code = append(c.code, vinst{
+		termOp: "ldiq", op: op,
+		args:    []vref{{isLit: true, lit: v}},
+		latency: op.Latency,
+	})
+	return vref{idx: len(c.code) - 1}
+}
+
+// addrMode splits an address term into base+displacement when possible.
+func (c *Compiler) addrMode(addr *term.Term) (*vref, int64, error) {
+	if addr.Kind == term.Const && c.desc.FitsDisplacement(addr.Word) {
+		return nil, int64(addr.Word), nil
+	}
+	if addr.Kind == term.App && addr.Op == "add64" && len(addr.Args) == 2 {
+		for i := 0; i < 2; i++ {
+			if cst := addr.Args[i]; cst.Kind == term.Const && c.desc.FitsDisplacement(cst.Word) {
+				base, err := c.selectTerm(addr.Args[1-i])
+				if err != nil {
+					return nil, 0, err
+				}
+				if base.isLit {
+					base = c.materialize(base.lit)
+				}
+				return &base, int64(cst.Word), nil
+			}
+		}
+	}
+	base, err := c.selectTerm(addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	if base.isLit {
+		base = c.materialize(base.lit)
+	}
+	return &base, 0, nil
+}
+
+func (c *Compiler) selectLoad(t *term.Term) (vref, error) {
+	// The memory operand must itself be lowered first (stores it depends
+	// on are emitted before the load, keeping program order).
+	if t.Args[0].Kind == term.App {
+		if _, err := c.selectTerm(t.Args[0]); err != nil {
+			return vref{}, err
+		}
+	}
+	base, disp, err := c.addrMode(t.Args[1])
+	if err != nil {
+		return vref{}, err
+	}
+	op, _ := c.desc.Op("select")
+	lat := op.Latency
+	if c.missAddrs[t.Args[1].Key()] {
+		lat = c.desc.MissLatency
+	}
+	c.code = append(c.code, vinst{
+		termOp: "select", op: op, isMem: true, isLoad: true,
+		base: base, disp: disp, latency: lat,
+	})
+	return vref{idx: len(c.code) - 1}, nil
+}
+
+func (c *Compiler) selectStore(t *term.Term) (vref, error) {
+	if t.Args[0].Kind == term.App {
+		if _, err := c.selectTerm(t.Args[0]); err != nil {
+			return vref{}, err
+		}
+	}
+	val, err := c.selectTerm(t.Args[2])
+	if err != nil {
+		return vref{}, err
+	}
+	if val.isLit {
+		val = c.materialize(val.lit)
+	}
+	base, disp, err := c.addrMode(t.Args[1])
+	if err != nil {
+		return vref{}, err
+	}
+	op, _ := c.desc.Op("store")
+	c.code = append(c.code, vinst{
+		termOp: "store", op: op, isMem: true, isStore: true,
+		base: base, disp: disp, val: &val, latency: op.Latency,
+	})
+	c.lastStore = len(c.code) - 1
+	return vref{idx: len(c.code) - 1}, nil
+}
+
+// listSchedule greedily places the selected instructions: each instruction
+// is assigned the earliest cycle at which its operands are ready (under
+// latencies and cross-cluster delays) and an allowed unit is free, with
+// memory operations kept in program order.
+func (c *Compiler) listSchedule() (*schedule.Schedule, []string, error) {
+	type placed struct {
+		cycle   int
+		unit    arch.Unit
+		cluster int
+		done    int
+	}
+	pl := make([]placed, len(c.code))
+	unitBusy := map[[2]int]bool{}
+	issued := map[int]int{}
+	bClusters := 1
+	if c.desc.CrossClusterDelay > 0 {
+		bClusters = c.desc.NumClusters
+	}
+	clusterOf := func(u arch.Unit) int {
+		if bClusters == 1 {
+			return 0
+		}
+		return c.desc.Units[u].Cluster
+	}
+	readyFor := func(r vref, cluster int) int {
+		if r.isLit || r.isInput {
+			return -1
+		}
+		p := pl[r.idx]
+		if p.cluster != cluster {
+			return p.done + c.desc.CrossClusterDelay
+		}
+		return p.done
+	}
+	lastMemIdx := -1
+	for i := range c.code {
+		v := &c.code[i]
+		var deps []vref
+		deps = append(deps, v.args...)
+		if v.base != nil {
+			deps = append(deps, *v.base)
+		}
+		if v.val != nil {
+			deps = append(deps, *v.val)
+		}
+		bestCycle, bestUnit := 1<<30, arch.Unit(-1)
+		for _, u := range v.op.Units {
+			cl := clusterOf(u)
+			start := 0
+			for _, d := range deps {
+				if t := readyFor(d, cl) + 1; t > start {
+					start = t
+				}
+			}
+			// Memory ordering: stay after the previous memory op's issue.
+			if v.isMem && lastMemIdx >= 0 {
+				if t := pl[lastMemIdx].cycle + 1; t > start {
+					start = t
+				}
+			}
+			for cyc := start; ; cyc++ {
+				if unitBusy[[2]int{cyc, int(u)}] || issued[cyc] >= c.desc.IssueWidth {
+					continue
+				}
+				if cyc < bestCycle {
+					bestCycle, bestUnit = cyc, u
+				}
+				break
+			}
+		}
+		if bestUnit < 0 {
+			return nil, nil, fmt.Errorf("naivegen: no unit for %s", v.termOp)
+		}
+		pl[i] = placed{cycle: bestCycle, unit: bestUnit, cluster: clusterOf(bestUnit), done: bestCycle + v.latency - 1}
+		unitBusy[[2]int{bestCycle, int(bestUnit)}] = true
+		issued[bestCycle]++
+		if v.isMem {
+			lastMemIdx = i
+		}
+	}
+	// Assemble the schedule.
+	sched := &schedule.Schedule{
+		InputRegs:  map[string]string{},
+		ResultRegs: map[string]schedule.Operand{},
+	}
+	nextReg := 16
+	for _, in := range c.g.Inputs {
+		sched.InputRegs[in] = fmt.Sprintf("$%d", nextReg)
+		nextReg++
+	}
+	sched.InputRegs[zeroInput] = "$31"
+	regOf := make([]string, len(c.code))
+	temp := 0
+	for i, v := range c.code {
+		if !v.isStore {
+			temp++
+			regOf[i] = fmt.Sprintf("$t%d", temp)
+		}
+	}
+	opnd := func(r vref) schedule.Operand {
+		switch {
+		case r.isLit:
+			return schedule.Operand{IsLit: true, Lit: r.lit}
+		case r.isInput:
+			return schedule.Operand{Reg: sched.InputRegs[r.input]}
+		default:
+			return schedule.Operand{Reg: regOf[r.idx]}
+		}
+	}
+	K := 0
+	order := make([]int, len(c.code))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if pl[order[a]].cycle != pl[order[b]].cycle {
+			return pl[order[a]].cycle < pl[order[b]].cycle
+		}
+		return pl[order[a]].unit < pl[order[b]].unit
+	})
+	for _, i := range order {
+		v := c.code[i]
+		l := schedule.Launch{
+			Cycle:    pl[i].cycle,
+			Unit:     pl[i].unit,
+			UnitName: c.desc.Units[pl[i].unit].Name,
+			TermOp:   v.termOp,
+			Mnemonic: v.op.Mnemonic,
+			Latency:  v.latency,
+			Dest:     regOf[i],
+			Class:    -1,
+		}
+		switch {
+		case v.isLoad, v.isStore:
+			l.IsMem = true
+			l.IsLoad = v.isLoad
+			l.IsStore = v.isStore
+			l.Disp = v.disp
+			if v.base != nil {
+				b := opnd(*v.base)
+				l.Base = &b
+			}
+			baseStr := "$31"
+			if l.Base != nil {
+				baseStr = l.Base.Reg
+			}
+			if v.isStore {
+				vo := opnd(*v.val)
+				l.Val = &vo
+				l.Dest = ""
+				l.Text = fmt.Sprintf("%s %s, %d(%s)", l.Mnemonic, vo.Reg, l.Disp, baseStr)
+			} else {
+				l.Text = fmt.Sprintf("%s %s, %d(%s)", l.Mnemonic, l.Dest, l.Disp, baseStr)
+			}
+		case v.termOp == "ldiq":
+			l.Args = []schedule.Operand{{IsLit: true, Lit: v.args[0].lit}}
+			l.Text = fmt.Sprintf("%s %s, %d", l.Mnemonic, l.Dest, int64(v.args[0].lit))
+		default:
+			for _, a := range v.args {
+				l.Args = append(l.Args, opnd(a))
+			}
+			texts := ""
+			for ai, a := range l.Args {
+				if ai > 0 {
+					texts += ", "
+				}
+				texts += a.String()
+			}
+			l.Text = fmt.Sprintf("%s %s, %s", l.Mnemonic, texts, l.Dest)
+		}
+		sched.Launches = append(sched.Launches, l)
+		if end := pl[i].cycle + v.latency; end > K {
+			K = end
+		}
+	}
+	sched.K = K
+	return sched, regOf, nil
+}

@@ -1,0 +1,234 @@
+package naivegen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch/alpha"
+	"repro/internal/gma"
+	"repro/internal/sim"
+	"repro/internal/term"
+)
+
+func mkGMA(name string, inputs []string, target, value string) *gma.GMA {
+	return &gma.GMA{
+		Name:    name,
+		Targets: []gma.Target{{Kind: gma.Reg, Name: target}},
+		Values:  []*term.Term{term.MustParse(value)},
+		Inputs:  inputs,
+	}
+}
+
+func TestSimpleSelection(t *testing.T) {
+	g := mkGMA("f", []string{"a", "b"}, "res", "(add64 a b)")
+	s, err := Compile(g, alpha.EV6())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Launches) != 1 || s.Launches[0].Mnemonic != "addq" {
+		t.Fatalf("launches: %+v", s.Launches)
+	}
+	if s.K != 1 {
+		t.Fatalf("K = %d", s.K)
+	}
+}
+
+func TestCSE(t *testing.T) {
+	// (a+b) used twice: must be computed once.
+	g := mkGMA("f", []string{"a", "b"}, "res", "(mul64 (add64 a b) (add64 a b))")
+	s, err := Compile(g, alpha.EV6())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adds := 0
+	for _, l := range s.Launches {
+		if l.Mnemonic == "addq" {
+			adds++
+		}
+	}
+	if adds != 1 {
+		t.Fatalf("CSE failed: %d addq instructions", adds)
+	}
+}
+
+func TestStrengthReduction(t *testing.T) {
+	g := mkGMA("f", []string{"a"}, "res", "(mul64 a 8)")
+	s, err := Compile(g, alpha.EV6())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Launches) != 1 || s.Launches[0].Mnemonic != "sll" {
+		t.Fatalf("expected a single sll, got %v", s.Launches)
+	}
+}
+
+// TestMissesS4addq demonstrates the rewriting-engine weakness the paper
+// describes: after committing to the shift form, the conventional
+// generator cannot produce the single s4addq instruction Denali finds.
+func TestMissesS4addq(t *testing.T) {
+	g := mkGMA("f", []string{"reg6"}, "res", "(add64 (mul64 reg6 4) 1)")
+	s, err := Compile(g, alpha.EV6())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Launches) != 2 {
+		t.Fatalf("expected sll+addq (2 instructions), got %v", s.Launches)
+	}
+	for _, l := range s.Launches {
+		if l.Mnemonic == "s4addq" {
+			t.Fatal("the greedy generator should not find s4addq")
+		}
+	}
+	if s.K != 2 {
+		t.Fatalf("K = %d, want 2 (vs Denali's 1)", s.K)
+	}
+}
+
+func TestLoadStoreAndDisplacement(t *testing.T) {
+	g := &gma.GMA{
+		Name:       "cp",
+		Targets:    []gma.Target{{Kind: gma.Memory, Name: "M"}},
+		Values:     []*term.Term{term.MustParse("(store M p (select M (add64 q 8)))")},
+		Inputs:     []string{"p", "q"},
+		MemoryVars: []string{"M"},
+	}
+	s, err := Compile(g, alpha.EV6())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var load, store *int
+	for i, l := range s.Launches {
+		i := i
+		if l.IsLoad {
+			load = &i
+			if l.Disp != 8 {
+				t.Fatalf("load disp = %d", l.Disp)
+			}
+		}
+		if l.IsStore {
+			store = &i
+		}
+	}
+	if load == nil || store == nil {
+		t.Fatalf("missing load or store: %v", s.Launches)
+	}
+	if s.Launches[*load].Cycle >= s.Launches[*store].Cycle {
+		t.Fatal("load must be scheduled before the dependent store")
+	}
+}
+
+func TestByteswapLowering(t *testing.T) {
+	val := term.NewConst(0)
+	for i := 0; i < 4; i++ {
+		val = term.NewApp("storeb", val, term.NewConst(uint64(i)),
+			term.NewApp("selectb", term.NewVar("a"), term.NewConst(uint64(3-i))))
+	}
+	g := &gma.GMA{
+		Name:    "bs4",
+		Targets: []gma.Target{{Kind: gma.Reg, Name: "res"}},
+		Values:  []*term.Term{val},
+		Inputs:  []string{"a"},
+	}
+	s, err := Compile(g, alpha.EV6())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The greedy lowering produces extbl/insbl/mskbl/bis chains; it
+	// must be correct, and Denali's 5 cycles should beat or tie it.
+	if s.K < 5 {
+		t.Fatalf("naive byteswap4 took %d cycles — better than Denali's optimum?!", s.K)
+	}
+	rng := rand.New(rand.NewSource(3))
+	if err := sim.Verify(g, s, alpha.EV6(), rng, 50); err != nil {
+		t.Fatalf("naive byteswap4 is wrong: %v", err)
+	}
+}
+
+// TestVerifyNaiveOutputs runs the baseline's code through the simulator
+// against GMA semantics — the baseline must be correct too, just slower.
+func TestVerifyNaiveOutputs(t *testing.T) {
+	cases := []*gma.GMA{
+		mkGMA("sum", []string{"a", "b", "c"}, "res", "(add64 (add64 a b) c)"),
+		mkGMA("masks", []string{"a"}, "res", "(xor64 (and64 a 255) (sll a 3))"),
+		mkGMA("sr", []string{"a", "b"}, "res", "(add64 (mul64 a 16) b)"),
+		mkGMA("bigconst", []string{"a"}, "res", "(add64 a 100000)"),
+		mkGMA("mul", []string{"a", "b"}, "res", "(mul64 a b)"),
+		{
+			Name:       "mem",
+			Guard:      term.MustParse("(cmplt p r)"),
+			Targets:    []gma.Target{{Kind: gma.Memory, Name: "M"}, {Kind: gma.Reg, Name: "p"}},
+			Values:     []*term.Term{term.MustParse("(store M p (select M q))"), term.MustParse("(add64 p 8)")},
+			Inputs:     []string{"p", "q", "r"},
+			MemoryVars: []string{"M"},
+		},
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, g := range cases {
+		s, err := Compile(g, alpha.EV6())
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if err := sim.Verify(g, s, alpha.EV6(), rng, 40); err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+	}
+}
+
+func TestLiteralVsMaterialized(t *testing.T) {
+	// 100000 does not fit the 8-bit literal: it must be materialized.
+	g := mkGMA("big", []string{"a"}, "res", "(add64 a 100000)")
+	s, err := Compile(g, alpha.EV6())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawLdiq := false
+	for _, l := range s.Launches {
+		if l.Mnemonic == "ldiq" {
+			sawLdiq = true
+		}
+	}
+	if !sawLdiq {
+		t.Fatalf("expected constant materialization: %v", s.Launches)
+	}
+	// 100 fits: no ldiq.
+	g2 := mkGMA("small", []string{"a"}, "res", "(add64 a 100)")
+	s2, err := Compile(g2, alpha.EV6())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range s2.Launches {
+		if l.Mnemonic == "ldiq" {
+			t.Fatal("small literal should not be materialized")
+		}
+	}
+}
+
+func TestMissLatencyHonored(t *testing.T) {
+	g := &gma.GMA{
+		Name:       "miss",
+		Targets:    []gma.Target{{Kind: gma.Reg, Name: "res"}},
+		Values:     []*term.Term{term.MustParse("(select M p)")},
+		Inputs:     []string{"p"},
+		MemoryVars: []string{"M"},
+		MissAddrs:  []*term.Term{term.NewVar("p")},
+	}
+	s, err := Compile(g, alpha.EV6())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.K != alpha.LatMiss {
+		t.Fatalf("K = %d, want %d", s.K, alpha.LatMiss)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Compile(mkGMA("bad", []string{"a"}, "res", "(frobnicate a)"), alpha.EV6()); err == nil {
+		t.Fatal("unknown op should fail")
+	}
+	if _, err := Compile(mkGMA("pow", []string{"a"}, "res", "(** 2 a)"), alpha.EV6()); err == nil {
+		t.Fatal("symbolic ** should fail")
+	}
+	if _, err := Compile(&gma.GMA{Name: "empty"}, alpha.EV6()); err == nil {
+		t.Fatal("invalid GMA should fail")
+	}
+}

@@ -1,0 +1,184 @@
+// Package pipeline implements software pipelining for loop GMAs — the
+// feature the paper describes as designed but not yet implemented
+// ("We have a design for software pipelining, but haven't implemented it
+// yet. In the meantime ... we hand-specified the required pipelining by
+// introducing temporaries to carry intermediate values across loop
+// iterations", section 8).
+//
+// The transformation automates exactly that hand edit: every load in the
+// loop body becomes a loop-carried temporary. A prologue GMA fills the
+// temporaries with the first iteration's loads; in the rotated loop body
+// the original consumers read the temporaries while the loads are reissued
+// with next-iteration addresses, so a load's latency overlaps the uses of
+// the previous iteration's value.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/gma"
+	"repro/internal/term"
+)
+
+// Pipeline rewrites a guarded loop GMA into a prologue (unguarded) GMA and
+// a rotated loop GMA. It refuses loops that write memory (rotating loads
+// across a store requires alias information the GMA does not carry) and
+// loops with no loads (nothing to pipeline).
+func Pipeline(g *gma.GMA) (prologue, rotated *gma.GMA, err error) {
+	if g.Guard == nil {
+		return nil, nil, fmt.Errorf("pipeline: %s is not a loop (no guard)", g.Name)
+	}
+	for _, t := range g.Targets {
+		if t.Kind == gma.Memory {
+			return nil, nil, fmt.Errorf("pipeline: %s writes memory; cannot rotate its loads", g.Name)
+		}
+	}
+	// The parallel-assignment update map: target variable -> new value.
+	update := map[string]*term.Term{}
+	for i, t := range g.Targets {
+		update[t.Name] = g.Values[i]
+	}
+	// Collect the distinct loads of the body (in the guard too, though a
+	// guard load would be unusual).
+	var loads []*term.Term
+	seen := map[string]bool{}
+	var collect func(t *term.Term)
+	collect = func(t *term.Term) {
+		if t.Kind != term.App {
+			return
+		}
+		if t.Op == "select" {
+			if k := t.Key(); !seen[k] {
+				seen[k] = true
+				loads = append(loads, t)
+			}
+			// Do not recurse: a nested load (pointer chasing) is carried
+			// by the outer temporary's refill.
+			return
+		}
+		for _, a := range t.Args {
+			collect(a)
+		}
+	}
+	for _, v := range g.Values {
+		collect(v)
+	}
+	if len(loads) == 0 {
+		return nil, nil, fmt.Errorf("pipeline: %s has no loads to pipeline", g.Name)
+	}
+	// Temporary names, avoiding collisions with existing inputs.
+	used := map[string]bool{}
+	for _, in := range g.Inputs {
+		used[in] = true
+	}
+	tempOf := map[string]string{} // load key -> temp name
+	var temps []string
+	for i, ld := range loads {
+		name := fmt.Sprintf("plv%d", i)
+		for used[name] {
+			name = "_" + name
+		}
+		used[name] = true
+		tempOf[ld.Key()] = name
+		temps = append(temps, name)
+	}
+	// replaceLoads substitutes each collected load with its temporary.
+	var replaceLoads func(t *term.Term) *term.Term
+	replaceLoads = func(t *term.Term) *term.Term {
+		if t.Kind != term.App {
+			return t
+		}
+		if t.Op == "select" {
+			if name, ok := tempOf[t.Key()]; ok {
+				return term.NewVar(name)
+			}
+		}
+		args := make([]*term.Term, len(t.Args))
+		changed := false
+		for i, a := range t.Args {
+			args[i] = replaceLoads(a)
+			if args[i] != a {
+				changed = true
+			}
+		}
+		if !changed {
+			return t
+		}
+		return term.NewApp(t.Op, args...)
+	}
+
+	// Prologue: fill each temporary with the entry-state load.
+	prologue = &gma.GMA{
+		Name:       g.Name + "_prologue",
+		Inputs:     append([]string(nil), g.Inputs...),
+		MemoryVars: append([]string(nil), g.MemoryVars...),
+		MissAddrs:  g.MissAddrs,
+		Defs:       g.Defs,
+	}
+	for i, ld := range loads {
+		prologue.Targets = append(prologue.Targets, gma.Target{Kind: gma.Reg, Name: temps[i]})
+		prologue.Values = append(prologue.Values, ld)
+	}
+
+	// Rotated body: original targets consume the temporaries; each
+	// temporary is refilled with the next iteration's load (the load
+	// term under the update substitution, with inner loads themselves
+	// replaced by temporaries — that handles pointer chasing).
+	rotated = &gma.GMA{
+		Name:         g.Name + "_pipelined",
+		Guard:        replaceLoads(g.Guard),
+		Inputs:       append(append([]string(nil), g.Inputs...), temps...),
+		MemoryVars:   append([]string(nil), g.MemoryVars...),
+		MissAddrs:    g.MissAddrs,
+		ProtectLoads: g.ProtectLoads,
+		ExitLabel:    g.ExitLabel,
+		Defs:         g.Defs,
+	}
+	for i, t := range g.Targets {
+		rotated.Targets = append(rotated.Targets, t)
+		rotated.Values = append(rotated.Values, replaceLoads(g.Values[i]))
+	}
+	// The rotated update map: for the refill addresses, a target variable
+	// advances to its (load-replaced) new value; non-target inputs are
+	// unchanged.
+	rotUpdate := map[string]*term.Term{}
+	for name, v := range update {
+		rotUpdate[name] = replaceLoads(v)
+	}
+	for i, ld := range loads {
+		refill := replaceInner(ld.Substitute(rotUpdate), tempOf)
+		rotated.Targets = append(rotated.Targets, gma.Target{Kind: gma.Reg, Name: temps[i]})
+		rotated.Values = append(rotated.Values, refill)
+	}
+	return prologue, rotated, nil
+}
+
+// replaceInner substitutes loads strictly inside t (not t itself) with
+// their temporaries, so a refill load of a chased pointer reads the
+// already-carried value.
+func replaceInner(t *term.Term, tempOf map[string]string) *term.Term {
+	if t.Kind != term.App {
+		return t
+	}
+	args := make([]*term.Term, len(t.Args))
+	for i, a := range t.Args {
+		args[i] = replaceAll(a, tempOf)
+	}
+	return term.NewApp(t.Op, args...)
+}
+
+func replaceAll(t *term.Term, tempOf map[string]string) *term.Term {
+	if t.Kind != term.App {
+		return t
+	}
+	if t.Op == "select" {
+		if name, ok := tempOf[t.Key()]; ok {
+			return term.NewVar(name)
+		}
+	}
+	args := make([]*term.Term, len(t.Args))
+	for i, a := range t.Args {
+		args[i] = replaceAll(a, tempOf)
+	}
+	return term.NewApp(t.Op, args...)
+}

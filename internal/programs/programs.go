@@ -1,0 +1,171 @@
+// Package programs collects the Denali input programs of the paper's
+// evaluation (section 8) in the prototype's parenthesized syntax: the byte
+// swaps (Figure 3), the ones-complement checksum (Figures 5/6), the matrix
+// row operation, the least common power of two, and the running examples
+// of sections 1 and 3. They are shared by the test suite, the examples,
+// the command-line tools and the benchmark harness.
+package programs
+
+import "fmt"
+
+// Quickstart contains the two introductory examples: reg6*4+1 (Figure 2,
+// compiled to a single s4addq) and 2*reg7 (compiled to a shift or add,
+// never the multiplier).
+const Quickstart = `
+(\procdecl scale4plus1 ((reg6 long)) long
+  (:= (\res (+ (* reg6 4) 1))))
+
+(\procdecl double ((reg7 long)) long
+  (:= (\res (* 2 reg7))))
+`
+
+// Byteswap builds the n-byte swap program of Figure 3: reverse the order
+// of the n lower bytes of a register. w<i> of the figure is selectb/storeb
+// here.
+func Byteswap(n int) string {
+	src := fmt.Sprintf("(\\procdecl byteswap%d ((a long)) long\n  (\\var (r long 0)\n    (\\semi\n", n)
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf("      (:= (r (\\storeb r %d (\\selectb a %d))))\n", i, n-1-i)
+	}
+	src += "      (:= (\\res r)))))\n"
+	return src
+}
+
+// Byteswap4 is the paper's 4-byte swap challenge problem (Figure 3).
+var Byteswap4 = Byteswap(4)
+
+// Byteswap5 is the 5-byte swap, on which Denali beats the C compiler by a
+// cycle.
+var Byteswap5 = Byteswap(5)
+
+// Checksum is the packet-checksum program of Figure 6: the 16-bit
+// ones-complement sum of an array of 16-bit integers with wraparound
+// carry, 4-way unrolled with hand-specified software pipelining via the
+// temporaries v1..v4, word-parallel via 64-bit adds, with program-local
+// axioms defining the carry-wraparound add.
+const Checksum = `
+; carry returns the carry bit resulting from the
+; unsigned 64-bit sum of its arguments.
+(\opdecl carry (long long) long)
+
+(\axiom (forall (a b) (pats (carry a b))
+  (eq (carry a b) (\cmpult (\add64 a b) a))))
+(\axiom (forall (a b) (pats (carry a b))
+  (eq (carry a b) (\cmpult (\add64 a b) b))))
+
+; unsigned 64-bit carry-wraparound add
+(\opdecl add (long long) long)
+
+; associativity of add
+(\axiom (forall (a b c) (pats (add a (add b c)))
+  (eq (add a (add b c)) (add (add a b) c))))
+(\axiom (forall (a b c) (pats (add (add a b) c))
+  (eq (add a (add b c)) (add (add a b) c))))
+
+; commutativity of add
+(\axiom (forall (a b) (pats (add a b))
+  (eq (add a b) (add b a))))
+
+; implementation of add
+(\axiom (forall (a b) (pats (add a b))
+  (eq (add a b) (\add64 (\add64 a b) (carry a b)))))
+
+; main procedure
+(\procdecl checksum ((ptr long) (ptrend long)) short
+  (\var (sum1 long 0) (\var (sum2 long 0)
+  (\var (sum3 long 0) (\var (sum4 long 0)
+  (\var (v1 long (\deref ptr))
+  (\var (v2 long (\deref (+ ptr 8)))
+  (\var (v3 long (\deref (+ ptr 16)))
+  (\var (v4 long (\deref (+ ptr 24)))
+  (\semi
+    (\do (-> (< ptr ptrend)
+      (\semi
+        (:= (sum1 (add sum1 v1)) (sum2 (add sum2 v2))
+            (sum3 (add sum3 v3)) (sum4 (add sum4 v4)))
+        (:= (ptr (+ ptr 32)))
+        (:= (v1 (\deref ptr)))
+        (:= (v2 (\deref (+ ptr 8))))
+        (:= (v3 (\deref (+ ptr 16))))
+        (:= (v4 (\deref (+ ptr 24)))))))
+    (\var (c1 long) (\var (c2 long) (\var (c3 long)
+    (\var (s1 long) (\var (s2 long) (\var (s long)
+    (\semi
+      (:= (s1 (+ sum1 sum2)))
+      (:= (c1 (carry sum1 sum2)))
+      (:= (s2 (+ sum3 sum4)))
+      (:= (c2 (carry sum3 sum4)))
+      (:= (s (+ s1 s2)))
+      (:= (c3 (carry s1 s2)))
+      ; extwl takes a BYTE offset: the four 16-bit fields of s live at
+      ; byte offsets 0, 2, 4, 6 (the paper's figure indexes words 0..3).
+      (:= (s (+ (\extwl s 0) (+ (\extwl s 2)
+                (+ (\extwl s 4) (\extwl s 6))))))
+      (:= (s (+ (\extwl s 0) (+ (\extwl s 2)
+                (+ c1 (+ c2 c3))))))
+      (:= (\res (\cast short s))))))))))))))))))))
+`
+
+// CopyLoop is the inner loop of the copy routine from section 3 of the
+// paper: p < r -> (*p, p, q) := (*q, p+8, q+8).
+const CopyLoop = `
+(\procdecl copyloop ((p long) (q long) (r long)) long
+  (\do (-> (< p r)
+    (\semi
+      (:= ((\deref p) (\deref q)))
+      (:= (p (+ p 8)) (q (+ q 8)))))))
+`
+
+// Lcp2 computes the least common power of two of two registers: the
+// largest power of two dividing both, i.e. the lowest set bit of a|b
+// (mentioned among the additional test programs of section 8).
+const Lcp2 = `
+(\procdecl lcp2 ((a long) (b long)) long
+  (\var (t long (| a b))
+    (:= (\res (& t (\neg64 t))))))
+`
+
+// Rowop is a matrix row operation (section 8's rowop test): one step of
+// row[i] += c * row[j] over two adjacent 64-bit elements.
+const Rowop = `
+(\procdecl rowop ((p long) (q long) (c long)) long
+  (\semi
+    (:= ((\deref p) (+ (\deref p) (* c (\deref q)))))
+    (:= ((\deref (+ p 8)) (+ (\deref (+ p 8)) (* c (\deref (+ q 8))))))))
+`
+
+// SumLoop is an unrolled reduction used by the unrolling tests: the
+// \unroll annotation makes Denali replicate the loop body.
+const SumLoop = `
+(\procdecl sumloop ((ptr long) (ptrend long)) long
+  (\var (sum long 0)
+    (\semi
+      (\unroll 4 (\do (-> (< ptr ptrend)
+        (\semi
+          (:= (sum (+ sum (\deref ptr))))
+          (:= (ptr (+ ptr 8)))))))
+      (:= (\res sum)))))
+`
+
+// MissLoop is a pointer-chasing loop whose load the programmer annotated
+// as a likely cache miss (section 6's latency annotations).
+const MissLoop = `
+(\procdecl misschase ((p long) (r long)) long
+  (\do (-> (< p r)
+    (:= (p (\derefm p))))))
+`
+
+// Popcount is the classic SWAR population count written as a straight-line
+// kernel — the kind of "inner loop or critical subroutine" the paper's
+// introduction motivates. Denali does not invent the algorithm (the paper
+// explicitly leaves algorithm design to the programmer); it schedules the
+// dependence chain optimally, materializing the wide masks via ldiq.
+const Popcount = `
+(\procdecl popcount ((x long)) long
+  (\var (t long x)
+    (\semi
+      (:= (t (- t (& (>> t 1) 0x5555555555555555))))
+      (:= (t (+ (& t 0x3333333333333333) (& (>> t 2) 0x3333333333333333))))
+      (:= (t (& (+ t (>> t 4)) 0x0f0f0f0f0f0f0f0f)))
+      (:= (\res (>> (* t 0x0101010101010101) 56))))))
+`

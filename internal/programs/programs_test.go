@@ -1,0 +1,94 @@
+package programs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+// TestAllProgramsParse parses and translates every program in the corpus.
+func TestAllProgramsParse(t *testing.T) {
+	cases := map[string]string{
+		"Quickstart": Quickstart,
+		"Byteswap4":  Byteswap4,
+		"Byteswap5":  Byteswap5,
+		"Checksum":   Checksum,
+		"CopyLoop":   CopyLoop,
+		"Lcp2":       Lcp2,
+		"Rowop":      Rowop,
+		"SumLoop":    SumLoop,
+		"MissLoop":   MissLoop,
+	}
+	for name, src := range cases {
+		p, err := lang.Parse(src)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(p.Procs) == 0 {
+			t.Errorf("%s: no procedures", name)
+			continue
+		}
+		for _, proc := range p.Procs {
+			for _, g := range proc.GMAs {
+				if err := g.Validate(); err != nil {
+					t.Errorf("%s/%s: %v", name, g.Name, err)
+				}
+			}
+		}
+	}
+}
+
+func TestByteswapGenerator(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		src := Byteswap(n)
+		if c := strings.Count(src, "storeb"); c != n {
+			t.Errorf("Byteswap(%d): %d storeb forms", n, c)
+		}
+		p, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("Byteswap(%d): %v", n, err)
+		}
+		if len(p.Procs[0].GMAs) != 1 {
+			t.Fatalf("Byteswap(%d): %d GMAs", n, len(p.Procs[0].GMAs))
+		}
+	}
+}
+
+func TestChecksumHasLocalAxioms(t *testing.T) {
+	p, err := lang.Parse(Checksum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Axioms) != 6 {
+		t.Fatalf("checksum axioms = %d, want 6 (Figure 6)", len(p.Axioms))
+	}
+	if len(p.Ops) != 2 {
+		t.Fatalf("checksum opdecls = %d, want carry and add", len(p.Ops))
+	}
+	proc, ok := p.Proc("checksum")
+	if !ok {
+		t.Fatal("missing checksum proc")
+	}
+	if len(proc.GMAs) != 3 {
+		t.Fatalf("checksum GMAs = %d", len(proc.GMAs))
+	}
+	// Definitions were derived for the local ops.
+	for _, g := range proc.GMAs {
+		if g.Defs == nil || len(g.Defs) != 2 {
+			t.Fatalf("%s: defs = %v", g.Name, g.Defs)
+		}
+	}
+}
+
+func TestMissLoopAnnotation(t *testing.T) {
+	p, err := lang.Parse(MissLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Procs[0].GMAs[0]
+	if len(g.MissAddrs) == 0 {
+		t.Fatal("misschase should carry a miss annotation")
+	}
+}

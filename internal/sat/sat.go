@@ -1,0 +1,593 @@
+// Package sat implements a complete CDCL boolean satisfiability solver in
+// the CHAFF/MiniSat lineage: two-watched-literal propagation, first-UIP
+// conflict clause learning, VSIDS variable activity, phase saving, and Luby
+// restarts.
+//
+// The Denali paper notes that its SAT solver is pluggable ("we have already
+// made several substitutions of this sort"); this package is the
+// reproduction's substitute for CHAFF. It exposes exactly what the
+// constraint generator needs — variables, clauses, solve, model — plus
+// DIMACS import/export for testing against reference problems.
+package sat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Lit is a literal: variable index v encoded as 2v (positive) or 2v+1
+// (negated). Variables are numbered from 0.
+type Lit int32
+
+// Pos returns the positive literal of variable v.
+func Pos(v int) Lit { return Lit(2 * v) }
+
+// Neg returns the negative literal of variable v.
+func Neg(v int) Lit { return Lit(2*v + 1) }
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// IsNeg reports whether the literal is negated.
+func (l Lit) IsNeg() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// String renders the literal in DIMACS style (1-based, negative for
+// negated).
+func (l Lit) String() string {
+	if l.IsNeg() {
+		return fmt.Sprintf("-%d", l.Var()+1)
+	}
+	return fmt.Sprintf("%d", l.Var()+1)
+}
+
+const litUndef Lit = -1
+
+// lbool values for assignments.
+const (
+	lUndef int8 = 0
+	lTrue  int8 = 1
+	lFalse int8 = -1
+)
+
+type clause struct {
+	lits     []Lit
+	learned  bool
+	deleted  bool
+	activity float64
+}
+
+// Result is the outcome of Solve.
+type Result int
+
+const (
+	// Unknown means the conflict budget was exhausted.
+	Unknown Result = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula was refuted.
+	Unsat
+)
+
+func (r Result) String() string {
+	switch r {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Stats counts solver work.
+type Stats struct {
+	Vars         int
+	Clauses      int
+	Learned      int
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+	Reduced      int64
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	clauses []*clause
+	learned []*clause
+	watches [][]*clause
+
+	assigns []int8
+	level   []int32
+	reason  []*clause
+	trail   []Lit
+	lim     []int
+	qhead   int
+
+	activity []float64
+	varInc   float64
+	claInc   float64
+	heap     []int32 // binary max-heap of variables by activity
+	heapPos  []int32 // var -> heap index, -1 if absent
+	phase    []bool
+
+	unsat bool
+
+	stats Stats
+
+	// MaxConflicts bounds the search; <= 0 means unbounded.
+	MaxConflicts int64
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{varInc: 1.0, claInc: 1.0}
+}
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assigns)
+	s.assigns = append(s.assigns, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.heapPos = append(s.heapPos, -1)
+	s.watches = append(s.watches, nil, nil)
+	s.heapInsert(int32(v))
+	s.stats.Vars++
+	return v
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses returns the number of problem (non-learned) clauses retained
+// after top-level simplification.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+func (s *Solver) value(l Lit) int8 {
+	v := s.assigns[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.IsNeg() {
+		return -v
+	}
+	return v
+}
+
+// AddClause adds a clause (a disjunction of literals). It returns false if
+// the formula is already unsatisfiable at the top level.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if s.unsat {
+		return false
+	}
+	if len(s.lim) != 0 {
+		panic("sat: AddClause called during search")
+	}
+	// Top-level simplification: sort, dedup, drop false literals, detect
+	// tautologies and already-satisfied clauses.
+	ls := append([]Lit(nil), lits...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev Lit = litUndef
+	for _, l := range ls {
+		if l == prev {
+			continue
+		}
+		if prev != litUndef && l == prev.Not() {
+			return true // tautology
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // already satisfied
+		case lFalse:
+			prev = l
+			continue // drop false literal
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.unsat = true
+		return false
+	case 1:
+		s.enqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.unsat = true
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: append([]Lit(nil), out...)}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	s.stats.Clauses++
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0]] = append(s.watches[c.lits[0]], c)
+	s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+}
+
+func (s *Solver) enqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.IsNeg() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = int32(len(s.lim))
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns a conflicting clause or
+// nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+		// Clauses watching ¬p: that literal just became false.
+		falseLit := p.Not()
+		ws := s.watches[falseLit]
+		kept := ws[:0]
+		var confl *clause
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			if c.deleted {
+				continue // dropped by reduceDB
+			}
+			if confl != nil {
+				kept = append(kept, c)
+				continue
+			}
+			// Normalize: watched false literal at position 1.
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == lTrue {
+				kept = append(kept, c)
+				continue
+			}
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue // removed from this watch list
+			}
+			kept = append(kept, c)
+			if s.value(c.lits[0]) == lFalse {
+				confl = c
+				continue
+			}
+			s.enqueue(c.lits[0], c)
+		}
+		s.watches[falseLit] = kept
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// analyze derives a first-UIP learned clause from a conflict. The asserting
+// literal is placed at index 0 and the backtrack level returned.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{litUndef}
+	seen := make([]bool, len(s.assigns))
+	pathC := 0
+	p := litUndef
+	index := len(s.trail) - 1
+	curLevel := int32(len(s.lim))
+	for {
+		if confl.learned {
+			s.bumpClause(confl)
+		}
+		start := 0
+		if p != litUndef {
+			start = 1 // reason clause has p at lits[0]
+		}
+		for _, q := range confl.lits[start:] {
+			v := q.Var()
+			if !seen[v] && s.level[v] > 0 {
+				seen[v] = true
+				s.bump(v)
+				if s.level[v] >= curLevel {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		for !seen[s.trail[index].Var()] {
+			index--
+		}
+		p = s.trail[index]
+		index--
+		confl = s.reason[p.Var()]
+		seen[p.Var()] = false
+		pathC--
+		if pathC <= 0 {
+			break
+		}
+	}
+	learnt[0] = p.Not()
+	// Backtrack to the second-highest level in the clause; move that
+	// literal to index 1 so the watches stay valid after backtracking.
+	bt := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		bt = int(s.level[learnt[1].Var()])
+	}
+	return learnt, bt
+}
+
+func (s *Solver) backtrack(level int) {
+	if len(s.lim) <= level {
+		return
+	}
+	bound := s.lim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		s.phase[v] = !l.IsNeg()
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		if s.heapPos[v] < 0 {
+			s.heapInsert(int32(v))
+		}
+	}
+	s.trail = s.trail[:bound]
+	s.lim = s.lim[:level]
+	s.qhead = bound
+}
+
+func (s *Solver) bump(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	if s.heapPos[v] >= 0 {
+		s.heapUp(s.heapPos[v])
+	}
+}
+
+// Solve runs the CDCL search.
+func (s *Solver) Solve() Result {
+	if s.unsat {
+		return Unsat
+	}
+	if c := s.propagate(); c != nil {
+		s.unsat = true
+		return Unsat
+	}
+	restartBase := int64(100)
+	lubyIdx := int64(1)
+	conflictsAtRestart := s.stats.Conflicts
+	limit := restartBase * luby(lubyIdx)
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			if len(s.lim) == 0 {
+				s.unsat = true
+				return Unsat
+			}
+			learnt, bt := s.analyze(confl)
+			s.backtrack(bt)
+			if len(learnt) == 1 {
+				s.enqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learned: true}
+				s.learned = append(s.learned, c)
+				s.stats.Learned++
+				s.attach(c)
+				s.enqueue(learnt[0], c)
+			}
+			s.varInc /= 0.95
+			s.claInc /= 0.999
+			if s.MaxConflicts > 0 && s.stats.Conflicts >= s.MaxConflicts {
+				s.backtrack(0)
+				return Unknown
+			}
+			continue
+		}
+		if s.stats.Conflicts-conflictsAtRestart >= limit {
+			// Restart, and shed low-activity learned clauses when the
+			// database has grown past its budget.
+			s.stats.Restarts++
+			s.backtrack(0)
+			if len(s.learned) > s.learnedLimit() {
+				s.reduceDB()
+			}
+			lubyIdx++
+			conflictsAtRestart = s.stats.Conflicts
+			limit = restartBase * luby(lubyIdx)
+			continue
+		}
+		v := s.pickBranchVar()
+		if v < 0 {
+			return Sat // all variables assigned
+		}
+		s.stats.Decisions++
+		s.lim = append(s.lim, len(s.trail))
+		l := Pos(v)
+		if !s.phase[v] {
+			l = Neg(v)
+		}
+		s.enqueue(l, nil)
+	}
+}
+
+func (s *Solver) pickBranchVar() int {
+	for len(s.heap) > 0 {
+		v := s.heapPopMax()
+		if s.assigns[v] == lUndef {
+			return int(v)
+		}
+	}
+	return -1
+}
+
+// Model returns the satisfying assignment after Solve reports Sat.
+func (s *Solver) Model() []bool {
+	m := make([]bool, len(s.assigns))
+	for v := range s.assigns {
+		m[v] = s.assigns[v] == lTrue
+	}
+	return m
+}
+
+// Value reports the assignment of variable v in the current model.
+func (s *Solver) Value(v int) bool { return s.assigns[v] == lTrue }
+
+// Stats returns search statistics.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// luby returns the i'th element (1-based) of the Luby restart sequence.
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<uint(k))-1 {
+			return 1 << uint(k-1)
+		}
+		if i >= 1<<uint(k-1) && i < (1<<uint(k))-1 {
+			return luby(i - (1 << uint(k-1)) + 1)
+		}
+	}
+}
+
+// --- activity heap (max-heap keyed by activity) ---
+
+func (s *Solver) heapLess(i, j int32) bool {
+	return s.activity[s.heap[i]] > s.activity[s.heap[j]]
+}
+
+func (s *Solver) heapSwap(i, j int32) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.heapPos[s.heap[i]] = i
+	s.heapPos[s.heap[j]] = j
+}
+
+func (s *Solver) heapUp(i int32) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.heapLess(i, p) {
+			break
+		}
+		s.heapSwap(i, p)
+		i = p
+	}
+}
+
+func (s *Solver) heapDown(i int32) {
+	n := int32(len(s.heap))
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && s.heapLess(l, best) {
+			best = l
+		}
+		if r < n && s.heapLess(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		s.heapSwap(i, best)
+		i = best
+	}
+}
+
+func (s *Solver) heapInsert(v int32) {
+	s.heap = append(s.heap, v)
+	i := int32(len(s.heap) - 1)
+	s.heapPos[v] = i
+	s.heapUp(i)
+}
+
+func (s *Solver) heapPopMax() int32 {
+	v := s.heap[0]
+	last := int32(len(s.heap) - 1)
+	s.heapSwap(0, last)
+	s.heap = s.heap[:last]
+	s.heapPos[v] = -1
+	if last > 0 {
+		s.heapDown(0)
+	}
+	return v
+}
+
+// bumpClause raises a learned clause's activity, rescaling on overflow.
+func (s *Solver) bumpClause(c *clause) {
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learned {
+			lc.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// learnedLimit is the learned-clause budget: a third of the problem
+// clauses, grown with the conflict count so long searches may keep more.
+func (s *Solver) learnedLimit() int {
+	limit := len(s.clauses)/3 + int(s.stats.Conflicts/10)
+	if limit < 2000 {
+		limit = 2000
+	}
+	return limit
+}
+
+// reduceDB deletes the lower-activity half of the learned clauses, keeping
+// binary clauses and clauses that are the reason for a current assignment.
+func (s *Solver) reduceDB() {
+	sorted := append([]*clause(nil), s.learned...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].activity < sorted[j].activity })
+	locked := func(c *clause) bool {
+		v := c.lits[0].Var()
+		return s.reason[v] == c && s.assigns[v] != lUndef
+	}
+	toDelete := len(sorted) / 2
+	for _, c := range sorted {
+		if toDelete == 0 {
+			break
+		}
+		if len(c.lits) <= 2 || locked(c) {
+			continue
+		}
+		c.deleted = true
+		toDelete--
+	}
+	before := len(s.learned)
+	kept := s.learned[:0]
+	for _, c := range s.learned {
+		if !c.deleted {
+			kept = append(kept, c)
+		}
+	}
+	s.learned = kept
+	s.stats.Reduced += int64(before - len(kept))
+}

@@ -1,0 +1,587 @@
+// Package schedule implements Denali's satisfiability phase (section 6 of
+// the paper): given a saturated E-graph, an architecture description and a
+// cycle budget K, it formulates in propositional logic the question
+//
+//	does a K-cycle program of the target architecture compute the
+//	values of the goal terms?
+//
+// and decodes a satisfying assignment into a concrete schedule (cycle,
+// functional unit, instruction, operands, destination register).
+//
+// The encoding follows the paper with the refinements of section 7:
+//
+//   - launch variables U(m,i,u): machine term m is launched at the start of
+//     cycle i on functional unit u (per-unit launch variables subsume the
+//     paper's L and A variables and model multiple issue directly);
+//   - availability variables B(q,i,c): the value of equivalence class q is
+//     available on cluster c by the end of cycle i, with the cross-cluster
+//     bypass delay of the EV6's two register files;
+//   - operand modes: a load may fold a constant-offset address into its
+//     displacement field, and operate instructions may use small constants
+//     as literal operands, so a machine term can have several alternative
+//     operand requirements ("one more bit for the solver to determine");
+//   - guard-safety ordering, and load-before-overwriting-store ordering
+//     for memory anti-dependences.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/egraph"
+	"repro/internal/gma"
+	"repro/internal/sat"
+	"repro/internal/term"
+)
+
+// Options configures problem construction.
+type Options struct {
+	// Desc is the machine description (required).
+	Desc *arch.Description
+	// DisableAtMostOncePerTerm drops the pruning constraint that each
+	// machine term launches at most once (ablation; the constraint is not
+	// needed for correctness).
+	DisableAtMostOncePerTerm bool
+	// MaxConflicts bounds each SAT probe; 0 means unbounded.
+	MaxConflicts int64
+}
+
+// mode is one alternative operand form for a machine term.
+type mode struct {
+	// reqs are the classes that must be available before launch.
+	reqs []egraph.ClassID
+	// base and disp describe a folded load/store address (base register
+	// class plus displacement); base is -1 when the address class is
+	// used directly.
+	base egraph.ClassID
+	disp int64
+}
+
+// mterm is a machine term: a node of the E-graph whose operator some
+// instruction can compute, plus scheduling metadata.
+type mterm struct {
+	node    egraph.NodeID
+	class   egraph.ClassID
+	op      arch.OpInfo
+	latency int
+	args    []egraph.ClassID
+	modes   []mode
+	// constVal is set for ldiq pseudo-terms materializing a constant.
+	constVal uint64
+	isConst  bool
+	// lits maps argument index -> literal value for operands encoded as
+	// literals rather than registers.
+	lits map[int]uint64
+}
+
+func (m *mterm) describe(g *egraph.Graph) string {
+	if m.isConst {
+		return fmt.Sprintf("ldiq %d", m.constVal)
+	}
+	return g.TermOf(egraph.ClassID(m.node)).String()
+}
+
+// Problem is a single K-cycle scheduling question.
+type Problem struct {
+	G     *egraph.Graph
+	Desc  *arch.Description
+	GMA   *gma.GMA
+	K     int
+	opt   Options
+	terms []*mterm
+	// cone is every class the schedule may need to compute.
+	cone map[egraph.ClassID]bool
+	// inputAvail marks classes available in registers on entry.
+	inputAvail map[egraph.ClassID]bool
+	goals      []egraph.ClassID
+	guard      egraph.ClassID
+	hasGuard   bool
+	missAddrs  map[egraph.ClassID]bool
+
+	solver    *sat.Solver
+	bClusters int
+	uVar      map[[3]int32]int // (term, cycle, unit) -> var
+	modeVar   map[[2]int32]int // (term, mode) -> var
+	bVar      map[[3]int32]int // (class, cycle, cluster) -> var
+}
+
+// Stat describes one SAT probe, mirroring the numbers the paper reports
+// (e.g. "1639 variables and 4613 clauses for the 4-cycle refutation").
+type Stat struct {
+	K            int
+	Vars         int
+	Clauses      int
+	Result       sat.Result
+	Conflicts    int64
+	Decisions    int64
+	MachineTerms int
+	ConeClasses  int
+}
+
+// UncomputableError reports a goal (sub)class that no machine instruction
+// sequence can produce — usually a missing axiom or an operator outside the
+// machine's repertoire.
+type UncomputableError struct {
+	Term string
+}
+
+func (e *UncomputableError) Error() string {
+	return fmt.Sprintf("schedule: class %s has no machine computation", e.Term)
+}
+
+// NewProblem builds the propositional constraint system for budget K.
+func NewProblem(g *egraph.Graph, gm *gma.GMA, K int, opt Options) (*Problem, error) {
+	if opt.Desc == nil {
+		return nil, fmt.Errorf("schedule: Options.Desc is required")
+	}
+	p := &Problem{
+		G:          g,
+		Desc:       opt.Desc,
+		GMA:        gm,
+		K:          K,
+		opt:        opt,
+		cone:       map[egraph.ClassID]bool{},
+		inputAvail: map[egraph.ClassID]bool{},
+		missAddrs:  map[egraph.ClassID]bool{},
+		uVar:       map[[3]int32]int{},
+		modeVar:    map[[2]int32]int{},
+		bVar:       map[[3]int32]int{},
+	}
+	p.bClusters = 1
+	if p.Desc.CrossClusterDelay > 0 {
+		p.bClusters = p.Desc.NumClusters
+	}
+	if err := p.setup(); err != nil {
+		return nil, err
+	}
+	p.encode()
+	return p, nil
+}
+
+// clusterOf maps a unit to its availability-cluster index.
+func (p *Problem) clusterOf(u arch.Unit) int {
+	if p.bClusters == 1 {
+		return 0
+	}
+	return p.Desc.Units[u].Cluster
+}
+
+// xdelay is the extra delay for cluster c to see a result produced on
+// cluster pc.
+func (p *Problem) xdelay(pc, c int) int {
+	if pc == c {
+		return 0
+	}
+	return p.Desc.CrossClusterDelay
+}
+
+func (p *Problem) setup() error {
+	g := p.G
+	for _, in := range p.GMA.Inputs {
+		p.inputAvail[g.Find(g.AddTerm(term.NewVar(in)))] = true
+	}
+	for _, m := range p.GMA.MemoryVars {
+		p.inputAvail[g.Find(g.AddTerm(term.NewVar(m)))] = true
+	}
+	// The Alpha zero register makes the constant 0 free.
+	p.inputAvail[g.Find(g.AddTerm(term.NewConst(0)))] = true
+	for _, a := range p.GMA.MissAddrs {
+		p.missAddrs[g.Find(g.AddTerm(a))] = true
+	}
+	// Goal classes.
+	seenGoal := map[egraph.ClassID]bool{}
+	addGoal := func(t *term.Term) {
+		c := g.Find(g.AddTerm(t))
+		if !seenGoal[c] {
+			seenGoal[c] = true
+			p.goals = append(p.goals, c)
+		}
+	}
+	if p.GMA.Guard != nil {
+		c := g.Find(g.AddTerm(p.GMA.Guard))
+		p.guard = c
+		p.hasGuard = true
+		if !seenGoal[c] {
+			seenGoal[c] = true
+			p.goals = append(p.goals, c)
+		}
+	}
+	for _, v := range p.GMA.Values {
+		addGoal(v)
+	}
+	// Build the cone and machine terms.
+	termSeen := map[string]bool{}
+	var visit func(q egraph.ClassID) error
+	visit = func(q egraph.ClassID) error {
+		q = g.Find(q)
+		if p.cone[q] || p.inputAvail[q] {
+			return nil
+		}
+		p.cone[q] = true
+		if v, isConst := g.ConstValue(q); isConst {
+			ldiq, _ := p.Desc.Op("ldiq")
+			p.terms = append(p.terms, &mterm{
+				node: -1, class: q, op: ldiq, latency: ldiq.Latency,
+				modes: []mode{{base: -1}}, constVal: v, isConst: true,
+			})
+			return nil
+		}
+		found := false
+		for _, id := range g.ClassNodes(q) {
+			n := g.Node(id)
+			if n.Kind != term.App {
+				continue
+			}
+			op, isMachine := p.Desc.Op(n.Op)
+			if !isMachine {
+				continue
+			}
+			args := g.CanonArgs(id)
+			key := sigOf(n.Op, args)
+			if termSeen[key] {
+				found = true
+				continue
+			}
+			termSeen[key] = true
+			mt, err := p.buildMterm(id, q, op, args)
+			if err != nil {
+				return err
+			}
+			p.terms = append(p.terms, mt)
+			found = true
+			for _, m := range mt.modes {
+				for _, r := range m.reqs {
+					if err := visit(r); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if !found {
+			return &UncomputableError{Term: g.TermOf(q).String()}
+		}
+		return nil
+	}
+	for _, q := range p.goals {
+		if err := visit(q); err != nil {
+			return err
+		}
+	}
+	if p.hasGuard && p.GMA.ProtectLoads {
+		if err := visit(p.guard); err != nil {
+			return err
+		}
+	}
+	// Stable order for determinism.
+	sort.Slice(p.terms, func(i, j int) bool {
+		if p.terms[i].class != p.terms[j].class {
+			return p.terms[i].class < p.terms[j].class
+		}
+		return p.terms[i].node < p.terms[j].node
+	})
+	return nil
+}
+
+func sigOf(op string, args []egraph.ClassID) string {
+	var b strings.Builder
+	b.WriteString(op)
+	for _, a := range args {
+		fmt.Fprintf(&b, " %d", a)
+	}
+	return b.String()
+}
+
+// buildMterm computes the operand modes of a machine term.
+func (p *Problem) buildMterm(id egraph.NodeID, q egraph.ClassID, op arch.OpInfo, args []egraph.ClassID) (*mterm, error) {
+	g := p.G
+	mt := &mterm{node: id, class: q, op: op, latency: op.Latency, args: args, lits: map[int]uint64{}}
+	switch op.Class {
+	case arch.ClassLoad, arch.ClassStore:
+		memCls := args[0]
+		addrCls := args[1]
+		if op.Class == arch.ClassLoad && p.missAddrs[g.Find(addrCls)] {
+			mt.latency = p.Desc.MissLatency
+		}
+		var common []egraph.ClassID
+		if !p.inputAvail[g.Find(memCls)] {
+			common = append(common, memCls)
+		}
+		if op.Class == arch.ClassStore {
+			common = append(common, args[2])
+		}
+		// Address modes: direct, plus folded base+displacement forms.
+		addModes := func(base egraph.ClassID, disp int64) {
+			m := mode{base: base, disp: disp}
+			m.reqs = append(m.reqs, common...)
+			m.reqs = append(m.reqs, base)
+			mt.modes = append(mt.modes, m)
+		}
+		if v, isConst := g.ConstValue(addrCls); isConst && p.Desc.FitsDisplacement(v) {
+			// Absolute address via the zero register.
+			m := mode{base: -1, disp: int64(v)}
+			m.reqs = append(m.reqs, common...)
+			mt.modes = append(mt.modes, m)
+		} else {
+			addModes(addrCls, 0)
+			seen := map[string]bool{fmt.Sprintf("%d+0", g.Find(addrCls)): true}
+			for _, nid := range g.ClassNodes(addrCls) {
+				n := g.Node(nid)
+				if n.Kind != term.App || n.Op != "add64" || len(n.Args) != 2 {
+					continue
+				}
+				as := g.CanonArgs(nid)
+				for i := 0; i < 2; i++ {
+					c, isConst := g.ConstValue(as[i])
+					if !isConst || !p.Desc.FitsDisplacement(c) {
+						continue
+					}
+					base := as[1-i]
+					if _, baseConst := g.ConstValue(base); baseConst {
+						continue
+					}
+					key := fmt.Sprintf("%d+%d", g.Find(base), int64(c))
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					addModes(base, int64(c))
+				}
+			}
+		}
+	default:
+		m := mode{base: -1}
+		for i, a := range args {
+			if v, isConst := g.ConstValue(a); isConst && i == op.LitArg && p.Desc.FitsLiteral(v) {
+				mt.lits[i] = v
+				continue
+			}
+			m.reqs = append(m.reqs, a)
+		}
+		mt.modes = []mode{m}
+	}
+	return mt, nil
+}
+
+// encode builds the CNF.
+func (p *Problem) encode() {
+	s := sat.New()
+	s.MaxConflicts = p.opt.MaxConflicts
+	p.solver = s
+	K := p.K
+
+	// Launch variables.
+	for mi, mt := range p.terms {
+		for i := 0; i+mt.latency <= K; i++ {
+			for _, u := range mt.op.Units {
+				p.uVar[[3]int32{int32(mi), int32(i), int32(u)}] = s.NewVar()
+			}
+		}
+		if len(mt.modes) > 1 {
+			for k := range mt.modes {
+				p.modeVar[[2]int32{int32(mi), int32(k)}] = s.NewVar()
+			}
+		}
+	}
+	// Availability variables for cone classes.
+	for q := range p.cone {
+		for i := 0; i < K; i++ {
+			for c := 0; c < p.bClusters; c++ {
+				p.bVar[[3]int32{int32(q), int32(i), int32(c)}] = s.NewVar()
+			}
+		}
+	}
+
+	// 1. Availability definition: B(q,i,c) -> some launch completes a
+	// machine term of q visible on cluster c by end of cycle i.
+	for q := range p.cone {
+		for i := 0; i < K; i++ {
+			for c := 0; c < p.bClusters; c++ {
+				lits := []sat.Lit{sat.Neg(p.bVar[[3]int32{int32(q), int32(i), int32(c)}])}
+				for mi, mt := range p.terms {
+					if p.G.Find(mt.class) != p.G.Find(q) {
+						continue
+					}
+					for j := 0; j+mt.latency <= K; j++ {
+						for _, u := range mt.op.Units {
+							if j+mt.latency-1+p.xdelay(p.clusterOf(u), c) <= i {
+								lits = append(lits, sat.Pos(p.uVar[[3]int32{int32(mi), int32(j), int32(u)}]))
+							}
+						}
+					}
+				}
+				s.AddClause(lits...)
+			}
+		}
+	}
+
+	// 2. Operand availability per launch (and mode).
+	for mi, mt := range p.terms {
+		multi := len(mt.modes) > 1
+		for i := 0; i+mt.latency <= K; i++ {
+			for _, u := range mt.op.Units {
+				uv := p.uVar[[3]int32{int32(mi), int32(i), int32(u)}]
+				if multi {
+					// U -> some mode chosen.
+					lits := []sat.Lit{sat.Neg(uv)}
+					for k := range mt.modes {
+						lits = append(lits, sat.Pos(p.modeVar[[2]int32{int32(mi), int32(k)}]))
+					}
+					s.AddClause(lits...)
+				}
+				for k, md := range mt.modes {
+					for _, rq := range md.reqs {
+						rq = p.G.Find(rq)
+						if p.inputAvail[rq] {
+							continue
+						}
+						var lits []sat.Lit
+						if multi {
+							lits = append(lits, sat.Neg(p.modeVar[[2]int32{int32(mi), int32(k)}]))
+						}
+						lits = append(lits, sat.Neg(uv))
+						if i > 0 {
+							lits = append(lits, sat.Pos(p.bVar[[3]int32{int32(rq), int32(i - 1), int32(p.clusterOf(u))}]))
+						}
+						s.AddClause(lits...)
+					}
+				}
+			}
+		}
+	}
+
+	// 3. Functional unit exclusivity: one launch per (cycle, unit).
+	for i := 0; i < K; i++ {
+		for u := range p.Desc.Units {
+			var lits []sat.Lit
+			for mi, mt := range p.terms {
+				if i+mt.latency > K {
+					continue
+				}
+				if v, ok := p.uVar[[3]int32{int32(mi), int32(i), int32(u)}]; ok {
+					lits = append(lits, sat.Pos(v))
+				}
+			}
+			s.AtMostOne(lits)
+		}
+	}
+
+	// 4. Issue width (when narrower than the unit count).
+	if p.Desc.IssueWidth < len(p.Desc.Units) {
+		for i := 0; i < K; i++ {
+			var lits []sat.Lit
+			for mi, mt := range p.terms {
+				if i+mt.latency > K {
+					continue
+				}
+				for _, u := range mt.op.Units {
+					lits = append(lits, sat.Pos(p.uVar[[3]int32{int32(mi), int32(i), int32(u)}]))
+				}
+			}
+			s.AtMostK(lits, p.Desc.IssueWidth)
+		}
+	}
+
+	// 5. Each machine term launches at most once (pruning).
+	if !p.opt.DisableAtMostOncePerTerm {
+		for mi, mt := range p.terms {
+			var lits []sat.Lit
+			for i := 0; i+mt.latency <= K; i++ {
+				for _, u := range mt.op.Units {
+					lits = append(lits, sat.Pos(p.uVar[[3]int32{int32(mi), int32(i), int32(u)}]))
+				}
+			}
+			s.AtMostOne(lits)
+		}
+	}
+
+	// 6. Goals: every goal class available by end of cycle K-1 (on any
+	// cluster — the producing cluster's register file holds it).
+	for _, q := range p.goals {
+		q = p.G.Find(q)
+		if p.inputAvail[q] {
+			continue
+		}
+		var lits []sat.Lit
+		if K > 0 {
+			for c := 0; c < p.bClusters; c++ {
+				lits = append(lits, sat.Pos(p.bVar[[3]int32{int32(q), int32(K - 1), int32(c)}]))
+			}
+		}
+		s.AddClause(lits...) // empty at K=0: nothing can be computed
+	}
+
+	// 7. Guard safety: protected loads launch only after the guard value
+	// is available.
+	if p.hasGuard && p.GMA.ProtectLoads {
+		gq := p.G.Find(p.guard)
+		if !p.inputAvail[gq] {
+			for mi, mt := range p.terms {
+				if mt.op.Class != arch.ClassLoad {
+					continue
+				}
+				for i := 0; i+mt.latency <= K; i++ {
+					for _, u := range mt.op.Units {
+						uv := p.uVar[[3]int32{int32(mi), int32(i), int32(u)}]
+						if i == 0 {
+							s.AddClause(sat.Neg(uv))
+							continue
+						}
+						s.AddClause(sat.Neg(uv), sat.Pos(p.bVar[[3]int32{int32(gq), int32(i - 1), int32(p.clusterOf(u))}]))
+					}
+				}
+			}
+		}
+	}
+
+	// 8. Memory anti-dependences: a load reading memory state M must
+	// launch strictly before any store that overwrites M.
+	for li, lt := range p.terms {
+		if lt.op.Class != arch.ClassLoad {
+			continue
+		}
+		for si, st := range p.terms {
+			if st.op.Class != arch.ClassStore {
+				continue
+			}
+			if p.G.Find(lt.args[0]) != p.G.Find(st.args[0]) {
+				continue
+			}
+			for i := 0; i+lt.latency <= K; i++ {
+				for j := 0; j+st.latency <= K && j <= i; j++ {
+					for _, lu := range lt.op.Units {
+						for _, su := range st.op.Units {
+							s.AddClause(
+								sat.Neg(p.uVar[[3]int32{int32(li), int32(i), int32(lu)}]),
+								sat.Neg(p.uVar[[3]int32{int32(si), int32(j), int32(su)}]),
+							)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Solve runs the SAT probe. The returned Stat records the problem size and
+// outcome whether or not a schedule exists.
+func (p *Problem) Solve() (*Schedule, Stat, error) {
+	res := p.solver.Solve()
+	st := p.solver.Stats()
+	stat := Stat{
+		K:            p.K,
+		Vars:         st.Vars,
+		Clauses:      st.Clauses,
+		Result:       res,
+		Conflicts:    st.Conflicts,
+		Decisions:    st.Decisions,
+		MachineTerms: len(p.terms),
+		ConeClasses:  len(p.cone),
+	}
+	if res != sat.Sat {
+		return nil, stat, nil
+	}
+	sched, err := p.decode()
+	return sched, stat, err
+}

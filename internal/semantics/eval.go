@@ -1,0 +1,172 @@
+package semantics
+
+import (
+	"fmt"
+
+	"repro/internal/term"
+)
+
+// Def is a definitional expansion for a program-local operator: the
+// operator applied to Params equals Body. Used by Eval when an operator
+// has no built-in semantics.
+type Def struct {
+	Params []string
+	Body   *term.Term
+}
+
+// maxDefDepth bounds recursive definitional expansion.
+const maxDefDepth = 64
+
+// Eval evaluates a ground-or-environment-closed term under env. Variables
+// listed in env.MemContents evaluate to memory values; all other variables
+// must be bound in env.Words. Operators without built-in semantics are
+// expanded through env.Defs (program-local operator definitions).
+func Eval(t *term.Term, env *Env) (Value, error) {
+	return evalDepth(t, env, 0)
+}
+
+func evalDepth(t *term.Term, env *Env, depth int) (Value, error) {
+	if depth > maxDefDepth {
+		return nil, fmt.Errorf("semantics: definitional expansion too deep at %s", t)
+	}
+	switch t.Kind {
+	case term.Const:
+		return Word(t.Word), nil
+	case term.Var:
+		if _, ok := env.MemContents[t.Name]; ok {
+			return &Mem{Base: t.Name}, nil
+		}
+		if w, ok := env.Words[t.Name]; ok {
+			return Word(w), nil
+		}
+		return nil, fmt.Errorf("semantics: unbound variable %q", t.Name)
+	}
+	switch t.Op {
+	case "select":
+		if len(t.Args) != 2 {
+			return nil, fmt.Errorf("semantics: select expects 2 args, got %d", len(t.Args))
+		}
+		m, err := evalMemDepth(t.Args[0], env, depth)
+		if err != nil {
+			return nil, err
+		}
+		a, err := evalWordDepth(t.Args[1], env, depth)
+		if err != nil {
+			return nil, err
+		}
+		return Word(m.Read(a, env.MemContents[m.Base])), nil
+	case "store":
+		if len(t.Args) != 3 {
+			return nil, fmt.Errorf("semantics: store expects 3 args, got %d", len(t.Args))
+		}
+		m, err := evalMemDepth(t.Args[0], env, depth)
+		if err != nil {
+			return nil, err
+		}
+		a, err := evalWordDepth(t.Args[1], env, depth)
+		if err != nil {
+			return nil, err
+		}
+		v, err := evalWordDepth(t.Args[2], env, depth)
+		if err != nil {
+			return nil, err
+		}
+		return m.Store(a, v), nil
+	}
+	op, ok := wordOps[t.Op]
+	if !ok {
+		if def, hasDef := env.Defs[t.Op]; hasDef {
+			if len(def.Params) != len(t.Args) {
+				return nil, fmt.Errorf("semantics: %s expects %d args, got %d", t.Op, len(def.Params), len(t.Args))
+			}
+			// Evaluate arguments in the outer scope, then the body in a
+			// fresh scope binding only the parameters (plus memories and
+			// defs, which are global).
+			inner := &Env{Words: map[string]uint64{}, MemContents: env.MemContents, Defs: env.Defs}
+			for i, p := range def.Params {
+				w, err := evalWordDepth(t.Args[i], env, depth)
+				if err != nil {
+					return nil, err
+				}
+				inner.Words[p] = w
+			}
+			return evalDepth(def.Body, inner, depth+1)
+		}
+		return nil, fmt.Errorf("semantics: unknown operator %q", t.Op)
+	}
+	if op.Arity != len(t.Args) {
+		return nil, fmt.Errorf("semantics: %s expects %d args, got %d", t.Op, op.Arity, len(t.Args))
+	}
+	args := make([]uint64, len(t.Args))
+	for i, at := range t.Args {
+		w, err := evalWordDepth(at, env, depth)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = w
+	}
+	return Word(op.Fn(args)), nil
+}
+
+// EvalWord evaluates t and requires a word result.
+func EvalWord(t *term.Term, env *Env) (uint64, error) {
+	return evalWordDepth(t, env, 0)
+}
+
+func evalWordDepth(t *term.Term, env *Env, depth int) (uint64, error) {
+	v, err := evalDepth(t, env, depth)
+	if err != nil {
+		return 0, err
+	}
+	w, ok := v.(Word)
+	if !ok {
+		return 0, fmt.Errorf("semantics: term %s evaluates to a memory, not a word", t)
+	}
+	return uint64(w), nil
+}
+
+func evalMemDepth(t *term.Term, env *Env, depth int) (*Mem, error) {
+	v, err := evalDepth(t, env, depth)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := v.(*Mem)
+	if !ok {
+		return nil, fmt.Errorf("semantics: term %s evaluates to a word, not a memory", t)
+	}
+	return m, nil
+}
+
+// ValuesEqual compares two evaluation results. Words compare by value.
+// Memories compare by reading both at every address either has written
+// plus every address in probe; their bases must match.
+func ValuesEqual(a, b Value, env *Env, probe []uint64) bool {
+	switch av := a.(type) {
+	case Word:
+		bv, ok := b.(Word)
+		return ok && av == bv
+	case *Mem:
+		bv, ok := b.(*Mem)
+		if !ok || av.Base != bv.Base {
+			return false
+		}
+		base := env.MemContents[av.Base]
+		addrs := map[uint64]bool{}
+		for _, w := range av.Writes() {
+			addrs[w] = true
+		}
+		for _, w := range bv.Writes() {
+			addrs[w] = true
+		}
+		for _, p := range probe {
+			addrs[p] = true
+		}
+		for addr := range addrs {
+			if av.Read(addr, base) != bv.Read(addr, base) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

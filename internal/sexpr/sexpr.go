@@ -1,0 +1,236 @@
+// Package sexpr implements a reader for the LISP-like surface syntax used
+// by Denali's axiom files and input programs (see Figure 6 of the paper).
+//
+// The syntax is minimal: parenthesized lists, symbol atoms (which may begin
+// with a backslash, as in \add64 or \procdecl), decimal and hexadecimal
+// integer atoms, and comments introduced by a semicolon running to end of
+// line.
+package sexpr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Expr is a single s-expression: either an atom or a list.
+type Expr struct {
+	// Atom holds the token text when the expression is an atom.
+	Atom string
+	// List holds the sub-expressions when the expression is a list.
+	List []*Expr
+	// atom distinguishes an atom from an empty list.
+	atom bool
+	// Line and Col locate the expression in the source, 1-based.
+	Line, Col int
+}
+
+// IsAtom reports whether e is an atom rather than a list.
+func (e *Expr) IsAtom() bool { return e.atom }
+
+// IsList reports whether e is a list.
+func (e *Expr) IsList() bool { return !e.atom }
+
+// Head returns the atom text of the first element of a list, or "" if e is
+// not a list or its first element is not an atom.
+func (e *Expr) Head() string {
+	if e.atom || len(e.List) == 0 || !e.List[0].atom {
+		return ""
+	}
+	return e.List[0].Atom
+}
+
+// Int parses the atom as a (possibly negative, possibly 0x-prefixed)
+// integer constant interpreted as a 64-bit word.
+func (e *Expr) Int() (uint64, bool) {
+	if !e.atom {
+		return 0, false
+	}
+	return ParseInt(e.Atom)
+}
+
+// ParseInt parses an integer literal token. Negative literals wrap modulo
+// 2^64, matching the machine's two's-complement interpretation.
+func ParseInt(s string) (uint64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	neg := false
+	if s[0] == '-' {
+		neg = true
+		s = s[1:]
+		if s == "" {
+			return 0, false
+		}
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, false
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// String renders the expression back to source form.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.write(&b)
+	return b.String()
+}
+
+func (e *Expr) write(b *strings.Builder) {
+	if e.atom {
+		b.WriteString(e.Atom)
+		return
+	}
+	b.WriteByte('(')
+	for i, sub := range e.List {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		sub.write(b)
+	}
+	b.WriteByte(')')
+}
+
+// Atom constructs an atom expression.
+func Atom(s string) *Expr { return &Expr{Atom: s, atom: true} }
+
+// List constructs a list expression.
+func List(elems ...*Expr) *Expr { return &Expr{List: elems} }
+
+// SyntaxError describes a malformed input with its position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sexpr: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type reader struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+// ReadAll parses an entire source text into a sequence of top-level
+// expressions.
+func ReadAll(src string) ([]*Expr, error) {
+	r := &reader{src: []rune(src), line: 1, col: 1}
+	var out []*Expr
+	for {
+		r.skipSpace()
+		if r.eof() {
+			return out, nil
+		}
+		e, err := r.read()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+}
+
+// ReadOne parses exactly one expression, rejecting trailing content.
+func ReadOne(src string) (*Expr, error) {
+	all, err := ReadAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(all) != 1 {
+		return nil, &SyntaxError{Line: 1, Col: 1, Msg: fmt.Sprintf("expected exactly one expression, found %d", len(all))}
+	}
+	return all[0], nil
+}
+
+func (r *reader) eof() bool { return r.pos >= len(r.src) }
+
+func (r *reader) peek() rune { return r.src[r.pos] }
+
+func (r *reader) next() rune {
+	c := r.src[r.pos]
+	r.pos++
+	if c == '\n' {
+		r.line++
+		r.col = 1
+	} else {
+		r.col++
+	}
+	return c
+}
+
+func (r *reader) skipSpace() {
+	for !r.eof() {
+		c := r.peek()
+		switch {
+		case unicode.IsSpace(c):
+			r.next()
+		case c == ';':
+			for !r.eof() && r.peek() != '\n' {
+				r.next()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (r *reader) errf(format string, args ...any) error {
+	return &SyntaxError{Line: r.line, Col: r.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (r *reader) read() (*Expr, error) {
+	r.skipSpace()
+	if r.eof() {
+		return nil, r.errf("unexpected end of input")
+	}
+	line, col := r.line, r.col
+	c := r.peek()
+	switch {
+	case c == '(':
+		r.next()
+		list := []*Expr{}
+		for {
+			r.skipSpace()
+			if r.eof() {
+				return nil, r.errf("unterminated list opened at %d:%d", line, col)
+			}
+			if r.peek() == ')' {
+				r.next()
+				return &Expr{List: list, Line: line, Col: col}, nil
+			}
+			sub, err := r.read()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, sub)
+		}
+	case c == ')':
+		return nil, r.errf("unexpected ')'")
+	default:
+		var b strings.Builder
+		for !r.eof() {
+			c := r.peek()
+			if unicode.IsSpace(c) || c == '(' || c == ')' || c == ';' {
+				break
+			}
+			b.WriteRune(r.next())
+		}
+		if b.Len() == 0 {
+			return nil, r.errf("empty atom")
+		}
+		return &Expr{Atom: b.String(), atom: true, Line: line, Col: col}, nil
+	}
+}

@@ -1,0 +1,190 @@
+package sexpr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadAtom(t *testing.T) {
+	e, err := ReadOne(`\add64`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.IsAtom() || e.Atom != `\add64` {
+		t.Fatalf("got %v", e)
+	}
+}
+
+func TestReadList(t *testing.T) {
+	e, err := ReadOne(`(eq (add a b) (add b a))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.IsAtom() || len(e.List) != 3 {
+		t.Fatalf("got %v", e)
+	}
+	if e.Head() != "eq" {
+		t.Fatalf("head = %q", e.Head())
+	}
+	if e.List[1].Head() != "add" {
+		t.Fatalf("inner head = %q", e.List[1].Head())
+	}
+}
+
+func TestReadAllWithComments(t *testing.T) {
+	src := `
+; carry returns the carry bit
+(\opdecl carry (long long) long)
+(\axiom (forall (a b) (pats (carry a b))
+  (eq (carry a b) (\cmpult (\add64 a b) a)))) ; trailing comment
+`
+	exprs, err := ReadAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exprs) != 2 {
+		t.Fatalf("expected 2 exprs, got %d", len(exprs))
+	}
+	if exprs[0].Head() != `\opdecl` || exprs[1].Head() != `\axiom` {
+		t.Fatalf("heads: %q %q", exprs[0].Head(), exprs[1].Head())
+	}
+}
+
+func TestReadNested(t *testing.T) {
+	e, err := ReadOne(`(a (b (c (d))))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth := 0
+	for cur := e; cur.IsList() && len(cur.List) == 2; cur = cur.List[1] {
+		depth++
+	}
+	if depth != 3 {
+		t.Fatalf("depth = %d", depth)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{`(a b`, `)`, `(a))`, ``, `(a) (b)`}
+	for _, src := range cases {
+		if _, err := ReadOne(src); err == nil {
+			t.Errorf("ReadOne(%q): expected error", src)
+		}
+	}
+	if _, err := ReadAll(`(a b`); err == nil {
+		t.Error("ReadAll of unterminated list: expected error")
+	}
+}
+
+func TestErrorPosition(t *testing.T) {
+	_, err := ReadAll("(a\n  b))")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("expected SyntaxError, got %v", err)
+	}
+	if se.Line != 2 {
+		t.Fatalf("line = %d, want 2", se.Line)
+	}
+	if !strings.Contains(se.Error(), "unexpected ')'") {
+		t.Fatalf("message: %s", se.Error())
+	}
+}
+
+func TestParseInt(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"255", 255, true},
+		{"0xff", 255, true},
+		{"0xFFFF", 65535, true},
+		{"-1", ^uint64(0), true},
+		{"-8", ^uint64(7), true},
+		{"18446744073709551615", ^uint64(0), true},
+		{"abc", 0, false},
+		{"", 0, false},
+		{"-", 0, false},
+		{"0x", 0, false},
+		{"1.5", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseInt(c.in)
+		if ok != c.ok || got != c.want {
+			t.Errorf("ParseInt(%q) = %d,%v; want %d,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestExprInt(t *testing.T) {
+	e, err := ReadOne("42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := e.Int()
+	if !ok || v != 42 {
+		t.Fatalf("Int() = %d,%v", v, ok)
+	}
+	l, _ := ReadOne("(42)")
+	if _, ok := l.Int(); ok {
+		t.Fatal("list should not parse as int")
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	e := List(Atom("f"), Atom("x"), List(Atom("g"), Atom("y")))
+	if e.String() != "(f x (g y))" {
+		t.Fatalf("String() = %q", e.String())
+	}
+}
+
+// TestRoundTrip checks that printing and re-reading an expression built from
+// random small trees is the identity.
+func TestRoundTrip(t *testing.T) {
+	// Build deterministic but varied trees from an integer seed.
+	var build func(seed, depth int) *Expr
+	build = func(seed, depth int) *Expr {
+		if depth == 0 || seed%3 == 0 {
+			atoms := []string{"a", `\add64`, "42", "-7", "0xff", "foo-bar", ":="}
+			return Atom(atoms[abs(seed)%len(atoms)])
+		}
+		n := abs(seed)%3 + 1
+		elems := make([]*Expr, n)
+		for i := range elems {
+			elems[i] = build(seed/2+i*7+1, depth-1)
+		}
+		return List(elems...)
+	}
+	f := func(seed int, depth uint8) bool {
+		e := build(seed, int(depth%4))
+		got, err := ReadOne(e.String())
+		if err != nil {
+			return false
+		}
+		return got.String() == e.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestHeadOnAtom(t *testing.T) {
+	if Atom("x").Head() != "" {
+		t.Fatal("atom Head should be empty")
+	}
+	if List().Head() != "" {
+		t.Fatal("empty list Head should be empty")
+	}
+	if List(List(Atom("x"))).Head() != "" {
+		t.Fatal("list-headed list Head should be empty")
+	}
+}

@@ -1,0 +1,93 @@
+package term
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sexpr"
+)
+
+// CanonOp strips the leading backslash that the surface syntax uses for
+// built-in operators, so \add64 and add64 name the same operator.
+func CanonOp(s string) string { return strings.TrimPrefix(s, `\`) }
+
+// FromSexpr converts a parsed s-expression into a term. Integer atoms
+// become constants; other atoms become variables; lists become operator
+// applications whose operator is the canonicalized head atom.
+//
+// Surface operator aliases are normalized: + becomes add64, - becomes
+// sub64, * becomes mul64, < becomes cmplt, and << becomes sll, so that the
+// paper's infix-flavoured examples read naturally in prefix form.
+func FromSexpr(e *sexpr.Expr) (*Term, error) {
+	if e.IsAtom() {
+		if w, ok := e.Int(); ok {
+			return NewConst(w), nil
+		}
+		return NewVar(CanonOp(e.Atom)), nil
+	}
+	if len(e.List) == 0 {
+		return nil, fmt.Errorf("term: %d:%d: empty application", e.Line, e.Col)
+	}
+	head := e.List[0]
+	if !head.IsAtom() {
+		return nil, fmt.Errorf("term: %d:%d: operator must be an atom", e.Line, e.Col)
+	}
+	op := NormalizeOp(CanonOp(head.Atom))
+	args := make([]*Term, 0, len(e.List)-1)
+	for _, sub := range e.List[1:] {
+		t, err := FromSexpr(sub)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, t)
+	}
+	return NewApp(op, args...), nil
+}
+
+// NormalizeOp maps surface aliases to canonical operator names.
+func NormalizeOp(op string) string {
+	switch op {
+	case "+":
+		return "add64"
+	case "-":
+		return "sub64"
+	case "*":
+		return "mul64"
+	case "<":
+		return "cmplt"
+	case "<=":
+		return "cmple"
+	case "<u":
+		return "cmpult"
+	case "<=u":
+		return "cmpule"
+	case "==":
+		return "cmpeq"
+	case "<<":
+		return "sll"
+	case ">>":
+		return "srl"
+	case "&":
+		return "and64"
+	case "|":
+		return "bis"
+	case "^":
+		return "xor64"
+	default:
+		return op
+	}
+}
+
+// MustParse parses src as a single term, panicking on error. It is intended
+// for tests and for the built-in axiom tables, whose sources are constants.
+func MustParse(src string) *Term {
+	e, err := sexpr.ReadOne(src)
+	if err != nil {
+		panic(err)
+	}
+	t, err := FromSexpr(e)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

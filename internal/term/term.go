@@ -1,0 +1,240 @@
+// Package term defines the first-order terms that Denali's pipeline
+// manipulates: 64-bit word constants, named variables (program inputs such
+// as registers and the memory M), and operator applications.
+//
+// Operator names are plain strings in their canonical (backslash-free)
+// form, e.g. "add64", "select", "extbl", "**". The architecture description
+// decides which operators are machine operations; the term layer is
+// architecture-neutral.
+package term
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a term node.
+type Kind uint8
+
+const (
+	// Const is a 64-bit word constant.
+	Const Kind = iota
+	// Var is a named input: a register, a procedure parameter, or a
+	// memory variable. In axiom patterns, Var nodes whose names appear in
+	// the axiom's quantifier list act as pattern variables.
+	Var
+	// App is an operator application.
+	App
+)
+
+// Term is an immutable term tree.
+type Term struct {
+	Kind Kind
+	// Op is the operator name for App terms.
+	Op string
+	// Args are the operands of an App term.
+	Args []*Term
+	// Word is the value of a Const term.
+	Word uint64
+	// Name identifies a Var term.
+	Name string
+}
+
+// NewConst returns a constant term.
+func NewConst(w uint64) *Term { return &Term{Kind: Const, Word: w} }
+
+// NewVar returns a variable term.
+func NewVar(name string) *Term { return &Term{Kind: Var, Name: name} }
+
+// NewApp returns an application term.
+func NewApp(op string, args ...*Term) *Term {
+	return &Term{Kind: App, Op: op, Args: args}
+}
+
+// Equal reports structural equality.
+func (t *Term) Equal(u *Term) bool {
+	if t == u {
+		return true
+	}
+	if t == nil || u == nil || t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case Const:
+		return t.Word == u.Word
+	case Var:
+		return t.Name == u.Name
+	default:
+		if t.Op != u.Op || len(t.Args) != len(u.Args) {
+			return false
+		}
+		for i := range t.Args {
+			if !t.Args[i].Equal(u.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Size returns the number of nodes in the term tree.
+func (t *Term) Size() int {
+	n := 1
+	for _, a := range t.Args {
+		n += a.Size()
+	}
+	return n
+}
+
+// Depth returns the height of the term tree; leaves have depth 1.
+func (t *Term) Depth() int {
+	d := 0
+	for _, a := range t.Args {
+		if ad := a.Depth(); ad > d {
+			d = ad
+		}
+	}
+	return d + 1
+}
+
+// Vars returns the sorted set of variable names occurring in t.
+func (t *Term) Vars() []string {
+	set := map[string]bool{}
+	t.collectVars(set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (t *Term) collectVars(set map[string]bool) {
+	switch t.Kind {
+	case Var:
+		set[t.Name] = true
+	case App:
+		for _, a := range t.Args {
+			a.collectVars(set)
+		}
+	}
+}
+
+// Substitute replaces every Var whose name is bound in sub with the bound
+// term, returning a new term. Unbound variables are left in place.
+func (t *Term) Substitute(sub map[string]*Term) *Term {
+	switch t.Kind {
+	case Const:
+		return t
+	case Var:
+		if r, ok := sub[t.Name]; ok {
+			return r
+		}
+		return t
+	default:
+		args := make([]*Term, len(t.Args))
+		changed := false
+		for i, a := range t.Args {
+			args[i] = a.Substitute(sub)
+			if args[i] != a {
+				changed = true
+			}
+		}
+		if !changed {
+			return t
+		}
+		return &Term{Kind: App, Op: t.Op, Args: args}
+	}
+}
+
+// String renders the term in the paper's parenthesized notation, with
+// constants printed in decimal (hex for large values).
+func (t *Term) String() string {
+	var b strings.Builder
+	t.write(&b)
+	return b.String()
+}
+
+func (t *Term) write(b *strings.Builder) {
+	switch t.Kind {
+	case Const:
+		if t.Word > 1<<32 {
+			fmt.Fprintf(b, "0x%x", t.Word)
+		} else {
+			fmt.Fprintf(b, "%d", t.Word)
+		}
+	case Var:
+		b.WriteString(t.Name)
+	default:
+		b.WriteByte('(')
+		b.WriteString(t.Op)
+		for _, a := range t.Args {
+			b.WriteByte(' ')
+			a.write(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// Key returns a canonical string key for the term, usable as a map key for
+// structural identity. Distinct terms have distinct keys.
+func (t *Term) Key() string {
+	var b strings.Builder
+	t.key(&b)
+	return b.String()
+}
+
+func (t *Term) key(b *strings.Builder) {
+	switch t.Kind {
+	case Const:
+		fmt.Fprintf(b, "#%x", t.Word)
+	case Var:
+		b.WriteByte('$')
+		b.WriteString(t.Name)
+	default:
+		b.WriteByte('(')
+		b.WriteString(t.Op)
+		for _, a := range t.Args {
+			b.WriteByte(' ')
+			a.key(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// Subterms returns t and every subterm of t in post-order (children before
+// parents). Shared structure is visited once per occurrence.
+func (t *Term) Subterms() []*Term {
+	var out []*Term
+	var walk func(*Term)
+	walk = func(u *Term) {
+		for _, a := range u.Args {
+			walk(a)
+		}
+		out = append(out, u)
+	}
+	walk(t)
+	return out
+}
+
+// Ops returns the sorted set of operator names used in t.
+func (t *Term) Ops() []string {
+	set := map[string]bool{}
+	var walk func(*Term)
+	walk = func(u *Term) {
+		if u.Kind == App {
+			set[u.Op] = true
+			for _, a := range u.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(t)
+	out := make([]string, 0, len(set))
+	for op := range set {
+		out = append(out, op)
+	}
+	sort.Strings(out)
+	return out
+}

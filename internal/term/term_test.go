@@ -1,0 +1,171 @@
+package term
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndString(t *testing.T) {
+	tm := NewApp("add64", NewApp("mul64", NewVar("reg6"), NewConst(4)), NewConst(1))
+	if got := tm.String(); got != "(add64 (mul64 reg6 4) 1)" {
+		t.Fatalf("String = %q", got)
+	}
+	if tm.Size() != 5 {
+		t.Fatalf("Size = %d", tm.Size())
+	}
+	if tm.Depth() != 3 {
+		t.Fatalf("Depth = %d", tm.Depth())
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := MustParse("(add64 x (mul64 y 2))")
+	b := MustParse("(add64 x (mul64 y 2))")
+	c := MustParse("(add64 x (mul64 y 3))")
+	if !a.Equal(b) {
+		t.Fatal("a should equal b")
+	}
+	if a.Equal(c) {
+		t.Fatal("a should not equal c")
+	}
+	if a.Equal(nil) {
+		t.Fatal("a should not equal nil")
+	}
+	if !NewConst(7).Equal(NewConst(7)) {
+		t.Fatal("consts")
+	}
+	if NewConst(7).Equal(NewVar("x")) {
+		t.Fatal("const vs var")
+	}
+	if NewApp("f", NewVar("x")).Equal(NewApp("f", NewVar("x"), NewVar("y"))) {
+		t.Fatal("different arities")
+	}
+}
+
+func TestVars(t *testing.T) {
+	tm := MustParse("(add64 (mul64 b a) (sll a c))")
+	got := tm.Vars()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	tm := MustParse("(add64 x (mul64 x y))")
+	sub := map[string]*Term{"x": NewConst(3), "y": NewVar("z")}
+	got := tm.Substitute(sub)
+	if got.String() != "(add64 3 (mul64 3 z))" {
+		t.Fatalf("Substitute = %s", got)
+	}
+	// Unbound variables remain.
+	tm2 := MustParse("(f w)")
+	if tm2.Substitute(sub) != tm2 {
+		t.Fatal("substitution with no bound vars should return the same term")
+	}
+}
+
+func TestKeyInjective(t *testing.T) {
+	terms := []*Term{
+		MustParse("(f x y)"),
+		MustParse("(f (g x) y)"),
+		MustParse("(f x (g y))"),
+		MustParse("(g x y)"),
+		NewConst(4),
+		NewConst(5),
+		NewVar("v4"),
+		MustParse("(f 4)"),
+		MustParse("(f v4)"),
+	}
+	seen := map[string]*Term{}
+	for _, tm := range terms {
+		k := tm.Key()
+		if prev, ok := seen[k]; ok {
+			t.Fatalf("key collision: %s and %s both have key %q", prev, tm, k)
+		}
+		seen[k] = tm
+	}
+}
+
+func TestFromSexprAliases(t *testing.T) {
+	cases := map[string]string{
+		"(+ a b)":             "(add64 a b)",
+		"(* a 4)":             "(mul64 a 4)",
+		"(- a b)":             "(sub64 a b)",
+		"(< p q)":             "(cmplt p q)",
+		"(<< x 2)":            "(sll x 2)",
+		`(\extbl w 1)`:        "(extbl w 1)",
+		`(\add64 a (\f b))`:   "(add64 a (f b))",
+		"(| (& a b) (^ c d))": "(bis (and64 a b) (xor64 c d))",
+	}
+	for in, want := range cases {
+		got := MustParse(in)
+		if got.String() != want {
+			t.Errorf("MustParse(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestFromSexprNegativeConst(t *testing.T) {
+	tm := MustParse("(add64 x -8)")
+	if tm.Args[1].Kind != Const || tm.Args[1].Word != ^uint64(7) {
+		t.Fatalf("got %v", tm.Args[1])
+	}
+}
+
+func TestSubterms(t *testing.T) {
+	tm := MustParse("(f (g x) y)")
+	subs := tm.Subterms()
+	if len(subs) != 4 {
+		t.Fatalf("Subterms len = %d", len(subs))
+	}
+	// Post-order: x, (g x), y, (f (g x) y)
+	if subs[0].Name != "x" || subs[1].Op != "g" || subs[2].Name != "y" || subs[3].Op != "f" {
+		t.Fatalf("order wrong: %v", subs)
+	}
+}
+
+func TestOps(t *testing.T) {
+	tm := MustParse("(add64 (mul64 a b) (add64 c (sll d 1)))")
+	ops := tm.Ops()
+	want := []string{"add64", "mul64", "sll"}
+	if len(ops) != len(want) {
+		t.Fatalf("Ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("Ops = %v", ops)
+		}
+	}
+}
+
+// Property: substitution is compatible with Vars — after substituting all
+// variables with constants, no variables remain.
+func TestSubstituteGroundProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		tm := MustParse("(add64 (mul64 x y) (sll x (bis y x)))")
+		sub := map[string]*Term{"x": NewConst(a), "y": NewConst(b)}
+		g := tm.Substitute(sub)
+		return len(g.Vars()) == 0 && g.Size() == tm.Size()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Key is stable under re-parsing the String form for ground terms.
+func TestStringKeyStable(t *testing.T) {
+	f := func(a, b uint64) bool {
+		tm := NewApp("add64", NewConst(a%1000), NewApp("mul64", NewConst(b%1000), NewVar("x")))
+		re := MustParse(tm.String())
+		return re.Key() == tm.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,367 @@
+// Package repro is a from-scratch Go reproduction of "Denali: A
+// Goal-directed Superoptimizer" (Joshi, Nelson, Randall; PLDI 2002): a
+// code generator that uses matching in an E-graph plus boolean
+// satisfiability search to produce near-optimal Alpha EV6 machine code
+// for guarded multi-assignments, together with the comparison baselines
+// the paper evaluates against.
+//
+// The top-level entry point compiles a program in Denali's parenthesized
+// input language (Figure 6 of the paper):
+//
+//	res, err := repro.Compile(src, repro.Options{})
+//	fmt.Println(res.Procs[0].GMAs[0].Assembly)
+//
+// Each guarded multi-assignment is compiled independently by the pipeline
+// of the paper's Figure 1 — matcher → E-graph → constraint generator →
+// SAT solver — probing increasing cycle budgets until one is satisfiable,
+// so the result carries both a schedule and the refutations proving no
+// shorter schedule exists under the machine model.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/arch/alpha"
+	"repro/internal/arch/itanium"
+	"repro/internal/axioms"
+	"repro/internal/core"
+	"repro/internal/egraph"
+	"repro/internal/gma"
+	"repro/internal/lang"
+	"repro/internal/matcher"
+	"repro/internal/naivegen"
+	"repro/internal/pipeline"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+)
+
+// Options configures compilation.
+type Options struct {
+	// Arch selects the machine model: "ev6" (default), "ev6-noclusters",
+	// "ev6-single", "ev6-dual", or "itanium".
+	Arch string
+	// BinarySearch probes cycle budgets by doubling + bisection instead
+	// of linearly.
+	BinarySearch bool
+	// DescendSearch probes downward from the conventional baseline's
+	// cycle count: SAT probes near the optimum are cheap while the
+	// just-infeasible refutations are hard, so descending pays the hard
+	// probe once. Combine with MaxConflicts for anytime behaviour.
+	DescendSearch bool
+	// MaxCycles bounds the budget search (default 24).
+	MaxCycles int
+	// MatcherMaxRounds and MatcherMaxNodes bound E-graph saturation.
+	MatcherMaxRounds int
+	MatcherMaxNodes  int
+	// DisableAtMostOnce drops the at-most-one-launch-per-term pruning
+	// constraint (ablation).
+	DisableAtMostOnce bool
+	// MaxConflicts bounds each SAT probe (0 = unbounded).
+	MaxConflicts int64
+	// ExtraAxioms are appended to the built-in axiom files and any
+	// program-local axioms.
+	ExtraAxioms string
+	// SoftwarePipeline rewrites each eligible loop GMA (loads, no memory
+	// writes) into a prologue plus a rotated loop whose loads fetch the
+	// next iteration's values — the transformation the paper's checksum
+	// input performs by hand (section 8). Ineligible loops compile
+	// unchanged.
+	SoftwarePipeline bool
+}
+
+// ArchDescription resolves the Options.Arch name.
+func ArchDescription(name string) (*arch.Description, error) {
+	switch name {
+	case "", "ev6":
+		return alpha.EV6(), nil
+	case "ev6-noclusters":
+		return alpha.NoClusters(), nil
+	case "ev6-single":
+		return alpha.SingleIssue(), nil
+	case "ev6-dual":
+		return alpha.DualIssue(), nil
+	case "itanium":
+		return itanium.Itanium(), nil
+	}
+	return nil, fmt.Errorf("repro: unknown architecture %q", name)
+}
+
+// ProbeStat describes one SAT probe of the budget search.
+type ProbeStat struct {
+	K         int
+	Result    string
+	Vars      int
+	Clauses   int
+	Conflicts int64
+	Elapsed   time.Duration
+}
+
+// MatchStats describes the saturation phase.
+type MatchStats struct {
+	Rounds         int
+	Instantiations int
+	Quiescent      bool
+	Nodes          int
+	Classes        int
+	Elapsed        time.Duration
+}
+
+// CompiledGMA is one compiled guarded multi-assignment.
+type CompiledGMA struct {
+	// Name labels the GMA (procedure name plus block suffix).
+	Name string
+	// Cycles is the optimal budget found; Instructions the launch count.
+	Cycles       int
+	Instructions int
+	// OptimalProven reports that every smaller budget was refuted.
+	OptimalProven bool
+	// Assembly is the annotated listing (Figure 4 style).
+	Assembly string
+	// Listing is the nop-padded per-slot listing.
+	Listing string
+	// Probes records every SAT probe.
+	Probes []ProbeStat
+	// Match records the saturation statistics.
+	Match MatchStats
+	// SolveTime is the total SAT time across probes.
+	SolveTime time.Duration
+
+	// MaxLive is the peak number of simultaneously live temporaries.
+	MaxLive int
+
+	gma   *gma.GMA
+	sched *schedule.Schedule
+	desc  *arch.Description
+	graph *egraph.Graph
+}
+
+// EGraphDot renders the GMA's saturated E-graph in Graphviz dot format
+// (Figure 2 style), for inspecting what the matcher discovered.
+func (c *CompiledGMA) EGraphDot() string {
+	var b strings.Builder
+	if err := c.graph.WriteDot(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// Proc is one compiled procedure.
+type Proc struct {
+	Name string
+	GMAs []*CompiledGMA
+}
+
+// Result is a compiled program.
+type Result struct {
+	Procs []*Proc
+}
+
+// Compile parses a Denali source program and compiles every GMA of every
+// procedure.
+func Compile(src string, opt Options) (*Result, error) {
+	desc, err := ArchDescription(opt.Arch)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	axs, err := axioms.Builtin()
+	if err != nil {
+		return nil, err
+	}
+	axs = append(axs, prog.Axioms...)
+	if opt.ExtraAxioms != "" {
+		extra, err := axioms.ParseAll(opt.ExtraAxioms, "extra")
+		if err != nil {
+			return nil, err
+		}
+		axs = append(axs, extra...)
+	}
+	copts := core.Options{
+		Desc:   desc,
+		Axioms: axs,
+		Matcher: matcher.Options{
+			MaxRounds: opt.MatcherMaxRounds,
+			MaxNodes:  opt.MatcherMaxNodes,
+		},
+		Schedule: schedule.Options{
+			DisableAtMostOncePerTerm: opt.DisableAtMostOnce,
+			MaxConflicts:             opt.MaxConflicts,
+		},
+		MaxCycles: opt.MaxCycles,
+	}
+	if opt.BinarySearch {
+		copts.Search = core.BinarySearch
+	}
+	if opt.DescendSearch {
+		copts.Search = core.DescendSearch
+	}
+	res := &Result{}
+	for _, proc := range prog.Procs {
+		cp := &Proc{Name: proc.Name}
+		for _, g := range proc.GMAs {
+			gmas := []*gma.GMA{g}
+			if opt.SoftwarePipeline && g.Guard != nil {
+				if pro, rot, err := pipeline.Pipeline(g); err == nil {
+					gmas = []*gma.GMA{pro, rot}
+				}
+			}
+			for _, g := range gmas {
+				cg, err := compileOne(g, copts, desc)
+				if err != nil {
+					return nil, fmt.Errorf("repro: %s: %w", g.Name, err)
+				}
+				cp.GMAs = append(cp.GMAs, cg)
+			}
+		}
+		res.Procs = append(res.Procs, cp)
+	}
+	return res, nil
+}
+
+// CompileGMA compiles a single pre-built GMA (used by benchmarks and
+// advanced callers that construct IR directly).
+func CompileGMA(g *gma.GMA, opt Options) (*CompiledGMA, error) {
+	desc, err := ArchDescription(opt.Arch)
+	if err != nil {
+		return nil, err
+	}
+	axs, err := axioms.Builtin()
+	if err != nil {
+		return nil, err
+	}
+	if opt.ExtraAxioms != "" {
+		extra, err := axioms.ParseAll(opt.ExtraAxioms, "extra")
+		if err != nil {
+			return nil, err
+		}
+		axs = append(axs, extra...)
+	}
+	copts := core.Options{
+		Desc:   desc,
+		Axioms: axs,
+		Matcher: matcher.Options{
+			MaxRounds: opt.MatcherMaxRounds,
+			MaxNodes:  opt.MatcherMaxNodes,
+		},
+		Schedule: schedule.Options{
+			DisableAtMostOncePerTerm: opt.DisableAtMostOnce,
+			MaxConflicts:             opt.MaxConflicts,
+		},
+		MaxCycles: opt.MaxCycles,
+	}
+	if opt.BinarySearch {
+		copts.Search = core.BinarySearch
+	}
+	if opt.DescendSearch {
+		copts.Search = core.DescendSearch
+	}
+	return compileOne(g, copts, desc)
+}
+
+func compileOne(g *gma.GMA, copts core.Options, desc *arch.Description) (*CompiledGMA, error) {
+	if copts.Search == core.DescendSearch && copts.UpperBoundHint == 0 {
+		// The baseline compiler's schedule is a feasible upper bound.
+		if s, err := naivegen.Compile(g, desc); err == nil {
+			copts.UpperBoundHint = s.K
+		}
+	}
+	c, err := core.CompileGMA(g, copts)
+	if err != nil {
+		return nil, err
+	}
+	cg := &CompiledGMA{
+		Name:          g.Name,
+		Cycles:        c.Cycles,
+		Instructions:  c.Schedule.Instructions(),
+		OptimalProven: c.OptimalProven,
+		Assembly:      c.Assembly(),
+		Listing:       c.Schedule.Listing(desc),
+		SolveTime:     c.SolveTime,
+		Match: MatchStats{
+			Rounds:         c.Match.Rounds,
+			Instantiations: c.Match.Instantiations,
+			Quiescent:      c.Match.Quiescent,
+			Nodes:          c.Match.Nodes,
+			Classes:        c.Match.Classes,
+			Elapsed:        c.MatchTime,
+		},
+		MaxLive: c.Schedule.MaxLive(),
+		gma:     g,
+		sched:   c.Schedule,
+		desc:    desc,
+		graph:   c.Graph,
+	}
+	for _, p := range c.Probes {
+		cg.Probes = append(cg.Probes, ProbeStat{
+			K: p.K, Result: p.Result.String(), Vars: p.Vars,
+			Clauses: p.Clauses, Conflicts: p.Conflicts, Elapsed: p.Elapsed,
+		})
+	}
+	return cg, nil
+}
+
+// Execute runs the compiled GMA's schedule on the simulator with the given
+// input values and initial memory, returning the final value of every
+// register target (plus "<guard>" when guarded) and the final memory.
+func (c *CompiledGMA) Execute(inputs map[string]uint64, memory map[uint64]uint64) (map[string]uint64, map[uint64]uint64, error) {
+	m := sim.NewMachine()
+	for name, reg := range c.sched.InputRegs {
+		m.Regs[reg] = inputs[name]
+	}
+	for a, v := range memory {
+		m.Mem[a] = v
+	}
+	if err := sim.Run(c.sched, c.desc, m); err != nil {
+		return nil, nil, err
+	}
+	out := map[string]uint64{}
+	for name, op := range c.sched.ResultRegs {
+		if op.IsLit {
+			out[name] = op.Lit
+		} else {
+			out[name] = m.Regs[op.Reg]
+		}
+	}
+	return out, m.Mem, nil
+}
+
+// Verify executes the schedule on n random inputs and compares against the
+// GMA's reference semantics ("correct by design", section 1 of the paper).
+func (c *CompiledGMA) Verify(n int, seed int64) error {
+	return sim.Verify(c.gma, c.sched, c.desc, rand.New(rand.NewSource(seed)), n)
+}
+
+// BaselineResult is the conventional-compiler comparator's output for the
+// same GMA.
+type BaselineResult struct {
+	Cycles       int
+	Instructions int
+	Listing      string
+}
+
+// Baseline compiles the same GMA with the conventional tree-walk code
+// generator (the paper's production-C-compiler comparator) on the same
+// machine model.
+func (c *CompiledGMA) Baseline() (*BaselineResult, error) {
+	s, err := naivegen.Compile(c.gma, c.desc)
+	if err != nil {
+		return nil, err
+	}
+	return &BaselineResult{Cycles: s.K, Instructions: len(s.Launches), Listing: s.Compact()}, nil
+}
+
+// VerifyBaseline checks the baseline's code against the GMA semantics too.
+func (c *CompiledGMA) VerifyBaseline(n int, seed int64) error {
+	s, err := naivegen.Compile(c.gma, c.desc)
+	if err != nil {
+		return err
+	}
+	return sim.Verify(c.gma, s, c.desc, rand.New(rand.NewSource(seed)), n)
+}
