@@ -6,12 +6,16 @@
 //
 // Usage:
 //
-//	denali-bench              run everything
-//	denali-bench -run E5      run one experiment
-//	denali-bench -list        list experiments
+//	denali-bench                      run everything
+//	denali-bench -run E5              run one experiment
+//	denali-bench -list                list experiments
+//	denali-bench -json BENCH_run.json also write one JSON row per compiled
+//	                                  GMA with per-phase wall time (match,
+//	                                  solve) and the full solver counters
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,9 +37,83 @@ type experiment struct {
 	run   func() error
 }
 
+// benchProbe is one SAT probe in a JSON row.
+type benchProbe struct {
+	K            int     `json:"k"`
+	Result       string  `json:"result"`
+	Vars         int     `json:"vars"`
+	Clauses      int     `json:"clauses"`
+	Conflicts    int64   `json:"conflicts"`
+	Decisions    int64   `json:"decisions"`
+	Propagations int64   `json:"propagations"`
+	Learned      int     `json:"learned"`
+	Restarts     int64   `json:"restarts"`
+	Millis       float64 `json:"ms"`
+}
+
+// benchRow is one compiled GMA in the -json output: the headline numbers
+// plus the per-phase wall time and solver counters.
+type benchRow struct {
+	Experiment   string       `json:"experiment"`
+	GMA          string       `json:"gma"`
+	Cycles       int          `json:"cycles"`
+	Instructions int          `json:"instructions"`
+	Optimal      bool         `json:"optimal"`
+	MatchMillis  float64      `json:"match_ms"`
+	SolveMillis  float64      `json:"solve_ms"`
+	MatchRounds  int          `json:"match_rounds"`
+	MatchNodes   int          `json:"match_nodes"`
+	Probes       []benchProbe `json:"probes"`
+}
+
+// rows collects the -json output; currentExp labels rows with the
+// experiment being run (the harness is single-threaded).
+var (
+	rows       []benchRow
+	currentExp string
+	jsonPath   string
+)
+
+// record appends one compiled GMA to the -json rows.
+func record(g *repro.CompiledGMA) {
+	if jsonPath == "" || g == nil {
+		return
+	}
+	row := benchRow{
+		Experiment:   currentExp,
+		GMA:          g.Name,
+		Cycles:       g.Cycles,
+		Instructions: g.Instructions,
+		Optimal:      g.OptimalProven,
+		MatchMillis:  float64(g.Match.Elapsed.Microseconds()) / 1e3,
+		SolveMillis:  float64(g.SolveTime.Microseconds()) / 1e3,
+		MatchRounds:  g.Match.Rounds,
+		MatchNodes:   g.Match.Nodes,
+	}
+	for _, p := range g.Probes {
+		row.Probes = append(row.Probes, benchProbe{
+			K: p.K, Result: p.Result, Vars: p.Vars, Clauses: p.Clauses,
+			Conflicts: p.Conflicts, Decisions: p.Decisions,
+			Propagations: p.Propagations, Learned: p.Learned, Restarts: p.Restarts,
+			Millis: float64(p.Elapsed.Microseconds()) / 1e3,
+		})
+	}
+	rows = append(rows, row)
+}
+
+// recordAll records every GMA of a compiled program.
+func recordAll(res *repro.Result) {
+	for _, proc := range res.Procs {
+		for _, g := range proc.GMAs {
+			record(g)
+		}
+	}
+}
+
 func main() {
 	runFilter := flag.String("run", "", "run only the experiment with this id (e.g. E5)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	flag.StringVar(&jsonPath, "json", "", "write per-GMA timing/counter rows to this JSON file")
 	flag.Parse()
 
 	exps := []experiment{
@@ -64,6 +142,7 @@ func main() {
 		if *runFilter != "" && e.id != *runFilter {
 			continue
 		}
+		currentExp = e.id
 		fmt.Printf("\n===== %s: %s =====\n", e.id, e.title)
 		start := time.Now()
 		if err := e.run(); err != nil {
@@ -72,6 +151,25 @@ func main() {
 		}
 		fmt.Printf("[%s done in %v]\n", e.id, time.Since(start).Round(time.Millisecond))
 	}
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "denali-bench:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		for _, r := range rows {
+			if err := enc.Encode(r); err != nil {
+				fmt.Fprintln(os.Stderr, "denali-bench:", err)
+				os.Exit(1)
+			}
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "denali-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d JSON rows written to %s\n", len(rows), jsonPath)
+	}
 }
 
 func compileOne(src string, opt repro.Options) (*repro.CompiledGMA, error) {
@@ -79,6 +177,7 @@ func compileOne(src string, opt repro.Options) (*repro.CompiledGMA, error) {
 	if err != nil {
 		return nil, err
 	}
+	record(res.Procs[0].GMAs[0])
 	return res.Procs[0].GMAs[0], nil
 }
 
@@ -151,6 +250,7 @@ func e4() error {
 	if err != nil {
 		return err
 	}
+	recordAll(res)
 	fmt.Printf("%-20s %7s %7s %6s %8s\n", "GMA", "cycles", "instrs", "IPC", "optimal")
 	for _, g := range res.Procs[0].GMAs {
 		ipc := 0.0
@@ -321,6 +421,7 @@ func e11() error {
 		if err != nil {
 			return err
 		}
+		recordAll(res)
 		loop := findLoop(res)
 		marker := ""
 		if !loop.OptimalProven {
@@ -351,6 +452,7 @@ func e12() error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", c.name, err)
 		}
+		recordAll(res)
 		for _, proc := range res.Procs {
 			for _, g := range proc.GMAs {
 				if err := g.Verify(50, 12); err != nil {

@@ -10,16 +10,26 @@
 //
 // Flags select the machine model, the budget search strategy, matcher
 // budgets, and optional post-compile verification on random inputs.
+//
+// Observability flags:
+//
+//	-trace out.json   write a Chrome trace_event file of the whole run
+//	                  (open in chrome://tracing or https://ui.perfetto.dev)
+//	-metrics          print a per-phase wall-time and counter table on stderr
+//	-pprof addr       serve net/http/pprof on addr (e.g. localhost:6060)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -35,6 +45,9 @@ func main() {
 		baseline  = flag.Bool("baseline", false, "also compile with the conventional baseline generator")
 		quiet     = flag.Bool("q", false, "print only the summary line per GMA")
 		dotPath   = flag.String("dot", "", "write each GMA's saturated E-graph as <path>_<gma>.dot")
+		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON file of the compile pipeline")
+		metrics   = flag.Bool("metrics", false, "print the per-phase metrics summary table on stderr")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -42,9 +55,21 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "denali: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 	src, err := readSource(flag.Arg(0))
 	if err != nil {
 		fatal(err)
+	}
+	var tr *obs.Trace
+	if *tracePath != "" || *metrics {
+		tr = obs.New()
 	}
 	opt := repro.Options{
 		Arch:             *archName,
@@ -52,6 +77,7 @@ func main() {
 		MaxCycles:        *maxCycles,
 		MatcherMaxRounds: *maxRounds,
 		MatcherMaxNodes:  *maxNodes,
+		Trace:            tr,
 	}
 	start := time.Now()
 	res, err := repro.Compile(src, opt)
@@ -77,8 +103,9 @@ func main() {
 					g.Match.Rounds, g.Match.Instantiations, g.Match.Nodes, g.Match.Classes,
 					g.Match.Quiescent, g.Match.Elapsed.Round(time.Microsecond))
 				for _, p := range g.Probes {
-					fmt.Printf("  K=%-3d %-7s %6d vars %7d clauses %7d conflicts %10v\n",
-						p.K, p.Result, p.Vars, p.Clauses, p.Conflicts, p.Elapsed.Round(time.Microsecond))
+					fmt.Printf("  K=%-3d %-7s %6d vars %7d clauses %7d conflicts %8d decisions %9d props %10v\n",
+						p.K, p.Result, p.Vars, p.Clauses, p.Conflicts, p.Decisions, p.Propagations,
+						p.Elapsed.Round(time.Microsecond))
 				}
 			}
 			if *baseline {
@@ -106,6 +133,22 @@ func main() {
 		}
 	}
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+	if *metrics {
+		fmt.Fprint(os.Stderr, tr.MetricsTable())
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
+	}
 }
 
 func readSource(path string) (string, error) {

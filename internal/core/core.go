@@ -17,6 +17,7 @@ import (
 	"repro/internal/egraph"
 	"repro/internal/gma"
 	"repro/internal/matcher"
+	"repro/internal/obs"
 	"repro/internal/sat"
 	"repro/internal/schedule"
 )
@@ -62,6 +63,11 @@ type Options struct {
 	// UpperBoundHint seeds DescendSearch with a known-feasible budget
 	// (e.g. the baseline compiler's cycle count); 0 means MaxCycles.
 	UpperBoundHint int
+	// Trace records the whole pipeline's telemetry — the compile root
+	// span, per-round matcher spans, and one span per SAT probe tagged
+	// with its outcome. Nil disables tracing at zero cost; the field is
+	// also propagated into Matcher.Trace and Schedule.Trace.
+	Trace *obs.Trace
 }
 
 // Probe records one SAT probe with its wall-clock cost.
@@ -108,6 +114,11 @@ func CompileGMA(gm *gma.GMA, opt Options) (*Compiled, error) {
 		opt.MaxCycles = 24
 	}
 	opt.Schedule.Desc = opt.Desc
+	tr := opt.Trace
+	opt.Matcher.Trace = tr
+	opt.Schedule.Trace = tr
+	root := tr.Start("compile", obs.T("gma", gm.Name))
+	defer root.End()
 
 	c := &Compiled{GMA: gm, Graph: egraph.New()}
 	for _, goal := range gm.Goals() {
@@ -129,21 +140,34 @@ func CompileGMA(gm *gma.GMA, opt Options) (*Compiled, error) {
 		}
 	}
 	start := time.Now()
+	msp := tr.Start("matcher")
 	mres, err := matcher.Saturate(c.Graph, opt.Axioms, opt.Matcher)
+	msp.End(obs.Tint("nodes", int64(mres.Nodes)), obs.Tint("classes", int64(mres.Classes)))
+	tr.Add("matcher.nodes", int64(mres.Nodes))
+	tr.Add("matcher.classes", int64(mres.Classes))
 	if err != nil {
 		return nil, err
 	}
 	c.Match = mres
 	c.MatchTime = time.Since(start)
 
+	// Each K-probe of the budget search is one span tagged with the
+	// outcome (SAT/UNSAT/UNKNOWN); the encode/solve/decode sub-phases
+	// nest inside it via Schedule.Trace.
 	probe := func(k int) (*schedule.Schedule, sat.Result, error) {
+		psp := tr.Startf("probe K=%d", k)
+		tr.Add("probes", 1)
 		p, err := schedule.NewProblem(c.Graph, gm, k, opt.Schedule)
 		if err != nil {
+			psp.End(obs.T("result", "error"))
 			return nil, sat.Unknown, err
 		}
 		t0 := time.Now()
 		sched, stat, err := p.Solve()
 		elapsed := time.Since(t0)
+		psp.End(obs.T("result", stat.Result.String()),
+			obs.Tint("vars", int64(stat.Vars)), obs.Tint("clauses", int64(stat.Clauses)),
+			obs.Tint("conflicts", stat.Solver.Conflicts))
 		c.SolveTime += elapsed
 		c.Probes = append(c.Probes, Probe{Stat: stat, Elapsed: elapsed})
 		if err != nil {
@@ -348,7 +372,7 @@ func (c *Compiled) ProbeSummary() string {
 	var b strings.Builder
 	for _, p := range c.Probes {
 		fmt.Fprintf(&b, "K=%-3d %-7s %6d vars %7d clauses %7d conflicts %10s\n",
-			p.K, p.Result, p.Vars, p.Clauses, p.Conflicts, p.Elapsed.Round(time.Microsecond))
+			p.K, p.Result, p.Vars, p.Clauses, p.Solver.Conflicts, p.Elapsed.Round(time.Microsecond))
 	}
 	return b.String()
 }

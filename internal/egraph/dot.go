@@ -12,10 +12,26 @@ import (
 // WriteDot renders the E-graph in Graphviz dot format, in the style of the
 // paper's Figure 2: solid arrows are term-DAG edges, classes are drawn as
 // clusters so the dashed equivalence arcs of the figure become boxes.
-// Useful for debugging axiom sets and matching behaviour.
+// Useful for debugging axiom sets and matching behaviour. The graph label
+// reports the size statistics (nodes/classes/clauses), so an exported
+// file shows how saturated the graph was.
 func (g *Graph) WriteDot(w io.Writer) error {
+	return g.WriteDotAnnotated(w, "")
+}
+
+// WriteDotAnnotated is WriteDot with an extra caller-supplied line in the
+// graph label — typically the saturation round count, which the graph
+// itself does not know.
+func (g *Graph) WriteDotAnnotated(w io.Writer, extra string) error {
 	var b strings.Builder
 	b.WriteString("digraph egraph {\n  compound=true;\n  node [shape=box, fontname=\"monospace\"];\n")
+	st := g.Stats()
+	label := fmt.Sprintf("%d nodes, %d classes, %d clauses", st.Nodes, st.Classes, st.Clauses)
+	if extra != "" {
+		// %q turns the real newline into the \n escape dot expects.
+		label = extra + "\n" + label
+	}
+	fmt.Fprintf(&b, "  label=%q;\n  labelloc=t;\n", label)
 	classes := g.Classes()
 	for _, c := range classes {
 		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=\"class %d\";\n    style=dashed;\n", c, c)

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/axioms"
 	"repro/internal/egraph"
+	"repro/internal/obs"
 	"repro/internal/semantics"
 	"repro/internal/term"
 )
@@ -43,6 +44,8 @@ type Options struct {
 	DisablePow2 bool
 	// DisableOffsets turns off constant-offset distinctions.
 	DisableOffsets bool
+	// Trace records per-round saturation telemetry; nil disables it.
+	Trace *obs.Trace
 }
 
 func (o Options) withDefaults() Options {
@@ -73,9 +76,13 @@ type Result struct {
 	ByAxiom map[string]int
 }
 
-// Saturate runs the matching phase over g with the given axioms.
+// Saturate runs the matching phase over g with the given axioms. When
+// opt.Trace is set, each round is recorded as a span tagged with the
+// nodes, classes, clauses and instantiations it added, and budget
+// exhaustion (node or round limits) is recorded as an event.
 func Saturate(g *egraph.Graph, axs []*axioms.Axiom, opt Options) (Result, error) {
 	opt = opt.withDefaults()
+	tr := opt.Trace
 	res := Result{ByAxiom: map[string]int{}}
 	done := make([]map[string]bool, len(axs))
 	varSets := make([]map[string]bool, len(axs))
@@ -85,11 +92,22 @@ func Saturate(g *egraph.Graph, axs []*axioms.Axiom, opt Options) (Result, error)
 	}
 	for round := 1; round <= opt.MaxRounds; round++ {
 		res.Rounds = round
+		sp := tr.Startf("round %d", round)
+		instBefore, clausesBefore := res.Instantiations, g.NumClauses()
+		endRound := func() {
+			sp.End(obs.Tint("nodes", int64(g.NumNodes())),
+				obs.Tint("classes", int64(g.NumClasses())),
+				obs.Tint("instantiations", int64(res.Instantiations-instBefore)))
+			tr.Add("matcher.rounds", 1)
+			tr.Add("matcher.instantiations", int64(res.Instantiations-instBefore))
+			tr.Add("matcher.clauses-added", int64(g.NumClauses()-clausesBefore))
+		}
 		if !opt.DisablePow2 {
 			enrichPow2(g)
 		}
 		if !opt.DisableOffsets {
 			if err := enrichOffsetDistinctions(g); err != nil {
+				endRound()
 				return res, err
 			}
 		}
@@ -131,19 +149,35 @@ func Saturate(g *egraph.Graph, axs []*axioms.Axiom, opt Options) (Result, error)
 			}
 		}
 		if err := g.PropagateClauses(); err != nil {
+			endRound()
 			return res, err
 		}
+		endRound()
 		if g.NumNodes() == nodesBefore && g.NumClasses() == classesBefore {
 			res.Quiescent = true
 			break
 		}
 		if g.NumNodes() > opt.MaxNodes {
+			tr.Event("matcher.budget-exhausted", obs.T("reason", "nodes"),
+				obs.Tint("nodes", int64(g.NumNodes())), obs.Tint("budget", int64(opt.MaxNodes)))
 			break
+		}
+		if round == opt.MaxRounds {
+			tr.Event("matcher.budget-exhausted", obs.T("reason", "rounds"),
+				obs.Tint("budget", int64(opt.MaxRounds)))
 		}
 	}
 	res.Nodes = g.NumNodes()
 	res.Classes = g.NumClasses()
+	tr.Gauge("matcher.quiescent", b2f(res.Quiescent))
 	return res, nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // allConstant reports whether every class bound by the substitution holds a

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestChromeTraceGolden pins the exact Chrome trace_event JSON produced
+// for a small trace on a deterministic clock. The shape matters: the
+// chrome://tracing and Perfetto loaders both accept the
+// {"traceEvents": [...]} container with X/i/C phase events and
+// microsecond timestamps.
+func TestChromeTraceGolden(t *testing.T) {
+	tr := newFakeTrace() // 1ms per clock reading
+	root := tr.Start("compile", T("gma", "byteswap4"))
+	probe := tr.Start("probe K=4")
+	tr.Event("budget-exhausted", T("reason", "nodes"))
+	probe.End(T("result", "UNSAT"))
+	root.End()
+	tr.Add("sat.conflicts", 42)
+
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	// Clock readings, 1ms apart starting at the epoch: start(compile)=1ms,
+	// start(probe)=2ms, event=3ms, end(probe)=4ms, end(compile)=5ms;
+	// snapshot advances once more but closed spans keep their times.
+	const want = `{"traceEvents":[` +
+		`{"name":"compile","ph":"X","ts":1000,"dur":4000,"pid":1,"tid":1,"args":{"gma":"byteswap4"}},` +
+		`{"name":"probe K=4","ph":"X","ts":2000,"dur":2000,"pid":1,"tid":1,"args":{"result":"UNSAT"}},` +
+		`{"name":"budget-exhausted","ph":"i","ts":3000,"pid":1,"tid":1,"s":"t","args":{"reason":"nodes"}},` +
+		`{"name":"sat.conflicts","ph":"C","ts":5000,"pid":1,"tid":1,"args":{"value":42}}` +
+		`],"displayTimeUnit":"ms"}` + "\n"
+	if got != want {
+		t.Errorf("chrome trace mismatch:\n got: %s\nwant: %s", got, want)
+	}
+
+	// And it must be valid JSON of the documented shape.
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(got), &parsed); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(parsed.TraceEvents))
+	}
+}
+
+func TestJSONLExport(t *testing.T) {
+	tr := newFakeTrace()
+	tr.Start("compile").End()
+	tr.Add("n", 3)
+	tr.Gauge("ipc", 1.5)
+	tr.Event("e")
+	var sb strings.Builder
+	if err := tr.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), sb.String())
+	}
+	types := map[string]bool{}
+	for _, l := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(l), &obj); err != nil {
+			t.Fatalf("line %q: %v", l, err)
+		}
+		types[obj["type"].(string)] = true
+	}
+	for _, want := range []string{"span", "counter", "gauge", "event"} {
+		if !types[want] {
+			t.Errorf("missing line type %q", want)
+		}
+	}
+}
+
+func TestWriteTextIncludesOpenSpans(t *testing.T) {
+	tr := newFakeTrace()
+	tr.Start("still-running")
+	var sb strings.Builder
+	if err := tr.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "still-running") || !strings.Contains(sb.String(), "(open)") {
+		t.Errorf("text export:\n%s", sb.String())
+	}
+}
+
+func TestSnapshotFinishesOpenSpansAtNow(t *testing.T) {
+	tr := newFakeTrace()
+	tr.Start("open")
+	s := tr.snapshot()
+	sp := s.spans[0]
+	if !sp.open {
+		t.Fatal("span should be open")
+	}
+	if d := sp.end.Sub(sp.start); d != time.Millisecond {
+		t.Errorf("open span duration = %v, want 1ms", d)
+	}
+}

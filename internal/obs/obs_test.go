@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a clock that advances by step on every reading, for
+// deterministic span durations.
+func fakeClock(start time.Time, step time.Duration) func() time.Time {
+	t := start
+	return func() time.Time {
+		cur := t
+		t = t.Add(step)
+		return cur
+	}
+}
+
+// newFakeTrace builds a trace on a deterministic clock ticking 1ms per
+// observation.
+func newFakeTrace() *Trace {
+	tr := New()
+	tr.now = fakeClock(time.Unix(1000, 0), time.Millisecond)
+	tr.epoch = tr.now()
+	return tr
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := newFakeTrace()
+	root := tr.Start("compile")
+	m := tr.Start("matcher")
+	r1 := tr.Start("round 1")
+	r1.End()
+	r2 := tr.Start("round 2")
+	r2.End()
+	m.End()
+	p := tr.Start("probe K=4")
+	p.End(T("result", "UNSAT"))
+	root.End()
+
+	s := tr.snapshot()
+	wantDepth := map[string]int{"compile": 0, "matcher": 1, "round 1": 2, "round 2": 2, "probe K=4": 1}
+	if len(s.spans) != len(wantDepth) {
+		t.Fatalf("got %d spans, want %d", len(s.spans), len(wantDepth))
+	}
+	for _, sp := range s.spans {
+		if sp.depth != wantDepth[sp.name] {
+			t.Errorf("span %q depth = %d, want %d", sp.name, sp.depth, wantDepth[sp.name])
+		}
+		if sp.open {
+			t.Errorf("span %q still open", sp.name)
+		}
+		if !sp.end.After(sp.start) {
+			t.Errorf("span %q has non-positive duration", sp.name)
+		}
+	}
+	// The result tag appended at End must be recorded.
+	for _, sp := range s.spans {
+		if sp.name == "probe K=4" {
+			if len(sp.tags) != 1 || sp.tags[0] != (Tag{"result", "UNSAT"}) {
+				t.Errorf("probe tags = %v", sp.tags)
+			}
+		}
+	}
+}
+
+func TestEndClosesOpenDescendants(t *testing.T) {
+	tr := newFakeTrace()
+	root := tr.Start("outer")
+	tr.Start("inner") // never explicitly ended
+	root.End()
+	s := tr.snapshot()
+	for _, sp := range s.spans {
+		if sp.open {
+			t.Errorf("span %q left open by outer End", sp.name)
+		}
+	}
+	// The cursor must be back at the root: a new span starts at depth 0.
+	next := tr.Start("next")
+	next.End()
+	s = tr.snapshot()
+	if got := s.spans[len(s.spans)-1]; got.name != "next" || got.depth != 0 {
+		t.Errorf("post-End span = %q depth %d, want depth 0", got.name, got.depth)
+	}
+}
+
+func TestDoubleEndIsNoop(t *testing.T) {
+	tr := newFakeTrace()
+	sp := tr.Start("x")
+	sp.End()
+	d := sp.Duration()
+	sp.End() // must not extend or panic
+	if sp.Duration() != d {
+		t.Errorf("second End changed duration: %v -> %v", d, sp.Duration())
+	}
+}
+
+func TestCounterAggregation(t *testing.T) {
+	tr := newFakeTrace()
+	tr.Add("sat.conflicts", 10)
+	tr.Add("sat.conflicts", 32)
+	tr.Add("matcher.rounds", 1)
+	if got := tr.Counter("sat.conflicts"); got != 42 {
+		t.Errorf("sat.conflicts = %d, want 42", got)
+	}
+	if got := tr.Counter("matcher.rounds"); got != 1 {
+		t.Errorf("matcher.rounds = %d, want 1", got)
+	}
+	if got := tr.Counter("missing"); got != 0 {
+		t.Errorf("missing counter = %d, want 0", got)
+	}
+	tr.Gauge("ipc", 2.25)
+	if v, ok := tr.GaugeValue("ipc"); !ok || v != 2.25 {
+		t.Errorf("gauge = %v %v", v, ok)
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				tr.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Counter("n"); got != 8000 {
+		t.Errorf("n = %d, want 8000", got)
+	}
+}
+
+func TestEventLogBound(t *testing.T) {
+	tr := newFakeTrace()
+	tr.SetMaxEvents(3)
+	for i := 0; i < 5; i++ {
+		tr.Eventf("e%d", i)
+	}
+	if got := len(tr.Events()); got != 3 {
+		t.Errorf("kept %d events, want 3", got)
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Errorf("dropped = %d, want 2", got)
+	}
+}
+
+// TestNilTraceSafety: every recording method on a nil *Trace (and the nil
+// *Span it hands out) must be a safe no-op — this is the zero-overhead
+// disabled mode the pipeline relies on.
+func TestNilTraceSafety(t *testing.T) {
+	var tr *Trace
+	if tr.Enabled() {
+		t.Fatal("nil trace reports enabled")
+	}
+	sp := tr.Start("a", T("k", "v"))
+	if sp != nil {
+		t.Fatal("nil trace returned a span")
+	}
+	sp2 := tr.Startf("probe K=%d", 4)
+	sp.End()
+	sp2.End(T("result", "SAT"))
+	sp.SetTag("k", "v")
+	sp.SetInt("n", 1)
+	if sp.Name() != "" || sp.Duration() != 0 {
+		t.Error("nil span has name or duration")
+	}
+	tr.Add("c", 1)
+	tr.Gauge("g", 1)
+	tr.Event("e", T("k", "v"))
+	tr.Eventf("e%d", 1)
+	tr.SetMaxEvents(10)
+	if tr.Counter("c") != 0 || tr.Dropped() != 0 || tr.Events() != nil || tr.Elapsed() != 0 {
+		t.Error("nil trace accumulated state")
+	}
+	if _, ok := tr.GaugeValue("g"); ok {
+		t.Error("nil trace has a gauge")
+	}
+	var sb strings.Builder
+	if err := tr.WriteText(&sb); err != nil {
+		t.Errorf("WriteText(nil): %v", err)
+	}
+	if err := tr.WriteJSONL(&sb); err != nil {
+		t.Errorf("WriteJSONL(nil): %v", err)
+	}
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Errorf("WriteChromeTrace(nil): %v", err)
+	}
+	if got := tr.MetricsTable(); !strings.Contains(got, "disabled") {
+		t.Errorf("MetricsTable(nil) = %q", got)
+	}
+}
+
+func TestMetricsTableAggregates(t *testing.T) {
+	tr := newFakeTrace()
+	root := tr.Start("compile")
+	for i := 0; i < 3; i++ {
+		tr.Start("round").End()
+	}
+	root.End()
+	tr.Add("sat.conflicts", 7)
+	tbl := tr.MetricsTable()
+	if !strings.Contains(tbl, "compile") || !strings.Contains(tbl, "round") {
+		t.Fatalf("table missing phases:\n%s", tbl)
+	}
+	// "round" appears once, aggregated with count 3.
+	if strings.Count(tbl, "round") != 1 {
+		t.Errorf("round not aggregated:\n%s", tbl)
+	}
+	var line string
+	for _, l := range strings.Split(tbl, "\n") {
+		if strings.HasPrefix(l, "round") {
+			line = l
+		}
+	}
+	if !strings.Contains(line, " 3 ") {
+		t.Errorf("round count line = %q, want count 3", line)
+	}
+	if !strings.Contains(tbl, "sat.conflicts") {
+		t.Errorf("table missing counters:\n%s", tbl)
+	}
+}

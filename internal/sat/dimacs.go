@@ -9,9 +9,16 @@ import (
 )
 
 // WriteDIMACS writes the problem clauses in DIMACS CNF format. Learned
-// clauses are not written.
-func (s *Solver) WriteDIMACS(w io.Writer) error {
+// clauses are not written. Each comment (plus a generated line with the
+// variable and clause counts) is emitted as a leading "c" line, so
+// exported instances are self-describing; comments must not contain
+// newlines.
+func (s *Solver) WriteDIMACS(w io.Writer, comments ...string) error {
 	bw := bufio.NewWriter(w)
+	for _, c := range comments {
+		fmt.Fprintf(bw, "c %s\n", c)
+	}
+	fmt.Fprintf(bw, "c %d variables, %d clauses\n", s.NumVars(), len(s.clauses))
 	fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), len(s.clauses))
 	for _, c := range s.clauses {
 		for _, l := range c.lits {

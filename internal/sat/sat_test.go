@@ -330,8 +330,15 @@ func TestDIMACSRoundTrip(t *testing.T) {
 	s.AddClause(Pos(0), Neg(1))
 	s.AddClause(Pos(1), Pos(2))
 	var buf bytes.Buffer
-	if err := s.WriteDIMACS(&buf); err != nil {
+	if err := s.WriteDIMACS(&buf, "gma=test cycle-budget-K=3"); err != nil {
 		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "c gma=test cycle-budget-K=3\n") {
+		t.Fatalf("missing provenance comment:\n%s", out)
+	}
+	if !strings.Contains(out, "c 3 variables, 2 clauses\n") {
+		t.Fatalf("missing size comment:\n%s", out)
 	}
 	s2, err := ParseDIMACS(&buf)
 	if err != nil {

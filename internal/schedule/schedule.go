@@ -26,12 +26,14 @@ package schedule
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/egraph"
 	"repro/internal/gma"
+	"repro/internal/obs"
 	"repro/internal/sat"
 	"repro/internal/term"
 )
@@ -46,6 +48,9 @@ type Options struct {
 	DisableAtMostOncePerTerm bool
 	// MaxConflicts bounds each SAT probe; 0 means unbounded.
 	MaxConflicts int64
+	// Trace records constraint-generation and solving telemetry; nil
+	// disables it.
+	Trace *obs.Trace
 }
 
 // mode is one alternative operand form for a machine term.
@@ -109,13 +114,15 @@ type Problem struct {
 
 // Stat describes one SAT probe, mirroring the numbers the paper reports
 // (e.g. "1639 variables and 4613 clauses for the 4-cycle refutation").
+// Solver carries the solver's full search statistics — conflicts,
+// decisions, propagations, learned clauses, restarts — not just the
+// problem size.
 type Stat struct {
 	K            int
 	Vars         int
 	Clauses      int
 	Result       sat.Result
-	Conflicts    int64
-	Decisions    int64
+	Solver       sat.Stats
 	MachineTerms int
 	ConeClasses  int
 }
@@ -153,10 +160,17 @@ func NewProblem(g *egraph.Graph, gm *gma.GMA, K int, opt Options) (*Problem, err
 	if p.Desc.CrossClusterDelay > 0 {
 		p.bClusters = p.Desc.NumClusters
 	}
+	tr := opt.Trace
+	sp := tr.Start("encode")
 	if err := p.setup(); err != nil {
+		sp.End(obs.T("error", err.Error()))
 		return nil, err
 	}
 	p.encode()
+	sp.End(obs.Tint("terms", int64(len(p.terms))), obs.Tint("cone", int64(len(p.cone))),
+		obs.Tint("vars", int64(p.solver.NumVars())), obs.Tint("clauses", int64(p.solver.NumClauses())))
+	tr.Add("schedule.encoded-vars", int64(p.solver.NumVars()))
+	tr.Add("schedule.encoded-clauses", int64(p.solver.NumClauses()))
 	return p, nil
 }
 
@@ -564,24 +578,53 @@ func (p *Problem) encode() {
 	}
 }
 
-// Solve runs the SAT probe. The returned Stat records the problem size and
-// outcome whether or not a schedule exists.
+// Solve runs the SAT probe. The returned Stat records the problem size,
+// outcome, and the solver's full search statistics whether or not a
+// schedule exists.
 func (p *Problem) Solve() (*Schedule, Stat, error) {
+	tr := p.opt.Trace
+	sp := tr.Start("solve")
 	res := p.solver.Solve()
 	st := p.solver.Stats()
+	sp.End(obs.T("result", res.String()), obs.Tint("conflicts", st.Conflicts))
+	tr.Add("sat.conflicts", st.Conflicts)
+	tr.Add("sat.decisions", st.Decisions)
+	tr.Add("sat.propagations", st.Propagations)
+	tr.Add("sat.learned", int64(st.Learned))
+	tr.Add("sat.restarts", st.Restarts)
 	stat := Stat{
 		K:            p.K,
 		Vars:         st.Vars,
 		Clauses:      st.Clauses,
 		Result:       res,
-		Conflicts:    st.Conflicts,
-		Decisions:    st.Decisions,
+		Solver:       st,
 		MachineTerms: len(p.terms),
 		ConeClasses:  len(p.cone),
 	}
 	if res != sat.Sat {
 		return nil, stat, nil
 	}
+	dsp := tr.Start("decode")
 	sched, err := p.decode()
+	dsp.End()
+	if sched != nil {
+		tr.Add("schedule.instructions", int64(len(sched.Launches)))
+		tr.Add("schedule.cycles", int64(sched.K))
+	}
 	return sched, stat, err
+}
+
+// WriteDIMACS exports the probe's CNF with self-describing comment lines
+// naming the originating GMA, the cycle budget, and the problem size, so
+// an exported instance can be rerun against other solvers without losing
+// its provenance.
+func (p *Problem) WriteDIMACS(w io.Writer) error {
+	name := ""
+	if p.GMA != nil {
+		name = p.GMA.Name
+	}
+	return p.solver.WriteDIMACS(w,
+		fmt.Sprintf("denali scheduling instance: gma=%s cycle-budget-K=%d", name, p.K),
+		fmt.Sprintf("machine-terms=%d cone-classes=%d", len(p.terms), len(p.cone)),
+	)
 }

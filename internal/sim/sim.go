@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/arch"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/semantics"
 )
@@ -57,6 +58,24 @@ type regState struct {
 // violated scheduling rule, making it an independent checker of the SAT
 // encoding.
 func Run(s *schedule.Schedule, d *arch.Description, m *Machine) error {
+	return RunTraced(s, d, m, nil)
+}
+
+// RunTraced is Run with telemetry: one "sim.run" span plus simulated
+// cycle and launched-instruction counters. A nil trace is free.
+func RunTraced(s *schedule.Schedule, d *arch.Description, m *Machine, tr *obs.Trace) error {
+	sp := tr.Start("sim.run", obs.Tint("cycles", int64(s.K)), obs.Tint("instructions", int64(len(s.Launches))))
+	tr.Add("sim.cycles", int64(s.K))
+	tr.Add("sim.instructions", int64(len(s.Launches)))
+	err := run(s, d, m)
+	if err != nil {
+		tr.Event("sim.violation", obs.T("error", err.Error()))
+	}
+	sp.End()
+	return err
+}
+
+func run(s *schedule.Schedule, d *arch.Description, m *Machine) error {
 	byCycle := map[int][]*schedule.Launch{}
 	states := map[string]regState{}
 	for r := range m.Regs {

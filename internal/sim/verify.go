@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/gma"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/semantics"
 	"repro/internal/term"
@@ -20,14 +21,23 @@ import (
 // asserts valid equalities and the scheduler only orders true computations,
 // so any mismatch here is a bug in the pipeline, not in the program.
 func Verify(g *gma.GMA, s *schedule.Schedule, d *arch.Description, rng *rand.Rand, n int) error {
+	return VerifyTraced(g, s, d, rng, n, nil)
+}
+
+// VerifyTraced is Verify under one "verify" span counting trials and
+// simulated cycles. A nil trace is free.
+func VerifyTraced(g *gma.GMA, s *schedule.Schedule, d *arch.Description, rng *rand.Rand, n int, tr *obs.Trace) error {
+	sp := tr.Start("verify", obs.T("gma", g.Name), obs.Tint("trials", int64(n)))
+	defer sp.End()
 	for trial := 0; trial < n; trial++ {
 		env, err := sampleEnv(g, rng)
 		if err != nil {
 			return err
 		}
-		if err := verifyOnce(g, s, d, env); err != nil {
+		if err := verifyOnce(g, s, d, env, tr); err != nil {
 			return fmt.Errorf("trial %d: %w", trial, err)
 		}
+		tr.Add("verify.trials", 1)
 	}
 	return nil
 }
@@ -93,7 +103,7 @@ func randomWord(rng *rand.Rand) uint64 {
 	}
 }
 
-func verifyOnce(g *gma.GMA, s *schedule.Schedule, d *arch.Description, env *semantics.Env) error {
+func verifyOnce(g *gma.GMA, s *schedule.Schedule, d *arch.Description, env *semantics.Env, tr *obs.Trace) error {
 	m := NewMachine()
 	for name, reg := range s.InputRegs {
 		if w, ok := env.Words[name]; ok {
@@ -107,7 +117,7 @@ func verifyOnce(g *gma.GMA, s *schedule.Schedule, d *arch.Description, env *sema
 			m.Mem[a] = v
 		}
 	}
-	if err := Run(s, d, m); err != nil {
+	if err := RunTraced(s, d, m, tr); err != nil {
 		return err
 	}
 	readOperand := func(o schedule.Operand) uint64 {

@@ -34,6 +34,7 @@ import (
 	"repro/internal/lang"
 	"repro/internal/matcher"
 	"repro/internal/naivegen"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/schedule"
 	"repro/internal/sim"
@@ -71,6 +72,12 @@ type Options struct {
 	// input performs by hand (section 8). Ineligible loops compile
 	// unchanged.
 	SoftwarePipeline bool
+	// Trace collects pipeline telemetry (spans, counters, events) across
+	// every GMA compiled with these options: matcher rounds, SAT probes,
+	// scheduling and verification. Nil (the default) disables tracing at
+	// zero cost. Export with its WriteChromeTrace / MetricsTable /
+	// WriteJSONL methods.
+	Trace *obs.Trace
 }
 
 // ArchDescription resolves the Options.Arch name.
@@ -90,14 +97,19 @@ func ArchDescription(name string) (*arch.Description, error) {
 	return nil, fmt.Errorf("repro: unknown architecture %q", name)
 }
 
-// ProbeStat describes one SAT probe of the budget search.
+// ProbeStat describes one SAT probe of the budget search, including the
+// solver's full search counters.
 type ProbeStat struct {
-	K         int
-	Result    string
-	Vars      int
-	Clauses   int
-	Conflicts int64
-	Elapsed   time.Duration
+	K            int
+	Result       string
+	Vars         int
+	Clauses      int
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Learned      int
+	Restarts     int64
+	Elapsed      time.Duration
 }
 
 // MatchStats describes the saturation phase.
@@ -137,13 +149,20 @@ type CompiledGMA struct {
 	sched *schedule.Schedule
 	desc  *arch.Description
 	graph *egraph.Graph
+	trace *obs.Trace
 }
 
 // EGraphDot renders the GMA's saturated E-graph in Graphviz dot format
-// (Figure 2 style), for inspecting what the matcher discovered.
+// (Figure 2 style), for inspecting what the matcher discovered. The graph
+// label carries the final size statistics and how saturation ended.
 func (c *CompiledGMA) EGraphDot() string {
 	var b strings.Builder
-	if err := c.graph.WriteDot(&b); err != nil {
+	state := "budget-exhausted"
+	if c.Match.Quiescent {
+		state = "quiescent"
+	}
+	extra := fmt.Sprintf("%s: %d saturation rounds (%s)", c.Name, c.Match.Rounds, state)
+	if err := c.graph.WriteDotAnnotated(&b, extra); err != nil {
 		return ""
 	}
 	return b.String()
@@ -195,6 +214,7 @@ func Compile(src string, opt Options) (*Result, error) {
 			MaxConflicts:             opt.MaxConflicts,
 		},
 		MaxCycles: opt.MaxCycles,
+		Trace:     opt.Trace,
 	}
 	if opt.BinarySearch {
 		copts.Search = core.BinarySearch
@@ -255,6 +275,7 @@ func CompileGMA(g *gma.GMA, opt Options) (*CompiledGMA, error) {
 			MaxConflicts:             opt.MaxConflicts,
 		},
 		MaxCycles: opt.MaxCycles,
+		Trace:     opt.Trace,
 	}
 	if opt.BinarySearch {
 		copts.Search = core.BinarySearch
@@ -297,11 +318,15 @@ func compileOne(g *gma.GMA, copts core.Options, desc *arch.Description) (*Compil
 		sched:   c.Schedule,
 		desc:    desc,
 		graph:   c.Graph,
+		trace:   copts.Trace,
 	}
 	for _, p := range c.Probes {
 		cg.Probes = append(cg.Probes, ProbeStat{
 			K: p.K, Result: p.Result.String(), Vars: p.Vars,
-			Clauses: p.Clauses, Conflicts: p.Conflicts, Elapsed: p.Elapsed,
+			Clauses: p.Clauses, Conflicts: p.Solver.Conflicts,
+			Decisions: p.Solver.Decisions, Propagations: p.Solver.Propagations,
+			Learned: p.Solver.Learned, Restarts: p.Solver.Restarts,
+			Elapsed: p.Elapsed,
 		})
 	}
 	return cg, nil
@@ -334,8 +359,10 @@ func (c *CompiledGMA) Execute(inputs map[string]uint64, memory map[uint64]uint64
 
 // Verify executes the schedule on n random inputs and compares against the
 // GMA's reference semantics ("correct by design", section 1 of the paper).
+// When the GMA was compiled with a trace, the verification run is recorded
+// into it as a "verify" span with trial and simulated-cycle counters.
 func (c *CompiledGMA) Verify(n int, seed int64) error {
-	return sim.Verify(c.gma, c.sched, c.desc, rand.New(rand.NewSource(seed)), n)
+	return sim.VerifyTraced(c.gma, c.sched, c.desc, rand.New(rand.NewSource(seed)), n, c.trace)
 }
 
 // BaselineResult is the conventional-compiler comparator's output for the
