@@ -208,15 +208,17 @@ func BenchmarkE9ClusterAblation(b *testing.B) {
 	}
 }
 
-// BenchmarkE10ProbeSweep: linear vs binary vs descend budget search.
+// BenchmarkE10ProbeSweep: linear vs binary vs descend vs parallel budget
+// search.
 func BenchmarkE10ProbeSweep(b *testing.B) {
-	for _, mode := range []string{"linear", "binary", "descend"} {
+	for _, mode := range []string{"linear", "binary", "descend", "parallel"} {
 		b.Run(mode, func(b *testing.B) {
 			probes := 0
 			for i := 0; i < b.N; i++ {
 				opt := Options{}
 				opt.BinarySearch = mode == "binary"
 				opt.DescendSearch = mode == "descend"
+				opt.ParallelSearch = mode == "parallel"
 				res, err := Compile(programs.Byteswap4, opt)
 				if err != nil {
 					b.Fatal(err)
@@ -279,6 +281,42 @@ func BenchmarkE12Verify(b *testing.B) {
 				}
 			}
 		}
+	}
+}
+
+// BenchmarkE13ParallelCorpus: sequential linear search vs the speculative
+// parallel strategy (with parallel multi-GMA compilation) across the
+// program corpus. The answers must agree; only the wall clock may differ,
+// and only on a multicore host.
+func BenchmarkE13ParallelCorpus(b *testing.B) {
+	srcs := []string{
+		programs.Quickstart, programs.Byteswap4, programs.Byteswap5,
+		programs.CopyLoop, programs.Rowop, programs.Lcp2, programs.SumLoop,
+	}
+	for _, cfg := range []struct {
+		name string
+		opt  Options
+	}{
+		{"sequential", Options{}},
+		{"parallel-w4", Options{ParallelSearch: true, Workers: 4}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, src := range srcs {
+					res, err := Compile(src, cfg.opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, proc := range res.Procs {
+						for _, g := range proc.GMAs {
+							if g.Cycles == 0 && g.Instructions != 0 {
+								b.Fatalf("%s: inconsistent result", g.Name)
+							}
+						}
+					}
+				}
+			}
+		})
 	}
 }
 

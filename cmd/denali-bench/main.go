@@ -19,7 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro"
@@ -52,26 +54,41 @@ type benchProbe struct {
 }
 
 // benchRow is one compiled GMA in the -json output: the headline numbers
-// plus the per-phase wall time and solver counters.
+// plus the per-phase wall time and solver counters. Strategy/Workers name
+// the budget-search configuration; WallMillis is the wall time of the
+// whole Compile call that produced the GMA (parallel compilation makes it
+// smaller than the sum of the per-phase times).
 type benchRow struct {
 	Experiment   string       `json:"experiment"`
 	GMA          string       `json:"gma"`
+	Strategy     string       `json:"strategy"`
+	Workers      int          `json:"workers"`
 	Cycles       int          `json:"cycles"`
 	Instructions int          `json:"instructions"`
 	Optimal      bool         `json:"optimal"`
 	MatchMillis  float64      `json:"match_ms"`
 	SolveMillis  float64      `json:"solve_ms"`
+	WallMillis   float64      `json:"wall_ms"`
 	MatchRounds  int          `json:"match_rounds"`
 	MatchNodes   int          `json:"match_nodes"`
 	Probes       []benchProbe `json:"probes"`
 }
 
-// rows collects the -json output; currentExp labels rows with the
-// experiment being run (the harness is single-threaded).
+// rows collects the -json output; currentExp/curStrategy/curWorkers/
+// curWallMS label rows with the configuration being run. The harness runs
+// experiments sequentially, but compilations inside one experiment may fan
+// out, so rows is mutex-guarded.
 var (
-	rows       []benchRow
-	currentExp string
-	jsonPath   string
+	rowsMu      sync.Mutex
+	rows        []benchRow
+	currentExp  string
+	curStrategy = "linear"
+	curWorkers  = 1
+	curWallMS   float64
+	jsonPath    string
+
+	flagWorkers  int
+	flagParallel bool
 )
 
 // record appends one compiled GMA to the -json rows.
@@ -79,14 +96,19 @@ func record(g *repro.CompiledGMA) {
 	if jsonPath == "" || g == nil {
 		return
 	}
+	rowsMu.Lock()
+	defer rowsMu.Unlock()
 	row := benchRow{
 		Experiment:   currentExp,
 		GMA:          g.Name,
+		Strategy:     curStrategy,
+		Workers:      curWorkers,
 		Cycles:       g.Cycles,
 		Instructions: g.Instructions,
 		Optimal:      g.OptimalProven,
 		MatchMillis:  float64(g.Match.Elapsed.Microseconds()) / 1e3,
 		SolveMillis:  float64(g.SolveTime.Microseconds()) / 1e3,
+		WallMillis:   curWallMS,
 		MatchRounds:  g.Match.Rounds,
 		MatchNodes:   g.Match.Nodes,
 	}
@@ -99,6 +121,44 @@ func record(g *repro.CompiledGMA) {
 		})
 	}
 	rows = append(rows, row)
+}
+
+// strategyName labels an Options' budget-search configuration.
+func strategyName(opt repro.Options) string {
+	switch {
+	case opt.ParallelSearch:
+		return "parallel"
+	case opt.DescendSearch:
+		return "descend"
+	case opt.BinarySearch:
+		return "binary"
+	}
+	return "linear"
+}
+
+// compile applies the harness-wide -parallel/-workers flags to opt (unless
+// the experiment picked its own strategy), compiles, and labels subsequent
+// record calls with the configuration and the Compile wall time.
+func compile(src string, opt repro.Options) (*repro.Result, time.Duration, error) {
+	if flagParallel && !opt.BinarySearch && !opt.DescendSearch {
+		opt.ParallelSearch = true
+	}
+	if opt.Workers == 0 && (flagParallel || opt.ParallelSearch) {
+		opt.Workers = flagWorkers
+	}
+	curStrategy, curWorkers = strategyName(opt), opt.Workers
+	if curWorkers <= 0 {
+		if opt.ParallelSearch {
+			curWorkers = runtime.GOMAXPROCS(0)
+		} else {
+			curWorkers = 1
+		}
+	}
+	start := time.Now()
+	res, err := repro.Compile(src, opt)
+	wall := time.Since(start)
+	curWallMS = float64(wall.Microseconds()) / 1e3
+	return res, wall, err
 }
 
 // recordAll records every GMA of a compiled program.
@@ -114,6 +174,8 @@ func main() {
 	runFilter := flag.String("run", "", "run only the experiment with this id (e.g. E5)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.StringVar(&jsonPath, "json", "", "write per-GMA timing/counter rows to this JSON file")
+	flag.IntVar(&flagWorkers, "workers", 0, "worker bound for parallel probes and multi-GMA compilation (0 = GOMAXPROCS)")
+	flag.BoolVar(&flagParallel, "parallel", false, "use the speculative parallel budget search in every experiment that does not pick its own strategy")
 	flag.Parse()
 
 	exps := []experiment{
@@ -129,6 +191,7 @@ func main() {
 		{"E10", "probe-size sweep and linear vs binary budget search", e10},
 		{"E11", "issue-width ablation (1/2/4)", e11},
 		{"E12", "correct-by-design: random-input verification of all programs", e12},
+		{"E13", "sequential vs speculative-parallel budget search: corpus wall clock", e13},
 		{"A1", "ablation: at-most-once-per-term pruning constraint", a1},
 		{"A2", "ablation: matcher saturation budgets vs result quality", a2},
 	}
@@ -138,16 +201,22 @@ func main() {
 		}
 		return
 	}
+	// Experiments are isolated from one another: a failure is reported and
+	// the remaining experiments still run (the JSON rows of the whole run
+	// are still written), with a nonzero exit at the end.
+	var failed []string
 	for _, e := range exps {
 		if *runFilter != "" && e.id != *runFilter {
 			continue
 		}
 		currentExp = e.id
+		curStrategy, curWorkers, curWallMS = "linear", 1, 0
 		fmt.Printf("\n===== %s: %s =====\n", e.id, e.title)
 		start := time.Now()
 		if err := e.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
-			os.Exit(1)
+			failed = append(failed, e.id)
+			continue
 		}
 		fmt.Printf("[%s done in %v]\n", e.id, time.Since(start).Round(time.Millisecond))
 	}
@@ -170,10 +239,14 @@ func main() {
 		}
 		fmt.Printf("%d JSON rows written to %s\n", len(rows), jsonPath)
 	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "failed experiments: %s\n", strings.Join(failed, ", "))
+		os.Exit(1)
+	}
 }
 
 func compileOne(src string, opt repro.Options) (*repro.CompiledGMA, error) {
-	res, err := repro.Compile(src, opt)
+	res, _, err := compile(src, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -246,7 +319,7 @@ func e3() error {
 }
 
 func e4() error {
-	res, err := repro.Compile(programs.Checksum, repro.Options{})
+	res, _, err := compile(programs.Checksum, repro.Options{})
 	if err != nil {
 		return err
 	}
@@ -415,7 +488,7 @@ func e11() error {
 		// Narrow-issue checksum refutations are pigeonhole-hard; descend
 		// from the baseline's budget with bounded probes (the paper's own
 		// checksum run took four hours).
-		res, err := repro.Compile(programs.Checksum, repro.Options{
+		res, _, err := compile(programs.Checksum, repro.Options{
 			Arch: a, MaxCycles: 40, MaxConflicts: 20000, DescendSearch: true,
 		})
 		if err != nil {
@@ -448,7 +521,7 @@ func e12() error {
 	}
 	total := 0
 	for _, c := range cases {
-		res, err := repro.Compile(c.src, repro.Options{})
+		res, _, err := compile(c.src, repro.Options{})
 		if err != nil {
 			return fmt.Errorf("%s: %w", c.name, err)
 		}
@@ -464,6 +537,73 @@ func e12() error {
 		fmt.Printf("%-12s verified (all GMAs x 50 random inputs)\n", c.name)
 	}
 	fmt.Printf("%d GMAs verified against reference semantics\n", total)
+	return nil
+}
+
+func e13() error {
+	corpus := []struct {
+		name string
+		src  string
+	}{
+		{"quickstart", programs.Quickstart},
+		{"byteswap4", programs.Byteswap4},
+		{"byteswap5", programs.Byteswap5},
+		{"copyloop", programs.CopyLoop},
+		{"rowop", programs.Rowop},
+		{"lcp2", programs.Lcp2},
+		{"sumloop", programs.SumLoop},
+		{"checksum", programs.Checksum},
+	}
+	workers := flagWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	run := func(opt repro.Options) (time.Duration, map[string]int, map[string]bool, error) {
+		cycles := map[string]int{}
+		optimal := map[string]bool{}
+		total := time.Duration(0)
+		for _, p := range corpus {
+			res, wall, err := compile(p.src, opt)
+			if err != nil {
+				return 0, nil, nil, fmt.Errorf("%s: %w", p.name, err)
+			}
+			total += wall
+			recordAll(res)
+			for _, proc := range res.Procs {
+				for _, g := range proc.GMAs {
+					cycles[g.Name] = g.Cycles
+					optimal[g.Name] = g.OptimalProven
+				}
+			}
+		}
+		return total, cycles, optimal, nil
+	}
+	seqT, seqC, seqO, err := run(repro.Options{})
+	if err != nil {
+		return fmt.Errorf("sequential: %w", err)
+	}
+	parT, parC, parO, err := run(repro.Options{ParallelSearch: true, Workers: workers})
+	if err != nil {
+		return fmt.Errorf("parallel: %w", err)
+	}
+	// The speedup claim only stands if the answers are the same answers.
+	for name, c := range seqC {
+		if parC[name] != c {
+			return fmt.Errorf("%s: parallel found %d cycles, sequential %d", name, parC[name], c)
+		}
+		if parO[name] != seqO[name] {
+			return fmt.Errorf("%s: parallel optimal=%v, sequential %v", name, parO[name], seqO[name])
+		}
+	}
+	fmt.Printf("corpus: %d programs, %d GMAs; workers=%d\n", len(corpus), len(seqC), workers)
+	fmt.Printf("sequential (linear search):  %v\n", seqT.Round(time.Millisecond))
+	fmt.Printf("parallel (speculative):      %v\n", parT.Round(time.Millisecond))
+	fmt.Printf("speedup: %.2fx; identical cycles and optimality verdicts on all %d GMAs\n",
+		float64(seqT)/float64(parT), len(seqC))
+	if runtime.NumCPU() < workers {
+		fmt.Printf("note: host has %d CPU(s) for %d workers; speculative probes serialize, so their wasted work is pure overhead here — the speedup needs a multicore host\n",
+			runtime.NumCPU(), workers)
+	}
 	return nil
 }
 

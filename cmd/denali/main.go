@@ -36,6 +36,8 @@ func main() {
 	var (
 		archName  = flag.String("arch", "ev6", "machine model: ev6, ev6-noclusters, ev6-single, ev6-dual")
 		binary    = flag.Bool("binary-search", false, "binary search over cycle budgets instead of linear")
+		parallel  = flag.Bool("parallel", false, "speculative parallel search over cycle budgets")
+		workers   = flag.Int("workers", 0, "worker bound for -parallel probes and multi-GMA compilation (0 = GOMAXPROCS)")
 		maxCycles = flag.Int("max-cycles", 24, "largest cycle budget to try")
 		maxRounds = flag.Int("matcher-rounds", 0, "matcher round budget (0 = default)")
 		maxNodes  = flag.Int("matcher-nodes", 0, "matcher node budget (0 = default)")
@@ -74,6 +76,8 @@ func main() {
 	opt := repro.Options{
 		Arch:             *archName,
 		BinarySearch:     *binary,
+		ParallelSearch:   *parallel,
+		Workers:          *workers,
 		MaxCycles:        *maxCycles,
 		MatcherMaxRounds: *maxRounds,
 		MatcherMaxNodes:  *maxNodes,

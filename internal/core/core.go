@@ -43,6 +43,13 @@ const (
 	// only once — the alternative strategy the paper says it has not
 	// explored (section 1.3).
 	DescendSearch
+	// ParallelSearch probes several budgets speculatively on a bounded
+	// worker pool (Options.Workers), interrupting probes made moot by a
+	// completed answer: an UNSAT at K refutes every smaller budget, a SAT
+	// at K obsoletes every larger one. Cycles always matches the
+	// sequential strategies; OptimalProven can only be stronger (see
+	// parallelSearch).
+	ParallelSearch
 )
 
 // Options configures compilation of a GMA.
@@ -63,6 +70,9 @@ type Options struct {
 	// UpperBoundHint seeds DescendSearch with a known-feasible budget
 	// (e.g. the baseline compiler's cycle count); 0 means MaxCycles.
 	UpperBoundHint int
+	// Workers bounds the number of concurrently in-flight SAT probes for
+	// ParallelSearch; <= 0 means GOMAXPROCS. Other strategies ignore it.
+	Workers int
 	// Trace records the whole pipeline's telemetry — the compile root
 	// span, per-round matcher spans, and one span per SAT probe tagged
 	// with its outcome. Nil disables tracing at zero cost; the field is
@@ -181,6 +191,8 @@ func CompileGMA(gm *gma.GMA, opt Options) (*Compiled, error) {
 		return c, c.binarySearch(probe, opt.MaxCycles)
 	case DescendSearch:
 		return c, c.descendSearch(probe, opt.MaxCycles, opt.UpperBoundHint)
+	case ParallelSearch:
+		return c, c.parallelSearch(gm, opt)
 	default:
 		return c, c.linearSearch(probe, opt.MaxCycles)
 	}

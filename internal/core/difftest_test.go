@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch/alpha"
+	"repro/internal/brute"
+	"repro/internal/gma"
+	"repro/internal/semantics"
+	"repro/internal/sim"
+	"repro/internal/term"
+)
+
+// diffOps is the shared repertoire of the differential tests: pure,
+// latency-1, register-to-register operators present in both the machine
+// model and the brute-force enumerator, so a brute-found program of length
+// L is a feasible L-cycle schedule.
+var diffOps = []string{"add64", "sub64", "and64", "bis", "xor64", "sll", "srl"}
+
+// randPureTerm generates a random expression restricted to diffOps over
+// the inputs plus small constants — the pure fragment both oracles
+// understand (cf. the top-level fuzz harness's randTerm, which ranges over
+// the full operator set).
+func randPureTerm(rng *rand.Rand, depth int, inputs []string) *term.Term {
+	if depth == 0 || rng.Intn(4) == 0 {
+		if rng.Intn(3) == 0 {
+			return term.NewConst(uint64(rng.Intn(64)))
+		}
+		return term.NewVar(inputs[rng.Intn(len(inputs))])
+	}
+	op := diffOps[rng.Intn(len(diffOps))]
+	return term.NewApp(op,
+		randPureTerm(rng, depth-1, inputs),
+		randPureTerm(rng, depth-1, inputs))
+}
+
+// TestDifferentialRandomGMAs is the differential harness: random pure
+// GMAs compiled by every strategy, each schedule checked against the
+// reference semantics (always), strategies checked against each other, and
+// the cycle count cross-checked against a brute-force superoptimizer run
+// where the search space is small enough to enumerate.
+func TestDifferentialRandomGMAs(t *testing.T) {
+	trials := 30
+	if testing.Short() {
+		trials = 6
+	}
+	desc := alpha.EV6()
+	inputs := []string{"a", "b"}
+	for seed := 0; seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed) + 4242))
+		val := randPureTerm(rng, 2, inputs)
+		g := &gma.GMA{
+			Name:    "diff",
+			Targets: []gma.Target{{Kind: gma.Reg, Name: "res"}},
+			Values:  []*term.Term{val},
+			Inputs:  inputs,
+		}
+		o := opts(t)
+		o.MaxCycles = 30
+		lin, err := CompileGMA(g, o)
+		if err != nil {
+			t.Fatalf("seed %d: %s: %v", seed, val, err)
+		}
+		// Oracle 1 — the simulator: the schedule must compute the term.
+		vr := rand.New(rand.NewSource(int64(seed)))
+		if err := sim.Verify(g, lin.Schedule, desc, vr, 25); err != nil {
+			t.Fatalf("seed %d: %s\n%v", seed, val, err)
+		}
+		// Oracle 2 — the other strategies on the same GMA.
+		op := opts(t)
+		op.MaxCycles = 30
+		op.Search = ParallelSearch
+		op.Workers = 4
+		par, err := CompileGMA(g, op)
+		if err != nil {
+			t.Fatalf("seed %d: parallel: %v", seed, err)
+		}
+		if par.Cycles != lin.Cycles || par.OptimalProven != lin.OptimalProven {
+			t.Fatalf("seed %d: %s: parallel (%d cycles, optimal=%v) vs linear (%d, %v)",
+				seed, val, par.Cycles, par.OptimalProven, lin.Cycles, lin.OptimalProven)
+		}
+		vr = rand.New(rand.NewSource(int64(seed)))
+		if err := sim.Verify(g, par.Schedule, desc, vr, 25); err != nil {
+			t.Fatalf("seed %d: parallel schedule: %s\n%v", seed, val, err)
+		}
+		// Oracle 3 — brute force, where feasible: a verified brute program
+		// of length L over latency-1 ops is a feasible L-cycle schedule, so
+		// a proven-optimal Denali result may not be slower. (The converse
+		// bound does not hold: brute screens candidates on test vectors and
+		// minimizes length, not multiple-issue cycles.)
+		if lin.Cycles > 4 || !lin.OptimalProven {
+			continue // enumeration past length 4 is infeasible (that is E5's point)
+		}
+		goal := func(in []uint64) uint64 {
+			env := semantics.NewEnv()
+			for i, name := range inputs {
+				env.Words[name] = in[i]
+			}
+			w, err := semantics.EvalWord(val, env)
+			if err != nil {
+				t.Fatalf("seed %d: reference eval: %v", seed, err)
+			}
+			return w
+		}
+		consts := constsOf(val)
+		res := brute.Search(goal, brute.Config{
+			Ops: diffOps, Consts: consts, NumInputs: len(inputs),
+			MaxLen: lin.Cycles, Seed: int64(seed) + 1,
+			MaxCandidates: 20_000_000,
+		})
+		if res.Found != nil && lin.Cycles > len(res.Found.Instrs) {
+			t.Errorf("seed %d: %s: proven-optimal %d cycles, but brute force found a %d-instruction program:\n%s",
+				seed, val, lin.Cycles, len(res.Found.Instrs), res.Found)
+		}
+	}
+}
+
+// constsOf collects the constants of a term, the natural constant pool for
+// a brute-force search after the same goal.
+func constsOf(t *term.Term) []uint64 {
+	seen := map[uint64]bool{}
+	var out []uint64
+	var walk func(*term.Term)
+	walk = func(t *term.Term) {
+		if t.Kind == term.Const && !seen[t.Word] {
+			seen[t.Word] = true
+			out = append(out, t.Word)
+		}
+		for _, a := range t.Args {
+			walk(a)
+		}
+	}
+	walk(t)
+	if len(out) == 0 {
+		out = []uint64{1} // brute needs at least one immediate
+	}
+	return out
+}

@@ -100,6 +100,52 @@ func New() *Graph {
 // SetConstFolding toggles constant folding (on by default).
 func (g *Graph) SetConstFolding(on bool) { g.foldConsts = on }
 
+// Clone returns a deep copy sharing no mutable state with the receiver.
+// A Graph is never safe for concurrent use — even query methods mutate it
+// (Find performs path halving) — so concurrent consumers of a saturated
+// graph, such as speculative SAT probes, must each work on their own
+// clone. Class and node identifiers are preserved.
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{
+		nodes:         make([]Node, len(g.nodes)),
+		parent:        append([]ClassID(nil), g.parent...),
+		rank:          append([]int32(nil), g.rank...),
+		classes:       make(map[ClassID]*classInfo, len(g.classes)),
+		hash:          make(map[string]NodeID, len(g.hash)),
+		byOp:          make(map[string][]NodeID, len(g.byOp)),
+		foldConsts:    g.foldConsts,
+		pendingMerges: append([][2]ClassID(nil), g.pendingMerges...),
+		pendingFolds:  append([]NodeID(nil), g.pendingFolds...),
+	}
+	for i, n := range g.nodes {
+		n.Args = append([]ClassID(nil), n.Args...)
+		ng.nodes[i] = n
+	}
+	for c, ci := range g.classes {
+		nci := &classInfo{
+			nodes:    append([]NodeID(nil), ci.nodes...),
+			parents:  append([]NodeID(nil), ci.parents...),
+			distinct: append([]ClassID(nil), ci.distinct...),
+		}
+		if ci.constVal != nil {
+			v := *ci.constVal
+			nci.constVal = &v
+		}
+		ng.classes[c] = nci
+	}
+	for k, v := range g.hash {
+		ng.hash[k] = v
+	}
+	for k, v := range g.byOp {
+		ng.byOp[k] = append([]NodeID(nil), v...)
+	}
+	for _, cl := range g.clauses {
+		ng.clauses = append(ng.clauses,
+			&Clause{Lits: append([]Literal(nil), cl.Lits...), done: cl.done})
+	}
+	return ng
+}
+
 // NumNodes returns the number of term nodes.
 func (g *Graph) NumNodes() int { return len(g.nodes) }
 

@@ -400,3 +400,35 @@ func TestWriteDot(t *testing.T) {
 		t.Fatalf("clusters = %d, classes = %d", got, g.NumClasses())
 	}
 }
+
+func TestCloneIndependence(t *testing.T) {
+	g := New()
+	a := g.AddTerm(term.NewVar("a"))
+	b := g.AddTerm(term.NewVar("b"))
+	sum := g.AddTerm(term.MustParse("(add64 a b)"))
+
+	cl := g.Clone()
+	// Identifiers and equivalences carry over.
+	if cl.Find(a) != g.Find(a) || cl.NumNodes() != g.NumNodes() {
+		t.Fatal("clone must preserve identifiers and size")
+	}
+	if cl.Find(cl.AddTerm(term.MustParse("(add64 a b)"))) != cl.Find(sum) {
+		t.Fatal("clone must preserve the hash-cons table")
+	}
+	// Mutating the clone must not leak back into the original.
+	if err := cl.Merge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Find(a) != cl.Find(b) {
+		t.Fatal("merge in clone did not take")
+	}
+	if g.Find(a) == g.Find(b) {
+		t.Fatal("merge in clone leaked into the original")
+	}
+	// And vice versa: new terms in the original stay invisible to the clone.
+	n := cl.NumNodes()
+	g.AddTerm(term.MustParse("(mul64 a b)"))
+	if cl.NumNodes() != n {
+		t.Fatal("node added to original leaked into the clone")
+	}
+}

@@ -1,0 +1,44 @@
+package lang
+
+import (
+	"testing"
+
+	"repro/internal/sexpr"
+)
+
+// FuzzParse feeds arbitrary source text through the two parsing layers:
+// the s-expression reader must never panic and must round-trip what it
+// accepts (parse → print → parse is a fixed point), and the language
+// front end must turn any input into a Program or an error, never a panic.
+func FuzzParse(f *testing.F) {
+	f.Add("")
+	f.Add("(")
+	f.Add("())")
+	f.Add(`(\procdecl p ((a long)) long (:= (\res a)))`)
+	f.Add(`(\procdecl sum ((a long) (b long)) long (:= (\res (+ a b))))`)
+	f.Add(`(\opdecl swap (x) (\axiom (= (swap x) x)))`)
+	f.Add("; comment\n(atom \"str\" 0x1f -42)")
+	f.Add(`(\procdecl l ((p long)) long (\loop 2 (:= (\res (select M p)))))`)
+	f.Fuzz(func(t *testing.T, src string) {
+		exprs, err := sexpr.ReadAll(src)
+		if err == nil {
+			// Round-trip: printing and re-reading accepted input must be a
+			// fixed point of the reader.
+			var printed []string
+			for _, e := range exprs {
+				printed = append(printed, e.String())
+			}
+			for i, p := range printed {
+				again, err := sexpr.ReadAll(p)
+				if err != nil {
+					t.Fatalf("reparse of printed form failed: %q: %v", p, err)
+				}
+				if len(again) != 1 || again[0].String() != printed[i] {
+					t.Fatalf("round-trip not a fixed point: %q -> %q", printed[i], again[0].String())
+				}
+			}
+		}
+		// The front end may reject, but must never panic.
+		_, _ = Parse(src)
+	})
+}

@@ -51,6 +51,8 @@ type Span struct {
 	depth  int
 	tags   []Tag
 	ended  bool
+	// detached spans live outside the cursor discipline (StartDetached).
+	detached bool
 }
 
 // Event is one entry of the bounded event log.
@@ -131,6 +133,23 @@ func (t *Trace) Startf(format string, args ...any) *Span {
 	return t.Start(fmt.Sprintf(format, args...))
 }
 
+// StartDetached opens a span that is NOT nested under the current span and
+// does not become current: the cursor discipline is untouched. Detached
+// spans are for concurrent work — one per speculative SAT probe, for
+// example — where several regions overlap in time and none is "inside"
+// the single-goroutine pipeline chain. Ending a detached span closes only
+// that span.
+func (t *Trace) StartDetached(name string, tags ...Tag) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := &Span{tr: t, name: name, start: t.now(), tags: tags, detached: true}
+	t.spans = append(t.spans, sp)
+	return sp
+}
+
 // End closes the span (appending any final tags). Open descendants are
 // closed with it, so a deferred End of an outer span cannot leave
 // dangling children. Ending a span twice, or a nil span, is a no-op.
@@ -145,24 +164,28 @@ func (sp *Span) End(tags ...Tag) {
 		return
 	}
 	end := t.now()
-	// Close any open spans nested below sp (cursor discipline: the chain
-	// from t.current up to sp).
-	for c := t.current; c != nil && c != sp; c = c.parent {
-		if !c.ended {
-			c.ended = true
-			c.end = end
+	// Only a span on the current cursor chain closes its open descendants
+	// and pops the cursor; ending a detached (or otherwise off-chain) span
+	// must not disturb the chain.
+	onChain := false
+	for c := t.current; c != nil; c = c.parent {
+		if c == sp {
+			onChain = true
+			break
 		}
+	}
+	if onChain {
+		for c := t.current; c != nil && c != sp; c = c.parent {
+			if !c.ended {
+				c.ended = true
+				c.end = end
+			}
+		}
+		t.current = sp.parent
 	}
 	sp.ended = true
 	sp.end = end
 	sp.tags = append(sp.tags, tags...)
-	// Pop the cursor to sp's parent if sp was on the current chain.
-	for c := t.current; c != nil; c = c.parent {
-		if c == sp {
-			t.current = sp.parent
-			break
-		}
-	}
 }
 
 // SetTag appends an annotation to the span.

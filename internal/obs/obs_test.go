@@ -86,6 +86,81 @@ func TestEndClosesOpenDescendants(t *testing.T) {
 	}
 }
 
+// TestDetachedSpans: StartDetached must leave the cursor chain untouched —
+// spans started after it still nest under the enclosing span, ending the
+// enclosing span does not close a live detached span, and ending the
+// detached span closes only itself.
+func TestDetachedSpans(t *testing.T) {
+	tr := newFakeTrace()
+	root := tr.Start("compile")
+	probe := tr.StartDetached("probe K=3", Tint("K", 3))
+	inner := tr.Start("matcher") // must nest under compile, not the probe
+	inner.End()
+	root.End()
+	s := tr.snapshot()
+	for _, sp := range s.spans {
+		switch sp.name {
+		case "matcher":
+			if sp.depth != 1 {
+				t.Errorf("matcher depth = %d, want 1 (detached span moved the cursor)", sp.depth)
+			}
+		case "probe K=3":
+			if !sp.open {
+				t.Error("ending compile closed the detached probe span")
+			}
+		}
+	}
+	probe.End(T("result", "SAT"))
+	s = tr.snapshot()
+	for _, sp := range s.spans {
+		if sp.open {
+			t.Errorf("span %q still open after probe End", sp.name)
+		}
+		if sp.name == "probe K=3" && len(sp.tags) != 2 {
+			t.Errorf("probe tags = %v, want K plus result", sp.tags)
+		}
+	}
+	// The cursor is back at the root even though a detached span ended last.
+	next := tr.Start("next")
+	next.End()
+	s = tr.snapshot()
+	if got := s.spans[len(s.spans)-1]; got.name != "next" || got.depth != 0 {
+		t.Errorf("post-End span = %q depth %d, want depth 0", got.name, got.depth)
+	}
+}
+
+// TestDetachedSpansConcurrent hammers detached spans from many goroutines
+// while the main chain keeps nesting — the pattern parallelSearch relies on
+// (run under -race by the tier-1 gate).
+func TestDetachedSpansConcurrent(t *testing.T) {
+	tr := New()
+	root := tr.Start("compile")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				sp := tr.StartDetached("probe", Tint("K", int64(k)))
+				sp.End(T("result", "UNSAT"))
+			}
+		}(i)
+	}
+	inner := tr.Start("matcher")
+	inner.End()
+	wg.Wait()
+	root.End()
+	s := tr.snapshot()
+	if want := 2 + 8*100; len(s.spans) != want {
+		t.Fatalf("got %d spans, want %d", len(s.spans), want)
+	}
+	for _, sp := range s.spans {
+		if sp.open {
+			t.Fatalf("span %q left open", sp.name)
+		}
+	}
+}
+
 func TestDoubleEndIsNoop(t *testing.T) {
 	tr := newFakeTrace()
 	sp := tr.Start("x")

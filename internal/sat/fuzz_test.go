@@ -1,0 +1,104 @@
+package sat
+
+import (
+	"testing"
+)
+
+// FuzzSolver differentially tests the CDCL solver against naive truth-table
+// enumeration on small CNF instances decoded from the fuzz input: one byte
+// per literal (variable index and sign), the high bit terminating a clause.
+// The solver's verdict must match enumeration exactly, and a Sat model must
+// actually satisfy every clause.
+func FuzzSolver(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})                                     // unit (x0)
+	f.Add([]byte{0x00, 0x80, 0x01, 0x80})                   // (x0)(¬x0): unsat
+	f.Add([]byte{0x02, 0x05, 0x80, 0x03, 0x80, 0x04, 0x80}) // mixed units
+	f.Add([]byte{0x00, 0x02, 0x80, 0x01, 0x04, 0x80, 0x03, 0x05, 0x80})
+	f.Add([]byte{0x06, 0x08, 0x0a, 0x80, 0x07, 0x09, 0x80, 0x0b, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxVars = 8
+		var clauses [][]Lit
+		var cl []Lit
+		for _, b := range data {
+			if len(clauses) >= 24 {
+				break
+			}
+			if b&0x80 != 0 || len(cl) >= 3 {
+				if len(cl) > 0 {
+					clauses = append(clauses, cl)
+					cl = nil
+				}
+				continue
+			}
+			v := int(b>>1) % maxVars
+			if b&1 == 1 {
+				cl = append(cl, Neg(v))
+			} else {
+				cl = append(cl, Pos(v))
+			}
+		}
+		if len(cl) > 0 {
+			clauses = append(clauses, cl)
+		}
+
+		s := New()
+		for i := 0; i < maxVars; i++ {
+			s.NewVar()
+		}
+		res := Sat
+		for _, c := range clauses {
+			if !s.AddClause(c...) {
+				res = Unsat // top-level conflict during construction
+				break
+			}
+		}
+		if res != Unsat {
+			res = s.Solve()
+		}
+
+		naiveSat := false
+		for m := 0; m < 1<<maxVars && !naiveSat; m++ {
+			all := true
+			for _, c := range clauses {
+				csat := false
+				for _, l := range c {
+					if (m>>l.Var()&1 == 1) != l.IsNeg() {
+						csat = true
+						break
+					}
+				}
+				if !csat {
+					all = false
+					break
+				}
+			}
+			naiveSat = all
+		}
+
+		switch res {
+		case Sat:
+			if !naiveSat {
+				t.Fatalf("solver says Sat, enumeration says Unsat: %v", clauses)
+			}
+			for _, c := range clauses {
+				csat := false
+				for _, l := range c {
+					if s.Value(l.Var()) != l.IsNeg() {
+						csat = true
+						break
+					}
+				}
+				if !csat {
+					t.Fatalf("model does not satisfy clause %v", c)
+				}
+			}
+		case Unsat:
+			if naiveSat {
+				t.Fatalf("solver says Unsat, enumeration says Sat: %v", clauses)
+			}
+		default:
+			t.Fatalf("unbounded solve returned %v", res)
+		}
+	})
+}

@@ -13,6 +13,7 @@ package sat
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Lit is a literal: variable index v encoded as 2v (positive) or 2v+1
@@ -92,6 +93,9 @@ type Stats struct {
 	Propagations int64
 	Restarts     int64
 	Reduced      int64
+	// Cancelled reports that Solve returned Unknown because Interrupt was
+	// called, as opposed to exhausting MaxConflicts.
+	Cancelled bool
 }
 
 // Solver is a CDCL SAT solver. The zero value is not usable; call New.
@@ -120,6 +124,10 @@ type Solver struct {
 
 	// MaxConflicts bounds the search; <= 0 means unbounded.
 	MaxConflicts int64
+
+	// stop is the cancellation flag: Interrupt (from any goroutine) makes
+	// the running Solve return Unknown with Stats().Cancelled set.
+	stop atomic.Bool
 }
 
 // New returns an empty solver.
@@ -375,6 +383,14 @@ func (s *Solver) bump(v int) {
 	}
 }
 
+// Interrupt requests that a running (or future) Solve stop and return
+// Unknown with Stats().Cancelled set. It is safe to call from any
+// goroutine, any number of times, before or during Solve; it never blocks.
+func (s *Solver) Interrupt() { s.stop.Store(true) }
+
+// Interrupted reports whether Interrupt has been called.
+func (s *Solver) Interrupted() bool { return s.stop.Load() }
+
 // Solve runs the CDCL search.
 func (s *Solver) Solve() Result {
 	if s.unsat {
@@ -389,6 +405,14 @@ func (s *Solver) Solve() Result {
 	conflictsAtRestart := s.stats.Conflicts
 	limit := restartBase * luby(lubyIdx)
 	for {
+		// The cancellation flag is polled once per propagate/decide round:
+		// a single atomic load, negligible next to the propagation it
+		// gates, so an Interrupt lands within one round.
+		if s.stop.Load() {
+			s.backtrack(0)
+			s.stats.Cancelled = true
+			return Unknown
+		}
 		confl := s.propagate()
 		if confl != nil {
 			s.stats.Conflicts++

@@ -578,6 +578,12 @@ func (p *Problem) encode() {
 	}
 }
 
+// Interrupt asks a running (or future) Solve to stop: the probe returns
+// sat.Unknown with Stat.Solver.Cancelled set. Safe from any goroutine —
+// this is how the speculative parallel budget search retires probes made
+// moot by a completed SAT or UNSAT answer at another budget.
+func (p *Problem) Interrupt() { p.solver.Interrupt() }
+
 // Solve runs the SAT probe. The returned Stat records the problem size,
 // outcome, and the solver's full search statistics whether or not a
 // schedule exists.
@@ -586,6 +592,9 @@ func (p *Problem) Solve() (*Schedule, Stat, error) {
 	sp := tr.Start("solve")
 	res := p.solver.Solve()
 	st := p.solver.Stats()
+	if st.Cancelled {
+		sp.SetTag("cancelled", "true")
+	}
 	sp.End(obs.T("result", res.String()), obs.Tint("conflicts", st.Conflicts))
 	tr.Add("sat.conflicts", st.Conflicts)
 	tr.Add("sat.decisions", st.Decisions)

@@ -19,9 +19,12 @@
 package repro
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/arch"
@@ -53,6 +56,17 @@ type Options struct {
 	// just-infeasible refutations are hard, so descending pays the hard
 	// probe once. Combine with MaxConflicts for anytime behaviour.
 	DescendSearch bool
+	// ParallelSearch probes several cycle budgets speculatively on a
+	// bounded worker pool, interrupting probes made moot by a completed
+	// SAT/UNSAT answer elsewhere. Cycles and OptimalProven match the
+	// sequential strategies (see internal/core). Takes precedence over
+	// BinarySearch/DescendSearch.
+	ParallelSearch bool
+	// Workers bounds the concurrency: in-flight SAT probes per GMA under
+	// ParallelSearch, and concurrently compiled GMAs in Compile. <= 1
+	// means sequential compilation; ParallelSearch with Workers <= 0 uses
+	// GOMAXPROCS probes.
+	Workers int
 	// MaxCycles bounds the budget search (default 24).
 	MaxCycles int
 	// MatcherMaxRounds and MatcherMaxNodes bound E-graph saturation.
@@ -222,6 +236,20 @@ func Compile(src string, opt Options) (*Result, error) {
 	if opt.DescendSearch {
 		copts.Search = core.DescendSearch
 	}
+	if opt.ParallelSearch {
+		copts.Search = core.ParallelSearch
+	}
+	copts.Workers = opt.Workers
+
+	// Flatten the program into one job per GMA (after software
+	// pipelining) so compilation can fan out across a worker pool while
+	// the Result keeps source order.
+	type job struct {
+		proc *Proc
+		idx  int
+		g    *gma.GMA
+	}
+	var jobs []job
 	res := &Result{}
 	for _, proc := range prog.Procs {
 		cp := &Proc{Name: proc.Name}
@@ -233,14 +261,57 @@ func Compile(src string, opt Options) (*Result, error) {
 				}
 			}
 			for _, g := range gmas {
-				cg, err := compileOne(g, copts, desc)
-				if err != nil {
-					return nil, fmt.Errorf("repro: %s: %w", g.Name, err)
-				}
-				cp.GMAs = append(cp.GMAs, cg)
+				jobs = append(jobs, job{proc: cp, idx: len(cp.GMAs), g: g})
+				cp.GMAs = append(cp.GMAs, nil)
 			}
 		}
 		res.Procs = append(res.Procs, cp)
+	}
+
+	workers := opt.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			cg, err := compileOne(j.g, copts, desc)
+			if err != nil {
+				return nil, fmt.Errorf("repro: %s: %w", j.g.Name, err)
+			}
+			j.proc.GMAs[j.idx] = cg
+		}
+		return res, nil
+	}
+	// Parallel multi-GMA compilation. Each GMA is isolated: compileOne
+	// converts panics to errors, and every job runs to completion so one
+	// failure cannot poison the others; the errors are then joined.
+	var (
+		wg   sync.WaitGroup
+		sem  = make(chan struct{}, workers)
+		mu   sync.Mutex
+		errs []error
+	)
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			cg, err := compileOne(j.g, copts, desc)
+			if err != nil {
+				mu.Lock()
+				errs = append(errs, fmt.Errorf("repro: %s: %w", j.g.Name, err))
+				mu.Unlock()
+				return
+			}
+			j.proc.GMAs[j.idx] = cg
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+		return nil, errors.Join(errs...)
 	}
 	return res, nil
 }
@@ -283,10 +354,22 @@ func CompileGMA(g *gma.GMA, opt Options) (*CompiledGMA, error) {
 	if opt.DescendSearch {
 		copts.Search = core.DescendSearch
 	}
+	if opt.ParallelSearch {
+		copts.Search = core.ParallelSearch
+	}
+	copts.Workers = opt.Workers
 	return compileOne(g, copts, desc)
 }
 
-func compileOne(g *gma.GMA, copts core.Options, desc *arch.Description) (*CompiledGMA, error) {
+func compileOne(g *gma.GMA, copts core.Options, desc *arch.Description) (cg *CompiledGMA, err error) {
+	// Per-GMA isolation: a panic anywhere in the pipeline surfaces as this
+	// GMA's error instead of tearing down a whole (possibly concurrent)
+	// multi-GMA run.
+	defer func() {
+		if r := recover(); r != nil {
+			cg, err = nil, fmt.Errorf("internal panic compiling %s: %v", g.Name, r)
+		}
+	}()
 	if copts.Search == core.DescendSearch && copts.UpperBoundHint == 0 {
 		// The baseline compiler's schedule is a feasible upper bound.
 		if s, err := naivegen.Compile(g, desc); err == nil {
@@ -297,7 +380,7 @@ func compileOne(g *gma.GMA, copts core.Options, desc *arch.Description) (*Compil
 	if err != nil {
 		return nil, err
 	}
-	cg := &CompiledGMA{
+	cg = &CompiledGMA{
 		Name:          g.Name,
 		Cycles:        c.Cycles,
 		Instructions:  c.Schedule.Instructions(),

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Full tier-1 verification gate (see ROADMAP.md) plus a fuzz smoke test.
+# Run from the repository root:  sh scripts/verify.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build"
+go build ./...
+
+echo "== vet"
+go vet ./...
+
+echo "== tests"
+go test ./...
+
+echo "== race gate (core, schedule, sat, obs)"
+go test -race ./internal/core ./internal/schedule ./internal/sat ./internal/obs
+
+echo "== fuzz smoke (10s per target)"
+go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/lang
+go test -run '^$' -fuzz '^FuzzSolver$' -fuzztime 10s ./internal/sat
+
+echo "verify.sh: all gates passed"
