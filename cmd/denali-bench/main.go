@@ -12,14 +12,23 @@
 //	denali-bench -json BENCH_run.json also write one JSON row per compiled
 //	                                  GMA with per-phase wall time (match,
 //	                                  solve) and the full solver counters
+//	denali-bench -out BENCH_3.json    also write the per-experiment perf
+//	                                  trajectory: wall time, strategy,
+//	                                  workers, and p50/p95/max of the
+//	                                  compile/solve/match latency
+//	                                  histograms each experiment filled
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -29,7 +38,9 @@ import (
 	"repro/internal/brute"
 	"repro/internal/egraph"
 	"repro/internal/matcher"
+	"repro/internal/obs"
 	"repro/internal/programs"
+	"repro/internal/serve"
 	"repro/internal/term"
 )
 
@@ -86,10 +97,84 @@ var (
 	curWorkers  = 1
 	curWallMS   float64
 	jsonPath    string
+	outPath     string
 
 	flagWorkers  int
 	flagParallel bool
+
+	// benchReg/benchSink collect each experiment's pipeline metrics; the
+	// harness swaps in a fresh registry per experiment so the -out
+	// trajectory attributes latency histograms to the experiment that
+	// produced them.
+	benchReg  *obs.Registry
+	benchSink *obs.Sink
+	summaries []expSummary
 )
+
+// histSummary condenses one latency histogram for the -out trajectory.
+type histSummary struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P95   float64 `json:"p95_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+// expSummary is one experiment in the -out trajectory file.
+type expSummary struct {
+	Experiment string       `json:"experiment"`
+	WallMillis float64      `json:"wall_ms"`
+	Strategy   string       `json:"strategy"`
+	Workers    int          `json:"workers"`
+	Compile    *histSummary `json:"compile_seconds,omitempty"`
+	Solve      *histSummary `json:"sat_solve_seconds,omitempty"`
+	Match      *histSummary `json:"match_seconds,omitempty"`
+	HTTP       *histSummary `json:"http_request_seconds,omitempty"`
+}
+
+// summarize merges every label series of one histogram family (the
+// registry splits e.g. compile latency by strategy and solve latency by
+// SAT/UNSAT) and condenses it to count/p50/p95/max in milliseconds.
+func summarize(snap obs.Snapshot, name string) *histSummary {
+	series := snap.Histograms[name]
+	if len(series) == 0 {
+		return nil
+	}
+	var merged obs.HistogramSnapshot
+	for _, h := range series {
+		if h.Count == 0 {
+			continue
+		}
+		if merged.Count == 0 {
+			merged = obs.HistogramSnapshot{
+				Name:   h.Name,
+				Bounds: h.Bounds,
+				Counts: append([]uint64(nil), h.Counts...),
+				Sum:    h.Sum, Count: h.Count, Min: h.Min, Max: h.Max,
+			}
+			continue
+		}
+		for i := range merged.Counts {
+			merged.Counts[i] += h.Counts[i]
+		}
+		merged.Sum += h.Sum
+		merged.Count += h.Count
+		if h.Min < merged.Min {
+			merged.Min = h.Min
+		}
+		if h.Max > merged.Max {
+			merged.Max = h.Max
+		}
+	}
+	if merged.Count == 0 {
+		return nil
+	}
+	return &histSummary{
+		Count: merged.Count,
+		P50:   merged.Quantile(0.5) * 1e3,
+		P95:   merged.Quantile(0.95) * 1e3,
+		Max:   merged.Max * 1e3,
+	}
+}
 
 // record appends one compiled GMA to the -json rows.
 func record(g *repro.CompiledGMA) {
@@ -146,6 +231,7 @@ func compile(src string, opt repro.Options) (*repro.Result, time.Duration, error
 	if opt.Workers == 0 && (flagParallel || opt.ParallelSearch) {
 		opt.Workers = flagWorkers
 	}
+	opt.Sink = benchSink
 	curStrategy, curWorkers = strategyName(opt), opt.Workers
 	if curWorkers <= 0 {
 		if opt.ParallelSearch {
@@ -174,6 +260,7 @@ func main() {
 	runFilter := flag.String("run", "", "run only the experiment with this id (e.g. E5)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.StringVar(&jsonPath, "json", "", "write per-GMA timing/counter rows to this JSON file")
+	flag.StringVar(&outPath, "out", "", "write the per-experiment perf trajectory (wall time, strategy, workers, latency p50/p95/max) to this JSON file")
 	flag.IntVar(&flagWorkers, "workers", 0, "worker bound for parallel probes and multi-GMA compilation (0 = GOMAXPROCS)")
 	flag.BoolVar(&flagParallel, "parallel", false, "use the speculative parallel budget search in every experiment that does not pick its own strategy")
 	flag.Parse()
@@ -192,6 +279,7 @@ func main() {
 		{"E11", "issue-width ablation (1/2/4)", e11},
 		{"E12", "correct-by-design: random-input verification of all programs", e12},
 		{"E13", "sequential vs speculative-parallel budget search: corpus wall clock", e13},
+		{"E14", "served-mode throughput and latency under concurrent HTTP clients", e14},
 		{"A1", "ablation: at-most-once-per-term pruning constraint", a1},
 		{"A2", "ablation: matcher saturation budgets vs result quality", a2},
 	}
@@ -211,14 +299,38 @@ func main() {
 		}
 		currentExp = e.id
 		curStrategy, curWorkers, curWallMS = "linear", 1, 0
+		benchReg = obs.NewCompilerRegistry()
+		benchSink = obs.NewSink(benchReg)
 		fmt.Printf("\n===== %s: %s =====\n", e.id, e.title)
 		start := time.Now()
-		if err := e.run(); err != nil {
+		err := e.run()
+		wall := time.Since(start)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
 			failed = append(failed, e.id)
 			continue
 		}
-		fmt.Printf("[%s done in %v]\n", e.id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s done in %v]\n", e.id, wall.Round(time.Millisecond))
+		if outPath != "" {
+			snap := benchReg.Snapshot()
+			summaries = append(summaries, expSummary{
+				Experiment: e.id,
+				WallMillis: float64(wall.Microseconds()) / 1e3,
+				Strategy:   curStrategy,
+				Workers:    curWorkers,
+				Compile:    summarize(snap, obs.MCompileSeconds),
+				Solve:      summarize(snap, obs.MSolveSeconds),
+				Match:      summarize(snap, obs.MMatchSeconds),
+				HTTP:       summarize(snap, "denali_http_request_seconds"),
+			})
+		}
+	}
+	if outPath != "" {
+		if err := writeTrajectory(outPath); err != nil {
+			fmt.Fprintln(os.Stderr, "denali-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d experiment summaries written to %s\n", len(summaries), outPath)
 	}
 	if jsonPath != "" {
 		f, err := os.Create(jsonPath)
@@ -621,6 +733,138 @@ func a1() error {
 		fmt.Printf("at-most-once disabled=%-5v: %d cycles, %d total conflicts, %v\n",
 			disable, g.Cycles, conflicts, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
+}
+
+// writeTrajectory writes the -out file: one summary per experiment, in
+// run order, so successive bench runs can be diffed as a perf trajectory.
+func writeTrajectory(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	out := struct {
+		Schema      string       `json:"schema"`
+		GeneratedAt string       `json:"generated_at"`
+		GoMaxProcs  int          `json:"gomaxprocs"`
+		Experiments []expSummary `json:"experiments"`
+	}{
+		Schema:      "denali-bench-trajectory/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Experiments: summaries,
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// e14 measures the compile service end to end: an in-process denali serve
+// instance on a loopback port, hammered by concurrent HTTP clients, with
+// latency reported both from the client side and from the server's own
+// /compile histogram (they must agree for the telemetry to be trusted).
+func e14() error {
+	const clients = 8
+	const total = 24
+	srv := serve.New(serve.Config{
+		Addr:          "127.0.0.1:0",
+		Options:       repro.Options{Workers: 2},
+		MaxConcurrent: clients,
+		Registry:      benchReg,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(ctx) }()
+	for srv.Addr() == "" {
+		time.Sleep(time.Millisecond)
+	}
+	base := "http://" + srv.Addr()
+
+	corpus := []struct{ name, src string }{
+		{"quickstart", programs.Quickstart},
+		{"byteswap4", programs.Byteswap4},
+		{"checksum", programs.Checksum},
+	}
+	type result struct {
+		lat time.Duration
+		err error
+	}
+	jobs := make(chan int)
+	results := make(chan result, total)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				p := corpus[j%len(corpus)]
+				t0 := time.Now()
+				resp, err := http.Post(base+"/compile", "text/plain", strings.NewReader(p.src))
+				if err != nil {
+					results <- result{err: err}
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					results <- result{err: fmt.Errorf("%s: HTTP %d: %.120s", p.name, resp.StatusCode, body)}
+					continue
+				}
+				results <- result{lat: time.Since(t0)}
+			}
+		}()
+	}
+	for j := 0; j < total; j++ {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+	close(results)
+	var lats []time.Duration
+	for r := range results {
+		if r.err != nil {
+			return r.err
+		}
+		lats = append(lats, r.lat)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) time.Duration { return lats[int(q*float64(len(lats)-1))] }
+	fmt.Printf("served %d compile requests over %d concurrent clients in %v (%.1f req/s)\n",
+		total, clients, wall.Round(time.Millisecond), float64(total)/wall.Seconds())
+	fmt.Printf("client-side latency: p50=%v p95=%v max=%v\n",
+		pct(0.5).Round(time.Millisecond), pct(0.95).Round(time.Millisecond),
+		lats[len(lats)-1].Round(time.Millisecond))
+	h := srv.Registry().Histogram("denali_http_request_seconds", obs.T("path", "/compile"))
+	fmt.Printf("server-side /compile histogram: count=%d p50=%.1fms p95=%.1fms max=%.1fms\n",
+		h.Count, h.Quantile(0.5)*1e3, h.Quantile(0.95)*1e3, h.Max*1e3)
+	if h.Count != total {
+		return fmt.Errorf("server histogram counted %d requests, clients sent %d", h.Count, total)
+	}
+	scrape, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(scrape.Body)
+	scrape.Body.Close()
+	n := 0
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, "#") && strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	fmt.Printf("/metrics scrape: %d samples\n", n)
+	cancel()
+	if err := <-errc; err != nil {
+		return err
+	}
+	curStrategy, curWorkers = "linear", 2
 	return nil
 }
 

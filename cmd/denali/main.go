@@ -7,6 +7,7 @@
 //
 //	denali [flags] file.dn
 //	denali [flags] -        (read from stdin)
+//	denali serve [flags]    (run as an HTTP compile service)
 //
 // Flags select the machine model, the budget search strategy, matcher
 // budgets, and optional post-compile verification on random inputs.
@@ -17,22 +18,35 @@
 //	                  (open in chrome://tracing or https://ui.perfetto.dev)
 //	-metrics          print a per-phase wall-time and counter table on stderr
 //	-pprof addr       serve net/http/pprof on addr (e.g. localhost:6060)
+//
+// The serve mode exposes POST /compile, GET /metrics (Prometheus text
+// exposition), GET /healthz, GET /readyz and /debug/pprof/, with graceful
+// shutdown on SIGINT/SIGTERM; see `denali serve -h` and the README's
+// "Running as a service" section.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro"
 	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	var (
 		archName  = flag.String("arch", "ev6", "machine model: ev6, ev6-noclusters, ev6-single, ev6-dual")
 		binary    = flag.Bool("binary-search", false, "binary search over cycle budgets instead of linear")
@@ -153,6 +167,61 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
 	}
+}
+
+// serveMain runs the long-lived HTTP compile service.
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("denali serve", flag.ExitOnError)
+	var (
+		addr       = fs.String("addr", ":8473", "listen address (host:port; port 0 picks a free port)")
+		addrFile   = fs.String("addr-file", "", "write the bound address to this file once listening (for scripts using port 0)")
+		archName   = fs.String("arch", "ev6", "machine model: ev6, ev6-noclusters, ev6-single, ev6-dual, itanium")
+		parallel   = fs.Bool("parallel", false, "default to the speculative parallel budget search")
+		workers    = fs.Int("workers", 0, "worker bound per compilation and ceiling for request overrides (0 = GOMAXPROCS)")
+		maxConc    = fs.Int("max-concurrent", 0, "concurrent /compile requests (0 = workers)")
+		reqTimeout = fs.Duration("timeout", 60*time.Second, "per-request compile timeout")
+		drain      = fs.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: denali serve [flags]")
+		fs.Usage()
+		os.Exit(2)
+	}
+	srv := serve.New(serve.Config{
+		Addr: *addr,
+		Options: repro.Options{
+			Arch:           *archName,
+			ParallelSearch: *parallel,
+			Workers:        *workers,
+		},
+		MaxConcurrent:  *maxConc,
+		RequestTimeout: *reqTimeout,
+		DrainTimeout:   *drain,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Report the bound address once the listener is up — both for humans
+	// and, via -addr-file, for scripts that asked for port 0.
+	go func() {
+		for srv.Addr() == "" {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+		fmt.Fprintf(os.Stderr, "denali: serving on http://%s (POST /compile, /metrics, /healthz, /readyz, /debug/pprof/)\n", srv.Addr())
+		if *addrFile != "" {
+			if err := os.WriteFile(*addrFile, []byte(srv.Addr()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "denali: addr-file:", err)
+			}
+		}
+	}()
+	if err := srv.ListenAndServe(ctx); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "denali: shut down cleanly")
 }
 
 func readSource(path string) (string, error) {

@@ -52,6 +52,20 @@ const (
 	ParallelSearch
 )
 
+// String names the strategy ("linear", "binary", "descend", "parallel"),
+// used as the strategy label on process-level metrics.
+func (s SearchStrategy) String() string {
+	switch s {
+	case BinarySearch:
+		return "binary"
+	case DescendSearch:
+		return "descend"
+	case ParallelSearch:
+		return "parallel"
+	}
+	return "linear"
+}
+
 // Options configures compilation of a GMA.
 type Options struct {
 	// Desc is the machine description; defaults are not provided — the
@@ -78,6 +92,12 @@ type Options struct {
 	// with its outcome. Nil disables tracing at zero cost; the field is
 	// also propagated into Matcher.Trace and Schedule.Trace.
 	Trace *obs.Trace
+	// Sink publishes process-level aggregates (compile/match/solve
+	// latency histograms, probe and solver-work counters, per-strategy
+	// speculation waste) into a metrics registry shared across
+	// compilations. Nil disables it at the cost of one pointer check;
+	// the field is also propagated into Schedule.Sink.
+	Sink *obs.Sink
 }
 
 // Probe records one SAT probe with its wall-clock cost.
@@ -113,7 +133,7 @@ type Compiled struct {
 var ErrNoSchedule = errors.New("core: no schedule found within the cycle bound")
 
 // CompileGMA runs the full matching + satisfiability pipeline on one GMA.
-func CompileGMA(gm *gma.GMA, opt Options) (*Compiled, error) {
+func CompileGMA(gm *gma.GMA, opt Options) (compiled *Compiled, err error) {
 	if opt.Desc == nil {
 		return nil, fmt.Errorf("core: Options.Desc is required")
 	}
@@ -127,8 +147,22 @@ func CompileGMA(gm *gma.GMA, opt Options) (*Compiled, error) {
 	tr := opt.Trace
 	opt.Matcher.Trace = tr
 	opt.Schedule.Trace = tr
+	opt.Schedule.Sink = opt.Sink
 	root := tr.Start("compile", obs.T("gma", gm.Name))
 	defer root.End()
+	if sk := opt.Sink; sk != nil {
+		strategy := obs.T("strategy", opt.Search.String())
+		t0 := time.Now()
+		defer func() {
+			sk.Observe(obs.MCompileSeconds, time.Since(t0).Seconds(), strategy)
+			if err != nil {
+				sk.Add(obs.MCompileErrors, 1)
+			} else {
+				sk.Add(obs.MCompiles, 1, strategy)
+				sk.Observe(obs.MCyclesFound, float64(compiled.Cycles))
+			}
+		}()
+	}
 
 	c := &Compiled{GMA: gm, Graph: egraph.New()}
 	for _, goal := range gm.Goals() {
@@ -160,6 +194,8 @@ func CompileGMA(gm *gma.GMA, opt Options) (*Compiled, error) {
 	}
 	c.Match = mres
 	c.MatchTime = time.Since(start)
+	opt.Sink.Observe(obs.MMatchSeconds, c.MatchTime.Seconds())
+	opt.Sink.Observe(obs.MEGraphNodes, float64(mres.Nodes))
 
 	// Each K-probe of the budget search is one span tagged with the
 	// outcome (SAT/UNSAT/UNKNOWN); the encode/solve/decode sub-phases

@@ -39,10 +39,13 @@ func (c *Compiled) parallelSearch(gm *gma.GMA, opt Options) error {
 	}
 	maxCycles := opt.MaxCycles
 	tr := opt.Trace
+	sk := opt.Sink
+	strategy := obs.T("strategy", "parallel")
 	// Worker probes must not touch the trace's span cursor (they run
 	// concurrently with each other); each probe instead records one
 	// detached span, and the aggregate solver counters are bumped from
-	// the completed Stat. Counters and detached spans are goroutine-safe.
+	// the completed Stat. Counters, detached spans and the Sink are all
+	// goroutine-safe, so the Sink stays attached to the worker probes.
 	sopt := opt.Schedule
 	sopt.Trace = nil
 
@@ -63,6 +66,7 @@ func (c *Compiled) parallelSearch(gm *gma.GMA, opt Options) error {
 	// interrupt it mid-search.
 	launch := func(k int) {
 		tr.Add("parallel.launched", 1)
+		sk.Add(obs.MProbesLaunched, 1)
 		go func() {
 			var sp *obs.Span
 			if tr.Enabled() {
@@ -109,6 +113,7 @@ func (c *Compiled) parallelSearch(gm *gma.GMA, opt Options) error {
 				cancelled[k] = true
 				p.Interrupt()
 				tr.Add("parallel.cancelled", 1)
+				sk.Add(obs.MProbesCancelled, 1)
 			}
 		}
 		mu.Unlock()
@@ -203,6 +208,7 @@ func (c *Compiled) parallelSearch(gm *gma.GMA, opt Options) error {
 				cancelMoot(func(k int) bool { return k > out.k })
 			} else {
 				tr.Add("parallel.wasted", 1)
+				sk.Add(obs.MProbeWaste, 1, strategy)
 			}
 		case sat.Unsat:
 			if out.k > maxUnsat {
@@ -216,6 +222,7 @@ func (c *Compiled) parallelSearch(gm *gma.GMA, opt Options) error {
 			// blocks the optimality proof, exactly as in linearSearch.
 			if out.stat.Solver.Cancelled {
 				tr.Add("parallel.wasted", 1)
+				sk.Add(obs.MProbeWaste, 1, strategy)
 			}
 		}
 	}

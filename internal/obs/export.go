@@ -147,8 +147,14 @@ type chromeFile struct {
 
 // WriteChromeTrace writes the trace in Chrome trace_event JSON format,
 // loadable in chrome://tracing or https://ui.perfetto.dev. Nested spans
-// become stacked slices on one thread track; events become instants;
-// final counter values become a counter track sample at the trace end.
+// become stacked slices on the pipeline thread track (tid 1); events
+// become instants; final counter values become a counter track sample at
+// the trace end. Detached spans — concurrent work such as speculative
+// K-probes — are laid out on their own thread tracks (tid 2+): spans
+// that overlap in time get distinct tids so Perfetto renders them as
+// parallel rows instead of stacking them into a false nesting, while
+// non-overlapping detached spans reuse lanes to keep the track count
+// small.
 func (t *Trace) WriteChromeTrace(w io.Writer) error {
 	if t == nil {
 		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`+"\n")
@@ -156,8 +162,10 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 	}
 	s := t.snapshot()
 	f := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	lanes := assignLanes(s.spans)
+	maxLane := 0
 	var last time.Duration
-	for _, sp := range s.spans {
+	for i, sp := range s.spans {
 		d := usec(sp.end.Sub(sp.start))
 		args := map[string]any{}
 		for _, tg := range sp.tags {
@@ -166,13 +174,31 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 		if len(args) == 0 {
 			args = nil
 		}
+		tid := 1
+		if sp.detached {
+			tid = lanes[i]
+			if tid > maxLane {
+				maxLane = tid
+			}
+		}
 		f.TraceEvents = append(f.TraceEvents, chromeEvent{
 			Name: sp.name, Ph: "X", Ts: usec(sp.start.Sub(s.epoch)), Dur: &d,
-			Pid: 1, Tid: 1, Args: args,
+			Pid: 1, Tid: tid, Args: args,
 		})
 		if end := sp.end.Sub(s.epoch); end > last {
 			last = end
 		}
+	}
+	// Name the thread tracks so the lanes read as what they are.
+	f.TraceEvents = append(f.TraceEvents, chromeEvent{
+		Name: "thread_name", Ph: "M", Pid: 1, Tid: 1,
+		Args: map[string]any{"name": "pipeline"},
+	})
+	for tid := 2; tid <= maxLane; tid++ {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": fmt.Sprintf("detached-%d", tid-1)},
+		})
 	}
 	for _, e := range s.events {
 		args := map[string]any{}
@@ -198,6 +224,35 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(f)
+}
+
+// assignLanes maps each detached span (by index into spans) to a thread
+// lane (tid ≥ 2) such that detached spans overlapping in time land on
+// different lanes, and lanes are reused once free. Spans arrive in start
+// order — the order Trace recorded them — so a greedy first-free-lane
+// scan yields the minimal lane count.
+func assignLanes(spans []spanCopy) map[int]int {
+	lanes := map[int]int{}
+	var laneEnd []time.Time // laneEnd[l] is when the lane's last span ends
+	for i, sp := range spans {
+		if !sp.detached {
+			continue
+		}
+		placed := false
+		for l := range laneEnd {
+			if !sp.start.Before(laneEnd[l]) {
+				laneEnd[l] = sp.end
+				lanes[i] = l + 2
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			laneEnd = append(laneEnd, sp.end)
+			lanes[i] = len(laneEnd) + 1
+		}
+	}
+	return lanes
 }
 
 // MetricsTable aggregates spans by name — count, total/min/max wall time,

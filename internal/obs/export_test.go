@@ -33,6 +33,7 @@ func TestChromeTraceGolden(t *testing.T) {
 	const want = `{"traceEvents":[` +
 		`{"name":"compile","ph":"X","ts":1000,"dur":4000,"pid":1,"tid":1,"args":{"gma":"byteswap4"}},` +
 		`{"name":"probe K=4","ph":"X","ts":2000,"dur":2000,"pid":1,"tid":1,"args":{"result":"UNSAT"}},` +
+		`{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"pipeline"}},` +
 		`{"name":"budget-exhausted","ph":"i","ts":3000,"pid":1,"tid":1,"s":"t","args":{"reason":"nodes"}},` +
 		`{"name":"sat.conflicts","ph":"C","ts":5000,"pid":1,"tid":1,"args":{"value":42}}` +
 		`],"displayTimeUnit":"ms"}` + "\n"
@@ -47,8 +48,67 @@ func TestChromeTraceGolden(t *testing.T) {
 	if err := json.Unmarshal([]byte(got), &parsed); err != nil {
 		t.Fatalf("not valid JSON: %v", err)
 	}
-	if len(parsed.TraceEvents) != 4 {
-		t.Fatalf("got %d events, want 4", len(parsed.TraceEvents))
+	if len(parsed.TraceEvents) != 5 {
+		t.Fatalf("got %d events, want 5", len(parsed.TraceEvents))
+	}
+}
+
+// TestChromeTraceDetachedLanes pins the thread-lane layout of detached
+// spans: overlapping detached spans (parallel speculative K-probes) must
+// land on distinct tids so Perfetto renders them as parallel rows, while
+// a detached span starting after another lane has drained reuses that
+// lane. The cursor-chain spans always stay on tid 1.
+func TestChromeTraceDetachedLanes(t *testing.T) {
+	tr := newFakeTrace()                // clock advances 1ms per reading
+	root := tr.Start("compile")         // t=1
+	p1 := tr.StartDetached("probe K=0") // t=2
+	p2 := tr.StartDetached("probe K=1") // t=3: overlaps p1 -> new lane
+	p1.End()                            // t=4
+	p2.End()                            // t=5
+	p3 := tr.StartDetached("probe K=2") // t=6: both lanes free -> reuse first
+	p3.End()                            // t=7
+	root.End()                          // t=8
+
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &parsed); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	tids := map[string]int{}
+	threadNames := 0
+	for _, e := range parsed.TraceEvents {
+		if e.Ph == "X" {
+			tids[e.Name] = e.Tid
+		}
+		if e.Ph == "M" && e.Name == "thread_name" {
+			threadNames++
+		}
+	}
+	if tids["compile"] != 1 {
+		t.Errorf("compile on tid %d, want 1", tids["compile"])
+	}
+	if tids["probe K=0"] == 1 || tids["probe K=1"] == 1 || tids["probe K=2"] == 1 {
+		t.Errorf("detached spans must not share the pipeline track: %v", tids)
+	}
+	if tids["probe K=0"] == tids["probe K=1"] {
+		t.Errorf("overlapping detached spans share tid %d", tids["probe K=0"])
+	}
+	if tids["probe K=2"] != tids["probe K=0"] {
+		t.Errorf("probe K=2 should reuse the drained lane %d, got %d",
+			tids["probe K=0"], tids["probe K=2"])
+	}
+	// One thread_name per used tid: pipeline + 2 lanes.
+	if threadNames != 3 {
+		t.Errorf("got %d thread_name metadata events, want 3", threadNames)
 	}
 }
 

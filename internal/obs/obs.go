@@ -338,6 +338,7 @@ type spanCopy struct {
 	depth      int
 	tags       []Tag
 	open       bool
+	detached   bool
 }
 
 func (t *Trace) snapshot() snapshot {
@@ -359,7 +360,7 @@ func (t *Trace) snapshot() snapshot {
 	}
 	for _, sp := range t.spans {
 		c := spanCopy{name: sp.name, start: sp.start, end: sp.end, depth: sp.depth,
-			tags: append([]Tag(nil), sp.tags...), open: !sp.ended}
+			tags: append([]Tag(nil), sp.tags...), open: !sp.ended, detached: sp.detached}
 		if c.open {
 			c.end = now
 		}

@@ -1,0 +1,153 @@
+package obs
+
+// Sink is the library-facing handle for publishing into a *Registry. It
+// mirrors the *Trace contract: every method is safe and free on a nil
+// *Sink, so pipeline code can be instrumented unconditionally —
+//
+//	var sk *obs.Sink          // nil: everything below is a no-op
+//	sk.Add(MCompiles, 1)
+//	sk.Observe(MCompileSeconds, elapsed.Seconds())
+//
+// — and a process that wants aggregation passes NewSink(registry) down
+// through the Options structs. With binds extra labels (e.g. the search
+// strategy) without the callee knowing about them.
+type Sink struct {
+	reg  *Registry
+	base []Tag
+}
+
+// NewSink returns a sink publishing into r with the given base labels
+// appended to every series. A nil r yields the disabled (nil) sink.
+func NewSink(r *Registry, base ...Tag) *Sink {
+	if r == nil {
+		return nil
+	}
+	return &Sink{reg: r, base: base}
+}
+
+// With derives a sink carrying additional base labels. Nil stays nil.
+func (s *Sink) With(labels ...Tag) *Sink {
+	if s == nil {
+		return nil
+	}
+	return &Sink{reg: s.reg, base: append(append([]Tag(nil), s.base...), labels...)}
+}
+
+// Enabled reports whether publishes go anywhere.
+func (s *Sink) Enabled() bool { return s != nil }
+
+// Registry exposes the underlying registry (nil on a nil sink), for
+// callers that need snapshots of what they published.
+func (s *Sink) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+func (s *Sink) labels(extra []Tag) []Tag {
+	if len(s.base) == 0 {
+		return extra
+	}
+	if len(extra) == 0 {
+		return s.base
+	}
+	return append(append([]Tag(nil), s.base...), extra...)
+}
+
+// Add increments a counter series.
+func (s *Sink) Add(name string, delta float64, labels ...Tag) {
+	if s == nil {
+		return
+	}
+	s.reg.Add(name, delta, s.labels(labels)...)
+}
+
+// Set records a gauge value.
+func (s *Sink) Set(name string, v float64, labels ...Tag) {
+	if s == nil {
+		return
+	}
+	s.reg.Set(name, v, s.labels(labels)...)
+}
+
+// Observe records a histogram observation.
+func (s *Sink) Observe(name string, v float64, labels ...Tag) {
+	if s == nil {
+		return
+	}
+	s.reg.Observe(name, v, s.labels(labels)...)
+}
+
+// Metric names published by the compile pipeline. Declared centrally so
+// every consumer (serve, bench, tests) sees the same families with the
+// same buckets; see NewCompilerRegistry.
+const (
+	// MCompileSeconds is the end-to-end latency of one GMA compilation
+	// (matching + search), labeled by strategy.
+	MCompileSeconds = "denali_compile_seconds"
+	// MMatchSeconds is E-graph saturation latency per compilation.
+	MMatchSeconds = "denali_match_seconds"
+	// MSolveSeconds is the latency of one SAT probe, labeled by result.
+	MSolveSeconds = "denali_sat_solve_seconds"
+	// MSolveConflicts is the conflict count of one SAT probe.
+	MSolveConflicts = "denali_sat_conflicts"
+	// MEGraphNodes is the saturated E-graph size per compilation.
+	MEGraphNodes = "denali_egraph_nodes"
+	// MCyclesFound is the winning cycle budget per compilation.
+	MCyclesFound = "denali_cycles_found"
+
+	// MCompiles counts finished GMA compilations, labeled by strategy.
+	MCompiles = "denali_compiles_total"
+	// MCompileErrors counts failed GMA compilations.
+	MCompileErrors = "denali_compile_errors_total"
+	// MProbes counts SAT probes by result (sat/unsat/unknown).
+	MProbes = "denali_sat_probes_total"
+	// MSolverConflicts etc. aggregate raw solver work across all probes.
+	MSolverConflicts    = "denali_sat_conflicts_total"
+	MSolverDecisions    = "denali_sat_decisions_total"
+	MSolverPropagations = "denali_sat_propagations_total"
+	MSolverRestarts     = "denali_sat_restarts_total"
+	MSolverLearned      = "denali_sat_learned_total"
+	// MProbesLaunched / MProbesCancelled / MProbeWaste describe the
+	// speculative parallel search, labeled by strategy.
+	MProbesLaunched  = "denali_parallel_probes_launched_total"
+	MProbesCancelled = "denali_parallel_probes_cancelled_total"
+	MProbeWaste      = "denali_probe_waste_total"
+	// MVerifyTrials / MSimCycles / MSimInstrs count simulator work.
+	MVerifyTrials = "denali_verify_trials_total"
+	MSimCycles    = "denali_sim_cycles_total"
+	MSimInstrs    = "denali_sim_instructions_total"
+)
+
+// cyclesBuckets cover the budget search range (MaxCycles defaults to 24).
+var cyclesBuckets = []float64{1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32, 40}
+
+// NewCompilerRegistry returns a registry with every denali_* metric family
+// pre-declared: help text, types, and bucket layouts. The pipeline works
+// against any registry (undeclared metrics self-declare with defaults),
+// but pre-declaration keeps /metrics stable from the first scrape.
+func NewCompilerRegistry() *Registry {
+	r := NewRegistry()
+	r.DeclareHistogram(MCompileSeconds, "End-to-end latency of one GMA compilation (matching + budget search).", DefSecondsBuckets)
+	r.DeclareHistogram(MMatchSeconds, "E-graph saturation latency per compilation.", DefSecondsBuckets)
+	r.DeclareHistogram(MSolveSeconds, "Latency of one SAT probe.", DefSecondsBuckets)
+	r.DeclareHistogram(MSolveConflicts, "CDCL conflicts per SAT probe.", DefCountBuckets)
+	r.DeclareHistogram(MEGraphNodes, "Saturated E-graph node count per compilation.", DefCountBuckets)
+	r.DeclareHistogram(MCyclesFound, "Winning cycle budget per compilation.", cyclesBuckets)
+	r.DeclareCounter(MCompiles, "Finished GMA compilations by strategy.")
+	r.DeclareCounter(MCompileErrors, "Failed GMA compilations.")
+	r.DeclareCounter(MProbes, "SAT probes by result.")
+	r.DeclareCounter(MSolverConflicts, "Total CDCL conflicts across all probes.")
+	r.DeclareCounter(MSolverDecisions, "Total CDCL decisions across all probes.")
+	r.DeclareCounter(MSolverPropagations, "Total unit propagations across all probes.")
+	r.DeclareCounter(MSolverRestarts, "Total solver restarts across all probes.")
+	r.DeclareCounter(MSolverLearned, "Total clauses learned across all probes.")
+	r.DeclareCounter(MProbesLaunched, "Speculative probes launched by the parallel budget search.")
+	r.DeclareCounter(MProbesCancelled, "Speculative probes interrupted as moot.")
+	r.DeclareCounter(MProbeWaste, "Probes whose completed answer was discarded, by strategy.")
+	r.DeclareCounter(MVerifyTrials, "Random-input verification trials executed.")
+	r.DeclareCounter(MSimCycles, "Machine cycles executed by the simulator.")
+	r.DeclareCounter(MSimInstrs, "Instructions executed by the simulator.")
+	return r
+}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Lit is a literal: variable index v encoded as 2v (positive) or 2v+1
@@ -124,6 +126,11 @@ type Solver struct {
 
 	// MaxConflicts bounds the search; <= 0 means unbounded.
 	MaxConflicts int64
+
+	// Sink, when non-nil, receives the process-level solver metrics
+	// (probe results, conflicts/decisions/propagations/restarts/learned
+	// deltas) at the end of every Solve. Nil costs nothing.
+	Sink *obs.Sink
 
 	// stop is the cancellation flag: Interrupt (from any goroutine) makes
 	// the running Solve return Unknown with Stats().Cancelled set.
@@ -391,8 +398,28 @@ func (s *Solver) Interrupt() { s.stop.Store(true) }
 // Interrupted reports whether Interrupt has been called.
 func (s *Solver) Interrupted() bool { return s.stop.Load() }
 
-// Solve runs the CDCL search.
+// Solve runs the CDCL search. When a Sink is attached the probe's result
+// and the search-work deltas accrued during this call are published into
+// the process registry on return (Solve may be called repeatedly under
+// assumptions-free incremental use, so deltas — not totals — are what
+// aggregate correctly).
 func (s *Solver) Solve() Result {
+	if s.Sink == nil {
+		return s.solve()
+	}
+	before := s.stats
+	res := s.solve()
+	after := s.stats
+	s.Sink.Add(obs.MProbes, 1, obs.T("result", res.String()))
+	s.Sink.Add(obs.MSolverConflicts, float64(after.Conflicts-before.Conflicts))
+	s.Sink.Add(obs.MSolverDecisions, float64(after.Decisions-before.Decisions))
+	s.Sink.Add(obs.MSolverPropagations, float64(after.Propagations-before.Propagations))
+	s.Sink.Add(obs.MSolverRestarts, float64(after.Restarts-before.Restarts))
+	s.Sink.Add(obs.MSolverLearned, float64(after.Learned-before.Learned))
+	return res
+}
+
+func (s *Solver) solve() Result {
 	if s.unsat {
 		return Unsat
 	}

@@ -29,6 +29,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/egraph"
@@ -48,9 +49,14 @@ type Options struct {
 	DisableAtMostOncePerTerm bool
 	// MaxConflicts bounds each SAT probe; 0 means unbounded.
 	MaxConflicts int64
-	// Trace records constraint-generation and solving telemetry; nil
-	// disables it.
+	// Trace records constraint-generation and solving telemetry for this
+	// one compilation; nil disables it.
 	Trace *obs.Trace
+	// Sink publishes process-level aggregates (probe latency and result
+	// histograms, solver work counters) into a metrics registry shared
+	// across compilations; nil disables it. Unlike Trace, a Sink is safe
+	// to share between concurrent probes.
+	Sink *obs.Sink
 }
 
 // mode is one alternative operand form for a machine term.
@@ -382,6 +388,7 @@ func (p *Problem) buildMterm(id egraph.NodeID, q egraph.ClassID, op arch.OpInfo,
 func (p *Problem) encode() {
 	s := sat.New()
 	s.MaxConflicts = p.opt.MaxConflicts
+	s.Sink = p.opt.Sink
 	p.solver = s
 	K := p.K
 
@@ -590,8 +597,11 @@ func (p *Problem) Interrupt() { p.solver.Interrupt() }
 func (p *Problem) Solve() (*Schedule, Stat, error) {
 	tr := p.opt.Trace
 	sp := tr.Start("solve")
+	t0 := time.Now()
 	res := p.solver.Solve()
 	st := p.solver.Stats()
+	p.opt.Sink.Observe(obs.MSolveSeconds, time.Since(t0).Seconds(), obs.T("result", res.String()))
+	p.opt.Sink.Observe(obs.MSolveConflicts, float64(st.Conflicts))
 	if st.Cancelled {
 		sp.SetTag("cancelled", "true")
 	}

@@ -1,0 +1,518 @@
+// Package serve turns the Denali compiler into a long-running HTTP
+// service — the first entry point built for the process-level telemetry
+// layer rather than for one-shot CLI runs. The service exposes:
+//
+//	POST /compile        Denali source in (JSON), compiled program out:
+//	                     per-GMA cycles/instructions/assembly/probe stats,
+//	                     optionally the request's Chrome trace JSON
+//	GET  /metrics        Prometheus text exposition (v0.0.4) of the shared
+//	                     *obs.Registry plus process gauges
+//	GET  /healthz        liveness: 200 while the process runs
+//	GET  /readyz         readiness: 200 while accepting work, 503 during
+//	                     graceful drain
+//	GET  /debug/pprof/   the standard net/http/pprof handlers
+//
+// Every /compile request is panic-isolated, bounded by a per-request
+// timeout, and admitted through a concurrency limiter sized from
+// Options.Workers so a burst cannot oversubscribe the SAT workers.
+// Shutdown is graceful: the listener stops accepting, /readyz flips to
+// 503 (so load balancers drain), and in-flight compilations get
+// DrainTimeout to finish.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/obs"
+)
+
+// HTTP-layer metric names, alongside the denali_* pipeline families.
+const (
+	mHTTPRequests  = "denali_http_requests_total"
+	mHTTPSeconds   = "denali_http_request_seconds"
+	mHTTPInflight  = "denali_http_inflight_requests"
+	mHTTPPanics    = "denali_http_panics_total"
+	mRejected      = "denali_compile_rejected_total"
+	mUptimeSeconds = "denali_process_uptime_seconds"
+	mGoroutines    = "denali_process_goroutines"
+	mHeapBytes     = "denali_process_heap_alloc_bytes"
+	mNumGC         = "denali_process_gc_cycles_total"
+)
+
+// Config configures the service.
+type Config struct {
+	// Addr is the listen address (e.g. ":8473", "127.0.0.1:0").
+	Addr string
+	// Options are the base compile options applied to every request;
+	// requests may override arch/strategy/budget knobs but cannot raise
+	// Workers above the configured value. Options.Sink is replaced by the
+	// server's own sink into Registry.
+	Options repro.Options
+	// MaxConcurrent bounds concurrently executing /compile requests.
+	// <= 0 derives the bound from Options.Workers (or GOMAXPROCS).
+	MaxConcurrent int
+	// QueueTimeout bounds how long an admitted request may wait for a
+	// limiter slot before being rejected 503 (default 5s).
+	QueueTimeout time.Duration
+	// RequestTimeout bounds one compilation (default 60s). The HTTP
+	// response is a 504 when exceeded; the abandoned compilation keeps
+	// its worker slot until it finishes, which the limiter accounts for.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown (default 15s).
+	DrainTimeout time.Duration
+	// Registry receives every metric the service and the pipeline
+	// publish. Nil allocates a fresh NewCompilerRegistry.
+	Registry *obs.Registry
+	// MaxSourceBytes bounds the request body (default 1 MiB).
+	MaxSourceBytes int64
+}
+
+// Server is one compile service instance.
+type Server struct {
+	cfg     Config
+	reg     *obs.Registry
+	sink    *obs.Sink
+	limiter chan struct{}
+	ready   atomic.Bool
+	start   time.Time
+	addr    atomic.Value // string, set once the listener is bound
+}
+
+// New builds a Server from the config, filling defaults.
+func New(cfg Config) *Server {
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewCompilerRegistry()
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = cfg.Options.Workers
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueTimeout <= 0 {
+		cfg.QueueTimeout = 5 * time.Second
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 60 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 15 * time.Second
+	}
+	if cfg.MaxSourceBytes <= 0 {
+		cfg.MaxSourceBytes = 1 << 20
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		sink:    obs.NewSink(cfg.Registry),
+		limiter: make(chan struct{}, cfg.MaxConcurrent),
+		start:   time.Now(),
+	}
+	s.reg.DeclareCounter(mHTTPRequests, "HTTP requests by path and status code.")
+	s.reg.DeclareHistogram(mHTTPSeconds, "HTTP request latency by path.", obs.DefSecondsBuckets)
+	s.reg.DeclareGauge(mHTTPInflight, "HTTP requests currently being served.")
+	s.reg.DeclareCounter(mHTTPPanics, "Handler panics recovered (each answered 500).")
+	s.reg.DeclareCounter(mRejected, "Compile requests rejected before running, by reason.")
+	s.reg.DeclareGauge(mUptimeSeconds, "Seconds since the server started.")
+	s.reg.DeclareGauge(mGoroutines, "Current goroutine count.")
+	s.reg.DeclareGauge(mHeapBytes, "Heap bytes currently allocated.")
+	s.reg.DeclareGauge(mNumGC, "Completed GC cycles.")
+	s.ready.Store(true)
+	return s
+}
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Addr returns the bound listen address once ListenAndServe has bound it
+// ("" before), so Addr:"127.0.0.1:0" callers can discover the port.
+func (s *Server) Addr() string {
+	if v := s.addr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// Handler returns the full route table, for tests and embedding.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compile", s.instrument("/compile", s.handleCompile))
+	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("/healthz", s.instrument("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	}))
+	mux.HandleFunc("/readyz", s.instrument("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !s.ready.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ready\n")
+	}))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe binds cfg.Addr and serves until ctx is cancelled, then
+// drains gracefully. It returns nil on a clean shutdown.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.addr.Store(ln.Addr().String())
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Drain: stop admitting (readyz goes 503), let in-flight work finish.
+	s.ready.Store(false)
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// statusWriter captures the response code for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with panic isolation and the HTTP metrics:
+// in-flight gauge, per-path latency histogram, per-path/code counter. A
+// recovered panic answers 500 without taking the process down — one bad
+// request must not kill the service for everyone else.
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		s.sink.Set(mHTTPInflight, float64(len(s.limiter)))
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.sink.Add(mHTTPPanics, 1)
+				// Headers may already be gone; best effort.
+				http.Error(sw, fmt.Sprintf("internal error: %v", rec), http.StatusInternalServerError)
+			}
+			s.sink.Observe(mHTTPSeconds, time.Since(t0).Seconds(), obs.T("path", path))
+			s.sink.Add(mHTTPRequests, 1, obs.T("path", path), obs.T("code", fmt.Sprintf("%d", sw.code)))
+		}()
+		h(sw, r)
+	}
+}
+
+// CompileRequest is the POST /compile body. Only Source is required;
+// everything else overrides the server's base options for this request.
+type CompileRequest struct {
+	// Source is the program in the Denali input language (Figure 6).
+	Source string `json:"source"`
+	// Arch overrides the machine model (ev6, ev6-noclusters, ...).
+	Arch string `json:"arch,omitempty"`
+	// Strategy overrides the budget search: linear, binary, descend,
+	// parallel.
+	Strategy string `json:"strategy,omitempty"`
+	// Workers overrides the parallel worker bound, capped at the server's
+	// configured Options.Workers (or MaxConcurrent when unset).
+	Workers int `json:"workers,omitempty"`
+	// MaxCycles / MaxConflicts override the search bounds.
+	MaxCycles    int   `json:"max_cycles,omitempty"`
+	MaxConflicts int64 `json:"max_conflicts,omitempty"`
+	// Verify runs each schedule against the reference semantics on this
+	// many random inputs before responding.
+	Verify int `json:"verify,omitempty"`
+	// Trace returns the request's pipeline trace as Chrome trace_event
+	// JSON in the response (load in chrome://tracing or Perfetto).
+	Trace bool `json:"trace,omitempty"`
+}
+
+// ProbeJSON is one SAT probe in the response.
+type ProbeJSON struct {
+	K         int     `json:"k"`
+	Result    string  `json:"result"`
+	Vars      int     `json:"vars"`
+	Clauses   int     `json:"clauses"`
+	Conflicts int64   `json:"conflicts"`
+	Millis    float64 `json:"ms"`
+}
+
+// GMAJSON is one compiled guarded multi-assignment in the response.
+type GMAJSON struct {
+	Name          string      `json:"name"`
+	Cycles        int         `json:"cycles"`
+	Instructions  int         `json:"instructions"`
+	OptimalProven bool        `json:"optimal_proven"`
+	Assembly      string      `json:"assembly"`
+	MatchNodes    int         `json:"match_nodes"`
+	MatchRounds   int         `json:"match_rounds"`
+	MatchMillis   float64     `json:"match_ms"`
+	SolveMillis   float64     `json:"solve_ms"`
+	Verified      int         `json:"verified,omitempty"`
+	Probes        []ProbeJSON `json:"probes,omitempty"`
+}
+
+// ProcJSON is one compiled procedure.
+type ProcJSON struct {
+	Name string    `json:"name"`
+	GMAs []GMAJSON `json:"gmas"`
+}
+
+// CompileResponse is the POST /compile reply.
+type CompileResponse struct {
+	Procs      []ProcJSON      `json:"procs"`
+	WallMillis float64         `json:"wall_ms"`
+	Trace      json.RawMessage `json:"trace,omitempty"`
+}
+
+// errorJSON is the uniform error reply shape.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// options merges a request's overrides into the server's base options.
+func (s *Server) options(req *CompileRequest, tr *obs.Trace) (repro.Options, error) {
+	opt := s.cfg.Options
+	opt.Trace = tr
+	opt.Sink = s.sink
+	if req.Arch != "" {
+		opt.Arch = req.Arch
+	}
+	if _, err := repro.ArchDescription(opt.Arch); err != nil {
+		return opt, err
+	}
+	switch req.Strategy {
+	case "":
+		// keep the server's configured strategy
+	case "linear":
+		opt.BinarySearch, opt.DescendSearch, opt.ParallelSearch = false, false, false
+	case "binary":
+		opt.BinarySearch, opt.DescendSearch, opt.ParallelSearch = true, false, false
+	case "descend":
+		opt.BinarySearch, opt.DescendSearch, opt.ParallelSearch = false, true, false
+	case "parallel":
+		opt.BinarySearch, opt.DescendSearch, opt.ParallelSearch = false, false, true
+	default:
+		return opt, fmt.Errorf("unknown strategy %q (want linear, binary, descend or parallel)", req.Strategy)
+	}
+	maxWorkers := s.cfg.Options.Workers
+	if maxWorkers <= 0 {
+		maxWorkers = s.cfg.MaxConcurrent
+	}
+	if req.Workers > 0 {
+		opt.Workers = req.Workers
+	}
+	if opt.Workers <= 0 || opt.Workers > maxWorkers {
+		opt.Workers = maxWorkers
+	}
+	if req.MaxCycles > 0 {
+		opt.MaxCycles = req.MaxCycles
+	}
+	if req.MaxConflicts > 0 {
+		opt.MaxConflicts = req.MaxConflicts
+	}
+	return opt, nil
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "POST only"})
+		return
+	}
+	if !s.ready.Load() {
+		s.sink.Add(mRejected, 1, obs.T("reason", "draining"))
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "server draining"})
+		return
+	}
+	var req CompileRequest
+	body := io.LimitReader(r.Body, s.cfg.MaxSourceBytes+1)
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "read body: " + err.Error()})
+		return
+	}
+	if int64(len(raw)) > s.cfg.MaxSourceBytes {
+		s.sink.Add(mRejected, 1, obs.T("reason", "too_large"))
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorJSON{Error: fmt.Sprintf("source exceeds %d bytes", s.cfg.MaxSourceBytes)})
+		return
+	}
+	// Accept either the JSON envelope or raw Denali source (text/plain),
+	// so `curl --data-binary @file.dn` works without quoting.
+	trimmed := strings.TrimSpace(string(raw))
+	if strings.HasPrefix(trimmed, "{") {
+		if err := json.Unmarshal(raw, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: "decode request: " + err.Error()})
+			return
+		}
+	} else {
+		req.Source = string(raw)
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "empty source"})
+		return
+	}
+
+	// Admission: a limiter slot within QueueTimeout, or 503. The limiter
+	// bounds compile concurrency independently of net/http's own pool.
+	admit := time.NewTimer(s.cfg.QueueTimeout)
+	defer admit.Stop()
+	select {
+	case s.limiter <- struct{}{}:
+	case <-admit.C:
+		s.sink.Add(mRejected, 1, obs.T("reason", "busy"))
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "server busy: concurrency limit reached"})
+		return
+	case <-r.Context().Done():
+		s.sink.Add(mRejected, 1, obs.T("reason", "client_gone"))
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "client cancelled while queued"})
+		return
+	}
+
+	var tr *obs.Trace
+	if req.Trace {
+		tr = obs.New()
+	}
+	opt, err := s.options(&req, tr)
+	if err != nil {
+		<-s.limiter
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+
+	type compileOut struct {
+		res  *repro.Result
+		wall time.Duration
+		err  error
+	}
+	outc := make(chan compileOut, 1)
+	go func() {
+		// The compile worker carries its own panic isolation: a panic here
+		// is outside the handler goroutine, so the instrument() recover
+		// cannot catch it.
+		defer func() {
+			if rec := recover(); rec != nil {
+				outc <- compileOut{err: fmt.Errorf("internal panic: %v", rec)}
+			}
+			<-s.limiter
+		}()
+		t0 := time.Now()
+		res, err := repro.Compile(req.Source, opt)
+		wall := time.Since(t0)
+		if err == nil && req.Verify > 0 {
+			for _, proc := range res.Procs {
+				for _, g := range proc.GMAs {
+					if verr := g.Verify(req.Verify, 1); verr != nil {
+						err = fmt.Errorf("verification of %s failed: %w", g.Name, verr)
+					}
+				}
+			}
+		}
+		outc <- compileOut{res: res, wall: wall, err: err}
+	}()
+
+	deadline := time.NewTimer(s.cfg.RequestTimeout)
+	defer deadline.Stop()
+	select {
+	case out := <-outc:
+		if out.err != nil {
+			// Compilation errors are the client's program, not the server:
+			// 422 keeps them distinct from transport-level 400s.
+			writeJSON(w, http.StatusUnprocessableEntity, errorJSON{Error: out.err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, buildResponse(out.res, out.wall, tr, req.Verify))
+	case <-deadline.C:
+		// The compilation has no cancellation point; it keeps its limiter
+		// slot until it finishes, so sustained timeouts degrade into 503s
+		// rather than oversubscription.
+		s.sink.Add(mRejected, 1, obs.T("reason", "timeout"))
+		writeJSON(w, http.StatusGatewayTimeout,
+			errorJSON{Error: fmt.Sprintf("compilation exceeded %v", s.cfg.RequestTimeout)})
+	}
+}
+
+func buildResponse(res *repro.Result, wall time.Duration, tr *obs.Trace, verified int) CompileResponse {
+	resp := CompileResponse{WallMillis: float64(wall.Microseconds()) / 1e3}
+	for _, proc := range res.Procs {
+		pj := ProcJSON{Name: proc.Name}
+		for _, g := range proc.GMAs {
+			gj := GMAJSON{
+				Name:          g.Name,
+				Cycles:        g.Cycles,
+				Instructions:  g.Instructions,
+				OptimalProven: g.OptimalProven,
+				Assembly:      g.Assembly,
+				MatchNodes:    g.Match.Nodes,
+				MatchRounds:   g.Match.Rounds,
+				MatchMillis:   float64(g.Match.Elapsed.Microseconds()) / 1e3,
+				SolveMillis:   float64(g.SolveTime.Microseconds()) / 1e3,
+				Verified:      verified,
+			}
+			for _, p := range g.Probes {
+				gj.Probes = append(gj.Probes, ProbeJSON{
+					K: p.K, Result: p.Result, Vars: p.Vars, Clauses: p.Clauses,
+					Conflicts: p.Conflicts, Millis: float64(p.Elapsed.Microseconds()) / 1e3,
+				})
+			}
+			pj.GMAs = append(pj.GMAs, gj)
+		}
+		resp.Procs = append(resp.Procs, pj)
+	}
+	if tr != nil {
+		var sb strings.Builder
+		if err := tr.WriteChromeTrace(&sb); err == nil {
+			resp.Trace = json.RawMessage(sb.String())
+		}
+	}
+	return resp
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Refresh the process gauges at scrape time so they are always
+	// current without a background ticker.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.sink.Set(mUptimeSeconds, time.Since(s.start).Seconds())
+	s.sink.Set(mGoroutines, float64(runtime.NumGoroutine()))
+	s.sink.Set(mHeapBytes, float64(ms.HeapAlloc))
+	s.sink.Set(mNumGC, float64(ms.NumGC))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}

@@ -1,0 +1,449 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/programs"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postCompile(t *testing.T, url string, req CompileRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// parseProm parses Prometheus text exposition into sample lines keyed by
+// `name{labels}`. It fails the test on any line that is not a comment or
+// a `key value` pair — the format check the acceptance criteria ask for.
+func parseProm(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				t.Errorf("malformed comment line %q", line)
+			}
+			continue
+		}
+		cut := strings.LastIndexByte(line, ' ')
+		if cut < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[cut+1:], 64)
+		if err != nil {
+			t.Fatalf("sample %q: bad value: %v", line, err)
+		}
+		samples[line[:cut]] = v
+	}
+	return samples
+}
+
+func scrapeMetrics(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want text exposition v0.0.4", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parseProm(t, string(raw))
+}
+
+// TestServeConcurrentCompile is the acceptance test: ≥8 concurrent
+// /compile requests under -race, each cross-checked against a direct
+// repro.Compile of the same source, then a /metrics scrape that must
+// parse as Prometheus text exposition with non-zero compile-latency
+// histogram counts.
+func TestServeConcurrentCompile(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Options:       repro.Options{Arch: "ev6", Workers: 2},
+		MaxConcurrent: 8,
+	})
+
+	sources := []string{
+		programs.Quickstart,
+		programs.Byteswap4,
+		programs.Checksum,
+		programs.Rowop,
+	}
+	// Direct ground truth, once per distinct source. Cycle counts and
+	// optimality proofs are deterministic; instruction counts at a fixed
+	// budget are not (any satisfying SAT model is a correct schedule), so
+	// the cross-check pins cycles/optimality and leaves correctness of the
+	// instructions to the server-side Verify pass each request runs.
+	type truth struct {
+		cycles  []int
+		optimal []bool
+	}
+	want := map[string]truth{}
+	for _, src := range sources {
+		res, err := repro.Compile(src, repro.Options{Arch: "ev6"})
+		if err != nil {
+			t.Fatalf("direct compile: %v", err)
+		}
+		var tr truth
+		for _, p := range res.Procs {
+			for _, g := range p.GMAs {
+				tr.cycles = append(tr.cycles, g.Cycles)
+				tr.optimal = append(tr.optimal, g.OptimalProven)
+			}
+		}
+		want[src] = tr
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		src := sources[c%len(sources)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, raw := postCompile(t, ts.URL, CompileRequest{Source: src, Verify: 3})
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+				return
+			}
+			var out CompileResponse
+			if err := json.Unmarshal(raw, &out); err != nil {
+				errs <- fmt.Errorf("decode: %v", err)
+				return
+			}
+			var gotCycles []int
+			var gotOptimal []bool
+			for _, p := range out.Procs {
+				for _, g := range p.GMAs {
+					gotCycles = append(gotCycles, g.Cycles)
+					gotOptimal = append(gotOptimal, g.OptimalProven)
+					if g.Assembly == "" {
+						errs <- fmt.Errorf("%s: empty assembly", g.Name)
+					}
+					if g.Instructions <= 0 {
+						errs <- fmt.Errorf("%s: no instructions", g.Name)
+					}
+				}
+			}
+			tr := want[src]
+			if fmt.Sprint(gotCycles) != fmt.Sprint(tr.cycles) || fmt.Sprint(gotOptimal) != fmt.Sprint(tr.optimal) {
+				errs <- fmt.Errorf("served result cycles=%v optimal=%v, direct compile got cycles=%v optimal=%v",
+					gotCycles, gotOptimal, tr.cycles, tr.optimal)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	samples := scrapeMetrics(t, ts.URL)
+	// Every request compiled at least one GMA through the shared sink.
+	if got := samples[`denali_compile_seconds_count{strategy="linear"}`]; got < clients {
+		t.Errorf("compile latency histogram count = %g, want >= %d", got, clients)
+	}
+	if got := samples[`denali_compiles_total{strategy="linear"}`]; got < clients {
+		t.Errorf("compiles_total = %g, want >= %d", got, clients)
+	}
+	if samples[`denali_sat_solve_seconds_count{result="SAT"}`] == 0 {
+		t.Error("SAT solve latency histogram empty after serving compiles")
+	}
+	if samples[`denali_http_requests_total{code="200",path="/compile"}`] != clients {
+		t.Errorf("http request counter = %g, want %d",
+			samples[`denali_http_requests_total{code="200",path="/compile"}`], clients)
+	}
+	// Histogram well-formedness on the wire: +Inf bucket equals count.
+	inf := samples[`denali_compile_seconds_bucket{strategy="linear",le="+Inf"}`]
+	cnt := samples[`denali_compile_seconds_count{strategy="linear"}`]
+	if inf != cnt {
+		t.Errorf("+Inf bucket %g != count %g", inf, cnt)
+	}
+}
+
+func TestServeRawSourceBody(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: repro.Options{Arch: "ev6"}})
+	// Raw Denali source (no JSON envelope), as `curl --data-binary @f.dn`
+	// would send it.
+	resp, err := http.Post(ts.URL+"/compile", "text/plain", strings.NewReader(programs.Quickstart))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out CompileResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Procs) == 0 || len(out.Procs[0].GMAs) == 0 {
+		t.Fatalf("no GMAs in response: %s", raw)
+	}
+}
+
+func TestServeTraceInResponse(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: repro.Options{Arch: "ev6"}})
+	resp, raw := postCompile(t, ts.URL, CompileRequest{Source: programs.Quickstart, Trace: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out CompileResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Trace, &chrome); err != nil {
+		t.Fatalf("trace is not Chrome trace JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Error("trace has no events")
+	}
+}
+
+func TestServeStrategyOverride(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: repro.Options{Arch: "ev6", Workers: 2}})
+	for _, strategy := range []string{"linear", "binary", "descend", "parallel"} {
+		resp, raw := postCompile(t, ts.URL, CompileRequest{Source: programs.Quickstart, Strategy: strategy})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("strategy %s: status %d: %s", strategy, resp.StatusCode, raw)
+		}
+	}
+	samples := scrapeMetrics(t, ts.URL)
+	// Quickstart holds two GMAs, so each request counts two compiles.
+	for _, strategy := range []string{"linear", "binary", "descend", "parallel"} {
+		key := fmt.Sprintf(`denali_compiles_total{strategy=%q}`, strategy)
+		if samples[key] != 2 {
+			t.Errorf("%s = %g, want 2", key, samples[key])
+		}
+	}
+}
+
+func TestServeBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Options:        repro.Options{Arch: "ev6"},
+		MaxSourceBytes: 256,
+	})
+	cases := []struct {
+		name string
+		req  func() (*http.Response, []byte)
+		code int
+	}{
+		{"wrong method", func() (*http.Response, []byte) {
+			resp, err := http.Get(ts.URL + "/compile")
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return resp, raw
+		}, http.StatusMethodNotAllowed},
+		{"empty source", func() (*http.Response, []byte) {
+			resp, raw := postCompile(t, ts.URL, CompileRequest{})
+			return resp, raw
+		}, http.StatusBadRequest},
+		{"unknown strategy", func() (*http.Response, []byte) {
+			return postCompile(t, ts.URL, CompileRequest{Source: "x", Strategy: "quantum"})
+		}, http.StatusBadRequest},
+		{"unknown arch", func() (*http.Response, []byte) {
+			return postCompile(t, ts.URL, CompileRequest{Source: "x", Arch: "z80"})
+		}, http.StatusBadRequest},
+		{"source too large", func() (*http.Response, []byte) {
+			resp, err := http.Post(ts.URL+"/compile", "text/plain", strings.NewReader(strings.Repeat("(", 300)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return resp, raw
+		}, http.StatusRequestEntityTooLarge},
+		{"invalid program", func() (*http.Response, []byte) {
+			return postCompile(t, ts.URL, CompileRequest{Source: "this is not denali"})
+		}, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		resp, raw := tc.req()
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.code, raw)
+			continue
+		}
+		if tc.code != http.StatusMethodNotAllowed {
+			var e errorJSON
+			if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+				t.Errorf("%s: want JSON error body, got %s", tc.name, raw)
+			}
+		}
+	}
+}
+
+func TestServeLimiterBusy(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Options:       repro.Options{Arch: "ev6"},
+		MaxConcurrent: 1,
+		QueueTimeout:  20 * time.Millisecond,
+	})
+	// Occupy the single limiter slot so the request cannot be admitted.
+	s.limiter <- struct{}{}
+	defer func() { <-s.limiter }()
+	resp, raw := postCompile(t, ts.URL, CompileRequest{Source: programs.Quickstart})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, raw)
+	}
+	samples := scrapeMetrics(t, ts.URL)
+	if samples[`denali_compile_rejected_total{reason="busy"}`] != 1 {
+		t.Errorf("busy rejection not counted: %v", samples[`denali_compile_rejected_total{reason="busy"}`])
+	}
+}
+
+func TestServeRequestTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Options:        repro.Options{Arch: "ev6"},
+		RequestTimeout: 1 * time.Nanosecond,
+	})
+	resp, raw := postCompile(t, ts.URL, CompileRequest{Source: programs.Byteswap4})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, raw)
+	}
+	samples := scrapeMetrics(t, ts.URL)
+	if samples[`denali_compile_rejected_total{reason="timeout"}`] != 1 {
+		t.Errorf("timeout not counted: %v", samples[`denali_compile_rejected_total{reason="timeout"}`])
+	}
+}
+
+func TestServeHealthAndReady(t *testing.T) {
+	s, ts := newTestServer(t, Config{Options: repro.Options{Arch: "ev6"}})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/readyz status %d", resp.StatusCode)
+	}
+	// During drain, readiness flips 503 and /compile refuses new work
+	// while /healthz stays 200 (the process is alive, just not accepting).
+	s.ready.Store(false)
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz during drain: status %d, want 503", resp.StatusCode)
+	}
+	cresp, raw := postCompile(t, ts.URL, CompileRequest{Source: programs.Quickstart})
+	if cresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/compile during drain: status %d, want 503 (%s)", cresp.StatusCode, raw)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz during drain: status %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestServePanicIsolation(t *testing.T) {
+	s, ts := newTestServer(t, Config{Options: repro.Options{Arch: "ev6"}})
+	// Wire a panicking handler through the same instrument middleware the
+	// real routes use, on a throwaway mux bound to the live server's
+	// metrics, and prove the process answers 500 and keeps serving.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/boom", s.instrument("/boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	}))
+	ts2 := httptest.NewServer(mux)
+	defer ts2.Close()
+	resp, err := http.Get(ts2.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("panicking handler: status %d, want 500", resp.StatusCode)
+	}
+	// The main server still works after the recovered panic.
+	cresp, raw := postCompile(t, ts.URL, CompileRequest{Source: programs.Quickstart})
+	if cresp.StatusCode != http.StatusOK {
+		t.Errorf("server died after panic: %d %s", cresp.StatusCode, raw)
+	}
+	samples := scrapeMetrics(t, ts.URL)
+	if samples["denali_http_panics_total"] != 1 {
+		t.Errorf("panic counter = %g, want 1", samples["denali_http_panics_total"])
+	}
+}
+
+func TestServePprofMounted(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: repro.Options{Arch: "ev6"}})
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(raw, []byte("goroutine")) {
+		t.Errorf("pprof index: status %d body %.80s", resp.StatusCode, raw)
+	}
+}
+
+func TestServeProcessGaugesRefreshOnScrape(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: repro.Options{Arch: "ev6"}})
+	samples := scrapeMetrics(t, ts.URL)
+	if samples["denali_process_goroutines"] <= 0 {
+		t.Errorf("goroutine gauge = %g, want > 0", samples["denali_process_goroutines"])
+	}
+	if samples["denali_process_heap_alloc_bytes"] <= 0 {
+		t.Errorf("heap gauge = %g, want > 0", samples["denali_process_heap_alloc_bytes"])
+	}
+}

@@ -92,6 +92,14 @@ type Options struct {
 	// zero cost. Export with its WriteChromeTrace / MetricsTable /
 	// WriteJSONL methods.
 	Trace *obs.Trace
+	// Sink publishes process-level aggregates — compile/match/SAT latency
+	// histograms, probe and solver-work counters, per-strategy
+	// speculation waste — into a metrics Registry shared across every
+	// compilation of the process (see internal/obs). Unlike Trace, which
+	// is per-run, one Sink is meant to outlive many Compile calls; it is
+	// what `denali serve` exposes on /metrics. Nil (the default) disables
+	// publication at zero cost.
+	Sink *obs.Sink
 }
 
 // ArchDescription resolves the Options.Arch name.
@@ -164,6 +172,7 @@ type CompiledGMA struct {
 	desc  *arch.Description
 	graph *egraph.Graph
 	trace *obs.Trace
+	sink  *obs.Sink
 }
 
 // EGraphDot renders the GMA's saturated E-graph in Graphviz dot format
@@ -229,6 +238,7 @@ func Compile(src string, opt Options) (*Result, error) {
 		},
 		MaxCycles: opt.MaxCycles,
 		Trace:     opt.Trace,
+		Sink:      opt.Sink,
 	}
 	if opt.BinarySearch {
 		copts.Search = core.BinarySearch
@@ -347,6 +357,7 @@ func CompileGMA(g *gma.GMA, opt Options) (*CompiledGMA, error) {
 		},
 		MaxCycles: opt.MaxCycles,
 		Trace:     opt.Trace,
+		Sink:      opt.Sink,
 	}
 	if opt.BinarySearch {
 		copts.Search = core.BinarySearch
@@ -368,6 +379,7 @@ func compileOne(g *gma.GMA, copts core.Options, desc *arch.Description) (cg *Com
 	defer func() {
 		if r := recover(); r != nil {
 			cg, err = nil, fmt.Errorf("internal panic compiling %s: %v", g.Name, r)
+			copts.Sink.Add(obs.MCompileErrors, 1)
 		}
 	}()
 	if copts.Search == core.DescendSearch && copts.UpperBoundHint == 0 {
@@ -402,6 +414,7 @@ func compileOne(g *gma.GMA, copts core.Options, desc *arch.Description) (cg *Com
 		desc:    desc,
 		graph:   c.Graph,
 		trace:   copts.Trace,
+		sink:    copts.Sink,
 	}
 	for _, p := range c.Probes {
 		cg.Probes = append(cg.Probes, ProbeStat{
@@ -445,7 +458,7 @@ func (c *CompiledGMA) Execute(inputs map[string]uint64, memory map[uint64]uint64
 // When the GMA was compiled with a trace, the verification run is recorded
 // into it as a "verify" span with trial and simulated-cycle counters.
 func (c *CompiledGMA) Verify(n int, seed int64) error {
-	return sim.VerifyTraced(c.gma, c.sched, c.desc, rand.New(rand.NewSource(seed)), n, c.trace)
+	return sim.VerifyObserved(c.gma, c.sched, c.desc, rand.New(rand.NewSource(seed)), n, c.trace, c.sink)
 }
 
 // BaselineResult is the conventional-compiler comparator's output for the

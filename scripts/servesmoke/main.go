@@ -1,0 +1,174 @@
+// Command servesmoke is verify.sh's end-to-end check of `denali serve`:
+// it builds the real binary, starts it on a random loopback port, compiles
+// one program over HTTP, scrapes /metrics and asserts the compile-latency
+// histogram counted the request, then shuts the server down with SIGTERM
+// and requires a clean exit. It exercises the whole service path —
+// listener bootstrap, addr-file handshake, raw-source POST, the shared
+// registry, graceful drain — with no test harness in between.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+const source = `(\procdecl qs ((reg6 long)) long (:= (\res (+ (* reg6 4) 1))))`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "servesmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("servesmoke: ok")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "servesmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	bin := filepath.Join(dir, "denali")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/denali")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+
+	addrFile := filepath.Join(dir, "addr")
+	srv := exec.Command(bin, "serve", "-addr", "127.0.0.1:0", "-addr-file", addrFile, "-drain", "5s")
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		return fmt.Errorf("start serve: %w", err)
+	}
+	defer srv.Process.Kill()
+
+	addr, err := waitAddr(addrFile, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/compile", "text/plain", strings.NewReader(source))
+	if err != nil {
+		return fmt.Errorf("POST /compile: %w", err)
+	}
+	var out struct {
+		Procs []struct {
+			GMAs []struct {
+				Cycles        int  `json:"cycles"`
+				OptimalProven bool `json:"optimal_proven"`
+			} `json:"gmas"`
+		} `json:"procs"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("decode /compile response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/compile answered %d", resp.StatusCode)
+	}
+	if len(out.Procs) != 1 || len(out.Procs[0].GMAs) != 1 {
+		return fmt.Errorf("unexpected response shape: %+v", out)
+	}
+	if g := out.Procs[0].GMAs[0]; g.Cycles != 1 || !g.OptimalProven {
+		return fmt.Errorf("reg6*4+1 compiled to %d cycles (optimal=%v), want 1 proven-optimal cycle", g.Cycles, g.OptimalProven)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("GET /metrics: %w", err)
+	}
+	var metrics strings.Builder
+	_, err = fmt.Fprint(&metrics, readAll(resp))
+	if err != nil {
+		return err
+	}
+	count, err := histogramCount(metrics.String(), "denali_compile_seconds_count")
+	if err != nil {
+		return err
+	}
+	if count < 1 {
+		return fmt.Errorf("compile latency histogram count = %g after one compile, want >= 1", count)
+	}
+
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("serve did not exit cleanly: %w", err)
+		}
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("serve did not exit within 10s of SIGTERM")
+	}
+	return nil
+}
+
+// waitAddr polls for the -addr-file handshake.
+func waitAddr(path string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
+			return strings.TrimSpace(string(b)), nil
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	return "", fmt.Errorf("server never wrote %s", path)
+}
+
+func readAll(resp *http.Response) string {
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}
+
+// histogramCount sums every series of a `<name>{labels} value` family in
+// Prometheus text exposition.
+func histogramCount(exposition, name string) (float64, error) {
+	total := 0.0
+	found := false
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if rest != "" && rest[0] != '{' && rest[0] != ' ' {
+			continue // longer metric name sharing the prefix
+		}
+		cut := strings.LastIndexByte(line, ' ')
+		if cut < 0 {
+			return 0, fmt.Errorf("malformed sample %q", line)
+		}
+		v, err := strconv.ParseFloat(line[cut+1:], 64)
+		if err != nil {
+			return 0, fmt.Errorf("sample %q: %w", line, err)
+		}
+		total += v
+		found = true
+	}
+	if !found {
+		return 0, fmt.Errorf("no %s series in /metrics output", name)
+	}
+	return total, nil
+}

@@ -5,6 +5,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== build"
 go build ./...
 
@@ -14,8 +22,11 @@ go vet ./...
 echo "== tests"
 go test ./...
 
-echo "== race gate (core, schedule, sat, obs)"
-go test -race ./internal/core ./internal/schedule ./internal/sat ./internal/obs
+echo "== race gate (core, schedule, sat, obs, serve)"
+go test -race ./internal/core ./internal/schedule ./internal/sat ./internal/obs ./internal/serve
+
+echo "== serve smoke (HTTP compile + /metrics scrape + graceful shutdown)"
+go run ./scripts/servesmoke
 
 echo "== fuzz smoke (10s per target)"
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/lang
