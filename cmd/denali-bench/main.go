@@ -20,6 +20,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -280,6 +281,7 @@ func main() {
 		{"E12", "correct-by-design: random-input verification of all programs", e12},
 		{"E13", "sequential vs speculative-parallel budget search: corpus wall clock", e13},
 		{"E14", "served-mode throughput and latency under concurrent HTTP clients", e14},
+		{"E15", "certified optimality: DRAT proof logging and re-check overhead", e15},
 		{"A1", "ablation: at-most-once-per-term pruning constraint", a1},
 		{"A2", "ablation: matcher saturation budgets vs result quality", a2},
 	}
@@ -865,6 +867,81 @@ func e14() error {
 		return err
 	}
 	curStrategy, curWorkers = "linear", 2
+	return nil
+}
+
+// e15 measures what certified optimality costs: the E13 corpus is
+// compiled once normally and once with DRAT proof logging plus the
+// independent re-check, comparing wall clock and reporting the per-GMA
+// check time and proof size. The claim under test: certification is
+// cheap enough to leave on (the check replays unit propagation only,
+// never search).
+func e15() error {
+	corpus := []struct {
+		name string
+		src  string
+	}{
+		{"quickstart", programs.Quickstart},
+		{"byteswap4", programs.Byteswap4},
+		{"byteswap5", programs.Byteswap5},
+		{"copyloop", programs.CopyLoop},
+		{"rowop", programs.Rowop},
+		{"lcp2", programs.Lcp2},
+		{"sumloop", programs.SumLoop},
+		{"checksum", programs.Checksum},
+	}
+	run := func(opt repro.Options) (time.Duration, []*repro.CompiledGMA, error) {
+		total := time.Duration(0)
+		var gmas []*repro.CompiledGMA
+		for _, p := range corpus {
+			res, wall, err := compile(p.src, opt)
+			if err != nil {
+				return 0, nil, fmt.Errorf("%s: %w", p.name, err)
+			}
+			total += wall
+			recordAll(res)
+			for _, proc := range res.Procs {
+				gmas = append(gmas, proc.GMAs...)
+			}
+		}
+		return total, gmas, nil
+	}
+	baseT, baseG, err := run(repro.Options{})
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	certT, certG, err := run(repro.Options{Certify: true})
+	if err != nil {
+		return fmt.Errorf("certify: %w", err)
+	}
+	fmt.Printf("%-18s %6s %8s %8s %12s %12s\n", "gma", "cycles", "optimal", "certif.", "drat-check", "proof-bytes")
+	checkTotal := time.Duration(0)
+	proofBytes := 0
+	for i, g := range certG {
+		if g.OptimalProven && !g.Certified {
+			return fmt.Errorf("%s: optimality proven but certification missing", g.Name)
+		}
+		if baseG[i].Cycles != g.Cycles {
+			return fmt.Errorf("%s: %d cycles certified, %d without logging", g.Name, g.Cycles, baseG[i].Cycles)
+		}
+		var buf bytes.Buffer
+		size := "-"
+		if err := g.WriteProof(&buf); err == nil {
+			size = fmt.Sprintf("%d", buf.Len())
+			proofBytes += buf.Len()
+		} else if err != repro.ErrNoCertificate {
+			return err
+		}
+		checkTotal += g.CertifyTime
+		fmt.Printf("%-18s %6d %8v %8v %12v %12s\n",
+			g.Name, g.Cycles, g.OptimalProven, g.Certified,
+			g.CertifyTime.Round(time.Microsecond), size)
+	}
+	overhead := float64(certT-baseT) / float64(baseT) * 100
+	fmt.Printf("corpus wall clock: %v plain, %v certified (%+.1f%%); DRAT checks %v total, proofs %d bytes\n",
+		baseT.Round(time.Millisecond), certT.Round(time.Millisecond), overhead,
+		checkTotal.Round(time.Millisecond), proofBytes)
+	fmt.Println("(every optimality verdict above was re-derived by the independent RUP checker, not taken from the solver)")
 	return nil
 }
 

@@ -56,6 +56,8 @@ func main() {
 		maxRounds = flag.Int("matcher-rounds", 0, "matcher round budget (0 = default)")
 		maxNodes  = flag.Int("matcher-nodes", 0, "matcher node budget (0 = default)")
 		verifyN   = flag.Int("verify", 0, "verify each schedule on N random inputs")
+		certify   = flag.Bool("certify", false, "record DRAT proofs and re-check the optimality refutation with the independent checker")
+		proofOut  = flag.String("proof-out", "", "write each certified refutation as <path>_<gma>.drat with a companion .cnf (implies -certify)")
 		probes    = flag.Bool("probes", false, "print per-probe SAT statistics")
 		listing   = flag.Bool("nops", false, "print the nop-padded issue-slot listing")
 		baseline  = flag.Bool("baseline", false, "also compile with the conventional baseline generator")
@@ -95,6 +97,7 @@ func main() {
 		MaxCycles:        *maxCycles,
 		MatcherMaxRounds: *maxRounds,
 		MatcherMaxNodes:  *maxNodes,
+		Certify:          *certify || *proofOut != "",
 		Trace:            tr,
 	}
 	start := time.Now()
@@ -107,6 +110,9 @@ func main() {
 			fmt.Printf("=== %s: %d cycles, %d instructions", g.Name, g.Cycles, g.Instructions)
 			if g.OptimalProven {
 				fmt.Printf(" (optimal: %d-cycle budget refuted)", g.Cycles-1)
+			}
+			if g.Certified {
+				fmt.Printf(" [certified: DRAT check %v]", g.CertifyTime.Round(time.Microsecond))
 			}
 			fmt.Println()
 			if !*quiet {
@@ -133,6 +139,11 @@ func main() {
 				} else {
 					fmt.Printf("  baseline: %d cycles, %d instructions (Denali %+d)\n",
 						b.Cycles, b.Instructions, g.Cycles-b.Cycles)
+				}
+			}
+			if *proofOut != "" {
+				if err := writeProof(g, *proofOut); err != nil {
+					fatal(err)
 				}
 			}
 			if *dotPath != "" {
@@ -177,6 +188,7 @@ func serveMain(args []string) {
 		addrFile   = fs.String("addr-file", "", "write the bound address to this file once listening (for scripts using port 0)")
 		archName   = fs.String("arch", "ev6", "machine model: ev6, ev6-noclusters, ev6-single, ev6-dual, itanium")
 		parallel   = fs.Bool("parallel", false, "default to the speculative parallel budget search")
+		certify    = fs.Bool("certify", false, "default to DRAT-certifying optimality claims (requests may override with \"certify\")")
 		workers    = fs.Int("workers", 0, "worker bound per compilation and ceiling for request overrides (0 = GOMAXPROCS)")
 		maxConc    = fs.Int("max-concurrent", 0, "concurrent /compile requests (0 = workers)")
 		reqTimeout = fs.Duration("timeout", 60*time.Second, "per-request compile timeout")
@@ -194,6 +206,7 @@ func serveMain(args []string) {
 			Arch:           *archName,
 			ParallelSearch: *parallel,
 			Workers:        *workers,
+			Certify:        *certify,
 		},
 		MaxConcurrent:  *maxConc,
 		RequestTimeout: *reqTimeout,
@@ -222,6 +235,45 @@ func serveMain(args []string) {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "denali: shut down cleanly")
+}
+
+// writeProof exports one GMA's checked refutation: the DRAT derivation
+// plus the refuted instance's CNF, the pair an external drat-trim needs.
+// A GMA without a certificate (unproven, or a 0-cycle optimum with
+// nothing to refute) is noted and skipped rather than treated as fatal.
+func writeProof(g *repro.CompiledGMA, prefix string) error {
+	dratFile := fmt.Sprintf("%s_%s.drat", prefix, g.Name)
+	cnfFile := fmt.Sprintf("%s_%s.cnf", prefix, g.Name)
+	pf, err := os.Create(dratFile)
+	if err != nil {
+		return err
+	}
+	werr := g.WriteProof(pf)
+	if cerr := pf.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(dratFile)
+		if werr == repro.ErrNoCertificate {
+			fmt.Printf("  no certificate to export (optimality %sproven, %d cycles)\n",
+				map[bool]string{true: "", false: "not "}[g.OptimalProven], g.Cycles)
+			return nil
+		}
+		return werr
+	}
+	cf, err := os.Create(cnfFile)
+	if err != nil {
+		return err
+	}
+	werr = g.WriteProofCNF(cf)
+	if cerr := cf.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	fmt.Printf("  proof written to %s (formula in %s)\n", dratFile, cnfFile)
+	return nil
 }
 
 func readSource(path string) (string, error) {

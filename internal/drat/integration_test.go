@@ -1,0 +1,142 @@
+package drat
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sat"
+)
+
+// corpusDir is the shared DIMACS corpus with statuses encoded in the
+// filenames (see internal/sat/determinism_test.go, which pins those
+// statuses to brute-force enumeration).
+const corpusDir = "../sat/testdata"
+
+func readDIMACS(t *testing.T, path string) (int, []Clause) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := 0
+	var clauses []Clause
+	var cur Clause
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || line[0] == 'c' || line[0] == 'p' {
+			continue
+		}
+		for _, f := range strings.Fields(line) {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				t.Fatalf("%s: bad literal %q", path, f)
+			}
+			if v == 0 {
+				clauses = append(clauses, cur)
+				cur = nil
+				continue
+			}
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			if a > vars {
+				vars = a
+			}
+			cur = append(cur, v)
+		}
+	}
+	return vars, clauses
+}
+
+func solveWithProof(vars int, clauses []Clause) (sat.Result, *Certificate) {
+	s := sat.New()
+	rec := NewRecorder()
+	s.Proof = rec
+	for i := 0; i < vars; i++ {
+		s.NewVar()
+	}
+	for _, c := range clauses {
+		lits := make([]sat.Lit, len(c))
+		for i, l := range c {
+			if l < 0 {
+				lits[i] = sat.Neg(-l - 1)
+			} else {
+				lits[i] = sat.Pos(l - 1)
+			}
+		}
+		if !s.AddClause(lits...) {
+			// The solver saw the inconsistency at clause-add time; the
+			// recorder has already logged the empty clause.
+			return sat.Unsat, rec.Certificate()
+		}
+	}
+	res := s.Solve()
+	return res, rec.Certificate()
+}
+
+// TestCorpusProofsCheck is the acceptance property of the tentpole:
+// every UNSAT answer on the corpus must come with a DRAT refutation the
+// independent checker accepts, and no SAT run may produce one.
+func TestCorpusProofsCheck(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(corpusDir, "*.cnf"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus CNFs under %s: %v", corpusDir, err)
+	}
+	for _, f := range files {
+		base := filepath.Base(f)
+		vars, clauses := readDIMACS(t, f)
+		res, cert := solveWithProof(vars, clauses)
+		switch {
+		case strings.HasSuffix(base, ".unsat.cnf"):
+			if res != sat.Unsat {
+				t.Errorf("%s: Solve = %v, want Unsat", base, res)
+				continue
+			}
+			if err := cert.Check(); err != nil {
+				t.Errorf("%s: refutation rejected: %v", base, err)
+			}
+		case strings.HasSuffix(base, ".sat.cnf"):
+			if res != sat.Sat {
+				t.Errorf("%s: Solve = %v, want Sat", base, res)
+				continue
+			}
+			if err := cert.Check(); err != ErrNoEmptyClause {
+				t.Errorf("%s: Check on SAT run = %v, want ErrNoEmptyClause", base, err)
+			}
+		}
+	}
+}
+
+// TestCorpusProofsCheckUnderPermutation re-runs the UNSAT corpus under
+// shuffled clause order: whatever derivation the permuted search finds,
+// its proof must still check against the permuted premises.
+func TestCorpusProofsCheckUnderPermutation(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(corpusDir, "*.unsat.cnf"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no UNSAT corpus CNFs under %s: %v", corpusDir, err)
+	}
+	for _, f := range files {
+		base := filepath.Base(f)
+		vars, clauses := readDIMACS(t, f)
+		rng := rand.New(rand.NewSource(int64(len(base))))
+		for round := 0; round < 10; round++ {
+			shuffled := make([]Clause, len(clauses))
+			copy(shuffled, clauses)
+			rng.Shuffle(len(shuffled), func(i, j int) {
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+			})
+			res, cert := solveWithProof(vars, shuffled)
+			if res != sat.Unsat {
+				t.Fatalf("%s round %d: Solve = %v, want Unsat", base, round, res)
+			}
+			if err := cert.Check(); err != nil {
+				t.Fatalf("%s round %d: refutation rejected: %v", base, round, err)
+			}
+		}
+	}
+}

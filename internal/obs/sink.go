@@ -114,6 +114,12 @@ const (
 	MProbesLaunched  = "denali_parallel_probes_launched_total"
 	MProbesCancelled = "denali_parallel_probes_cancelled_total"
 	MProbeWaste      = "denali_probe_waste_total"
+	// MCertifySeconds is the latency of re-checking one DRAT refutation,
+	// and MCertifyChecks counts checks by result (ok/failed).
+	MCertifySeconds = "denali_certify_seconds"
+	MCertifyChecks  = "denali_certify_total"
+	// MCertifySteps is the proof length (addition steps) per check.
+	MCertifySteps = "denali_certify_proof_steps"
 	// MVerifyTrials / MSimCycles / MSimInstrs count simulator work.
 	MVerifyTrials = "denali_verify_trials_total"
 	MSimCycles    = "denali_sim_cycles_total"
@@ -146,6 +152,9 @@ func NewCompilerRegistry() *Registry {
 	r.DeclareCounter(MProbesLaunched, "Speculative probes launched by the parallel budget search.")
 	r.DeclareCounter(MProbesCancelled, "Speculative probes interrupted as moot.")
 	r.DeclareCounter(MProbeWaste, "Probes whose completed answer was discarded, by strategy.")
+	r.DeclareHistogram(MCertifySeconds, "Latency of re-checking one DRAT refutation.", DefSecondsBuckets)
+	r.DeclareHistogram(MCertifySteps, "DRAT proof length (addition steps) per check.", DefCountBuckets)
+	r.DeclareCounter(MCertifyChecks, "DRAT refutation checks by result.")
 	r.DeclareCounter(MVerifyTrials, "Random-input verification trials executed.")
 	r.DeclareCounter(MSimCycles, "Machine cycles executed by the simulator.")
 	r.DeclareCounter(MSimInstrs, "Instructions executed by the simulator.")

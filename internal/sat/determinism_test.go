@@ -1,0 +1,220 @@
+package sat_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sat"
+)
+
+// cnf is one testdata instance. The expected status is encoded in the
+// filename (name.sat.cnf / name.unsat.cnf) and cross-checked against
+// exhaustive enumeration, so the corpus cannot drift into asserting the
+// solver agrees with itself.
+type cnf struct {
+	name    string
+	vars    int
+	clauses [][]int
+	sat     bool
+}
+
+func loadCorpus(t *testing.T) []cnf {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", "*.cnf"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata CNFs: %v", err)
+	}
+	var out []cnf
+	for _, f := range files {
+		base := filepath.Base(f)
+		var want bool
+		switch {
+		case strings.HasSuffix(base, ".unsat.cnf"):
+			want = false
+		case strings.HasSuffix(base, ".sat.cnf"):
+			want = true
+		default:
+			t.Fatalf("%s: filename must end .sat.cnf or .unsat.cnf", base)
+		}
+		vars, clauses := parseCNF(t, f)
+		out = append(out, cnf{name: base, vars: vars, clauses: clauses, sat: want})
+	}
+	return out
+}
+
+func parseCNF(t *testing.T, path string) (int, [][]int) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := 0
+	var clauses [][]int
+	var cur []int
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || line[0] == 'c' || line[0] == 'p' {
+			continue
+		}
+		for _, f := range strings.Fields(line) {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				t.Fatalf("%s: bad literal %q", path, f)
+			}
+			if v == 0 {
+				clauses = append(clauses, cur)
+				cur = nil
+				continue
+			}
+			a := v
+			if a < 0 {
+				a = -a
+			}
+			if a > vars {
+				vars = a
+			}
+			cur = append(cur, v)
+		}
+	}
+	if len(cur) != 0 {
+		t.Fatalf("%s: trailing unterminated clause", path)
+	}
+	return vars, clauses
+}
+
+// enumerate decides satisfiability by brute force; corpus instances stay
+// at or below 20 variables to keep this feasible.
+func enumerate(vars int, clauses [][]int) bool {
+	if vars > 20 {
+		panic("corpus instance too large for enumeration")
+	}
+	for m := 0; m < 1<<vars; m++ {
+		ok := true
+		for _, c := range clauses {
+			good := false
+			for _, l := range c {
+				v := l
+				if v < 0 {
+					v = -v
+				}
+				val := m&(1<<(v-1)) != 0
+				if (l > 0) == val {
+					good = true
+					break
+				}
+			}
+			if !good {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// solveInstance runs the CDCL solver on a clause list under a variable
+// renaming (perm, 0-based -> 0-based) with per-variable polarity flips.
+// Both transformations preserve satisfiability exactly.
+func solveInstance(vars int, clauses [][]int, perm []int, flip []bool) sat.Result {
+	s := sat.New()
+	for i := 0; i < vars; i++ {
+		s.NewVar()
+	}
+	for _, c := range clauses {
+		lits := make([]sat.Lit, len(c))
+		for i, l := range c {
+			v := l
+			neg := false
+			if v < 0 {
+				v, neg = -v, true
+			}
+			nv := perm[v-1]
+			if flip[v-1] {
+				neg = !neg
+			}
+			if neg {
+				lits[i] = sat.Neg(nv)
+			} else {
+				lits[i] = sat.Pos(nv)
+			}
+		}
+		if !s.AddClause(lits...) {
+			return sat.Unsat
+		}
+	}
+	return s.Solve()
+}
+
+func identity(n int) ([]int, []bool) {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p, make([]bool, n)
+}
+
+// TestCorpusStatuses pins every testdata instance's expected status to
+// brute-force enumeration, independent of the solver under test.
+func TestCorpusStatuses(t *testing.T) {
+	for _, inst := range loadCorpus(t) {
+		if got := enumerate(inst.vars, inst.clauses); got != inst.sat {
+			t.Errorf("%s: filename claims sat=%v but enumeration says %v", inst.name, inst.sat, got)
+		}
+	}
+}
+
+// TestSolverMatchesCorpus checks the solver on the unpermuted instances.
+func TestSolverMatchesCorpus(t *testing.T) {
+	for _, inst := range loadCorpus(t) {
+		perm, flip := identity(inst.vars)
+		want := sat.Unsat
+		if inst.sat {
+			want = sat.Sat
+		}
+		if got := solveInstance(inst.vars, inst.clauses, perm, flip); got != want {
+			t.Errorf("%s: Solve = %v, want %v", inst.name, got, want)
+		}
+	}
+}
+
+// TestSolverPermutationInvariance is the determinism property: the
+// SAT/UNSAT answer must be invariant under shuffling clause insertion
+// order, renaming variables, and flipping variable polarities. Branching
+// heuristics, learned clauses and restarts may all differ wildly across
+// permutations — the answer may not.
+func TestSolverPermutationInvariance(t *testing.T) {
+	const rounds = 25
+	for _, inst := range loadCorpus(t) {
+		inst := inst
+		t.Run(inst.name, func(t *testing.T) {
+			want := sat.Unsat
+			if inst.sat {
+				want = sat.Sat
+			}
+			rng := rand.New(rand.NewSource(int64(len(inst.name)) * 7919))
+			for round := 0; round < rounds; round++ {
+				clauses := make([][]int, len(inst.clauses))
+				copy(clauses, inst.clauses)
+				rng.Shuffle(len(clauses), func(i, j int) {
+					clauses[i], clauses[j] = clauses[j], clauses[i]
+				})
+				perm := rng.Perm(inst.vars)
+				flip := make([]bool, inst.vars)
+				for i := range flip {
+					flip[i] = rng.Intn(2) == 0
+				}
+				if got := solveInstance(inst.vars, clauses, perm, flip); got != want {
+					t.Fatalf("round %d: Solve = %v, want %v (clause order/renaming must not change the answer)",
+						round, got, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,59 @@
+package sat
+
+// Proof is a sink for the solver's clausal derivation, in the style of
+// DRAT proof logging: every original problem clause, every clause the
+// CDCL loop learns, and every learned clause the database reduction
+// deletes is reported, in order. A solver with a Proof attached that
+// answers Unsat has, by construction, emitted a refutation ending in the
+// empty clause; an independent checker (internal/drat) can then replay
+// the derivation by unit propagation and certify the UNSAT answer
+// without trusting the solver's watched-literal or conflict-analysis
+// code.
+//
+// Contract details:
+//
+//   - Input receives each clause exactly as given to AddClause, before
+//     top-level simplification, so the sink sees the original clause
+//     database — the premises of the derivation.
+//   - Learn receives derived clauses: the first-UIP clause of every
+//     conflict, and the empty clause when the formula is refuted at the
+//     top level. Every learned clause is RUP (reverse unit propagation)
+//     with respect to the premises plus the previously learned, not yet
+//     deleted clauses, which is what makes the log checkable.
+//   - Delete receives learned clauses dropped by database reduction.
+//   - The literal slices are only valid during the call; implementations
+//     must copy (the solver permutes clause literals in place as watches
+//     move).
+//
+// Proof logging is off (zero cost beyond a nil check) when the field is
+// nil. Methods are called from the solving goroutine only.
+type Proof interface {
+	// Input records one original problem clause.
+	Input(lits []Lit)
+	// Learn records one derived clause; an empty slice is the empty
+	// clause, completing a refutation.
+	Learn(lits []Lit)
+	// Delete records the deletion of a previously learned clause.
+	Delete(lits []Lit)
+}
+
+// logInput forwards an original clause to the proof sink, if any.
+func (s *Solver) logInput(lits []Lit) {
+	if s.Proof != nil {
+		s.Proof.Input(lits)
+	}
+}
+
+// logLearn forwards a derived clause to the proof sink, if any.
+func (s *Solver) logLearn(lits []Lit) {
+	if s.Proof != nil {
+		s.Proof.Learn(lits)
+	}
+}
+
+// logDelete forwards a deleted learned clause to the proof sink, if any.
+func (s *Solver) logDelete(lits []Lit) {
+	if s.Proof != nil {
+		s.Proof.Delete(lits)
+	}
+}

@@ -132,6 +132,12 @@ type Solver struct {
 	// deltas) at the end of every Solve. Nil costs nothing.
 	Sink *obs.Sink
 
+	// Proof, when non-nil, receives the clausal derivation (original
+	// clauses, learned clauses, deletions) so an UNSAT answer can be
+	// checked independently; see the Proof interface. Attach it before
+	// the first AddClause or the premises will be incomplete.
+	Proof Proof
+
 	// stop is the cancellation flag: Interrupt (from any goroutine) makes
 	// the running Solve return Unknown with Stats().Cancelled set.
 	stop atomic.Bool
@@ -184,6 +190,7 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	if len(s.lim) != 0 {
 		panic("sat: AddClause called during search")
 	}
+	s.logInput(lits)
 	// Top-level simplification: sort, dedup, drop false literals, detect
 	// tautologies and already-satisfied clauses.
 	ls := append([]Lit(nil), lits...)
@@ -209,11 +216,15 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	}
 	switch len(out) {
 	case 0:
+		// The clause is falsified by top-level units alone, so the empty
+		// clause is derivable by unit propagation: the refutation is done.
+		s.logLearn(nil)
 		s.unsat = true
 		return false
 	case 1:
 		s.enqueue(out[0], nil)
 		if s.propagate() != nil {
+			s.logLearn(nil)
 			s.unsat = true
 			return false
 		}
@@ -424,6 +435,7 @@ func (s *Solver) solve() Result {
 		return Unsat
 	}
 	if c := s.propagate(); c != nil {
+		s.logLearn(nil)
 		s.unsat = true
 		return Unsat
 	}
@@ -444,10 +456,12 @@ func (s *Solver) solve() Result {
 		if confl != nil {
 			s.stats.Conflicts++
 			if len(s.lim) == 0 {
+				s.logLearn(nil)
 				s.unsat = true
 				return Unsat
 			}
 			learnt, bt := s.analyze(confl)
+			s.logLearn(learnt)
 			s.backtrack(bt)
 			if len(learnt) == 1 {
 				s.enqueue(learnt[0], nil)
@@ -630,6 +644,7 @@ func (s *Solver) reduceDB() {
 			continue
 		}
 		c.deleted = true
+		s.logDelete(c.lits)
 		toDelete--
 	}
 	before := len(s.learned)

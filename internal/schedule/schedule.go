@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/arch"
+	"repro/internal/drat"
 	"repro/internal/egraph"
 	"repro/internal/gma"
 	"repro/internal/obs"
@@ -49,6 +50,10 @@ type Options struct {
 	DisableAtMostOncePerTerm bool
 	// MaxConflicts bounds each SAT probe; 0 means unbounded.
 	MaxConflicts int64
+	// Certify attaches a DRAT proof recorder to the probe's solver. When
+	// the probe answers Unsat, Stat.Cert holds the recorded refutation,
+	// which internal/drat can re-check independently of the solver.
+	Certify bool
 	// Trace records constraint-generation and solving telemetry for this
 	// one compilation; nil disables it.
 	Trace *obs.Trace
@@ -112,6 +117,7 @@ type Problem struct {
 	missAddrs  map[egraph.ClassID]bool
 
 	solver    *sat.Solver
+	proof     *drat.Recorder
 	bClusters int
 	uVar      map[[3]int32]int // (term, cycle, unit) -> var
 	modeVar   map[[2]int32]int // (term, mode) -> var
@@ -131,6 +137,9 @@ type Stat struct {
 	Solver       sat.Stats
 	MachineTerms int
 	ConeClasses  int
+	// Cert is the recorded DRAT refutation when Options.Certify was set
+	// and the probe answered Unsat; nil otherwise.
+	Cert *drat.Certificate
 }
 
 // UncomputableError reports a goal (sub)class that no machine instruction
@@ -389,6 +398,12 @@ func (p *Problem) encode() {
 	s := sat.New()
 	s.MaxConflicts = p.opt.MaxConflicts
 	s.Sink = p.opt.Sink
+	if p.opt.Certify {
+		// Attach before the first AddClause so the certificate's premise
+		// set is the complete clause database.
+		p.proof = drat.NewRecorder()
+		s.Proof = p.proof
+	}
 	p.solver = s
 	K := p.K
 
@@ -619,6 +634,9 @@ func (p *Problem) Solve() (*Schedule, Stat, error) {
 		Solver:       st,
 		MachineTerms: len(p.terms),
 		ConeClasses:  len(p.cone),
+	}
+	if p.proof != nil && res == sat.Unsat {
+		stat.Cert = p.proof.Certificate()
 	}
 	if res != sat.Sat {
 		return nil, stat, nil

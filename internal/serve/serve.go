@@ -249,6 +249,11 @@ type CompileRequest struct {
 	// Verify runs each schedule against the reference semantics on this
 	// many random inputs before responding.
 	Verify int `json:"verify,omitempty"`
+	// Certify overrides the server's proof-logging default for this
+	// request: when enabled the K−1 refutation behind every optimality
+	// claim is re-checked as a DRAT proof and each GMA's "certified" field
+	// reports the result. Absent (null) keeps the server's setting.
+	Certify *bool `json:"certify,omitempty"`
 	// Trace returns the request's pipeline trace as Chrome trace_event
 	// JSON in the response (load in chrome://tracing or Perfetto).
 	Trace bool `json:"trace,omitempty"`
@@ -276,6 +281,8 @@ type GMAJSON struct {
 	MatchMillis   float64     `json:"match_ms"`
 	SolveMillis   float64     `json:"solve_ms"`
 	Verified      int         `json:"verified,omitempty"`
+	Certified     bool        `json:"certified,omitempty"`
+	CertifyMillis float64     `json:"certify_ms,omitempty"`
 	Probes        []ProbeJSON `json:"probes,omitempty"`
 }
 
@@ -345,6 +352,9 @@ func (s *Server) options(req *CompileRequest, tr *obs.Trace) (repro.Options, err
 	}
 	if req.MaxConflicts > 0 {
 		opt.MaxConflicts = req.MaxConflicts
+	}
+	if req.Certify != nil {
+		opt.Certify = *req.Certify
 	}
 	return opt, nil
 }
@@ -484,6 +494,8 @@ func buildResponse(res *repro.Result, wall time.Duration, tr *obs.Trace, verifie
 				MatchMillis:   float64(g.Match.Elapsed.Microseconds()) / 1e3,
 				SolveMillis:   float64(g.SolveTime.Microseconds()) / 1e3,
 				Verified:      verified,
+				Certified:     g.Certified,
+				CertifyMillis: float64(g.CertifyTime.Microseconds()) / 1e3,
 			}
 			for _, p := range g.Probes {
 				gj.Probes = append(gj.Probes, ProbeJSON{

@@ -260,6 +260,77 @@ func TestServeStrategyOverride(t *testing.T) {
 	}
 }
 
+// TestServeCertifyOverride exercises the tri-state per-request certify
+// field: the server default is off, a request with "certify": true must
+// come back with every optimality-proven GMA marked certified (and a
+// positive check time), and a request omitting the field must not.
+func TestServeCertifyOverride(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: repro.Options{Arch: "ev6", Workers: 2}})
+
+	decode := func(raw []byte) CompileResponse {
+		t.Helper()
+		var cr CompileResponse
+		if err := json.Unmarshal(raw, &cr); err != nil {
+			t.Fatalf("decode response: %v\n%s", err, raw)
+		}
+		return cr
+	}
+	on := true
+	resp, raw := postCompile(t, ts.URL, CompileRequest{Source: programs.Byteswap4, Certify: &on})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("certify=true: status %d: %s", resp.StatusCode, raw)
+	}
+	for _, p := range decode(raw).Procs {
+		for _, g := range p.GMAs {
+			if g.OptimalProven && !g.Certified {
+				t.Errorf("certify=true: %s proven optimal but certified=false", g.Name)
+			}
+			if g.Certified && g.CertifyMillis <= 0 {
+				t.Errorf("certify=true: %s certified with certify_ms=%g", g.Name, g.CertifyMillis)
+			}
+		}
+	}
+
+	resp, raw = postCompile(t, ts.URL, CompileRequest{Source: programs.Byteswap4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default: status %d: %s", resp.StatusCode, raw)
+	}
+	for _, p := range decode(raw).Procs {
+		for _, g := range p.GMAs {
+			if g.Certified {
+				t.Errorf("default off: %s unexpectedly certified", g.Name)
+			}
+		}
+	}
+
+	// The server may also default certification on, with requests opting
+	// out; "certify": false must win over the server default.
+	_, tsOn := newTestServer(t, Config{Options: repro.Options{Arch: "ev6", Workers: 2, Certify: true}})
+	off := false
+	resp, raw = postCompile(t, tsOn.URL, CompileRequest{Source: programs.Byteswap4, Certify: &off})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("certify=false: status %d: %s", resp.StatusCode, raw)
+	}
+	for _, p := range decode(raw).Procs {
+		for _, g := range p.GMAs {
+			if g.Certified {
+				t.Errorf("certify=false override: %s unexpectedly certified", g.Name)
+			}
+		}
+	}
+	resp, raw = postCompile(t, tsOn.URL, CompileRequest{Source: programs.Byteswap4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("server default on: status %d: %s", resp.StatusCode, raw)
+	}
+	for _, p := range decode(raw).Procs {
+		for _, g := range p.GMAs {
+			if g.OptimalProven && !g.Certified {
+				t.Errorf("server default on: %s proven optimal but certified=false", g.Name)
+			}
+		}
+	}
+}
+
 func TestServeBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Config{
 		Options:        repro.Options{Arch: "ev6"},

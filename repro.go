@@ -21,6 +21,7 @@ package repro
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"sort"
 	"strings"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/arch/itanium"
 	"repro/internal/axioms"
 	"repro/internal/core"
+	"repro/internal/drat"
 	"repro/internal/egraph"
 	"repro/internal/gma"
 	"repro/internal/lang"
@@ -77,6 +79,13 @@ type Options struct {
 	DisableAtMostOnce bool
 	// MaxConflicts bounds each SAT probe (0 = unbounded).
 	MaxConflicts int64
+	// Certify records a DRAT proof during every SAT probe and re-checks
+	// the K−1 refutation with the independent checker in internal/drat
+	// before OptimalProven is reported, so "no shorter schedule exists"
+	// becomes a machine-verified fact rather than a solver claim. A failed
+	// check is a compilation error. The checked certificate is exportable
+	// via CompiledGMA.WriteProof / WriteProofCNF.
+	Certify bool
 	// ExtraAxioms are appended to the built-in axiom files and any
 	// program-local axioms.
 	ExtraAxioms string
@@ -163,10 +172,16 @@ type CompiledGMA struct {
 	Match MatchStats
 	// SolveTime is the total SAT time across probes.
 	SolveTime time.Duration
+	// Certified reports that the refutation behind OptimalProven passed
+	// the independent DRAT check (Options.Certify); CertifyTime is the
+	// cost of that check.
+	Certified   bool
+	CertifyTime time.Duration
 
 	// MaxLive is the peak number of simultaneously live temporaries.
 	MaxLive int
 
+	cert  *drat.Certificate
 	gma   *gma.GMA
 	sched *schedule.Schedule
 	desc  *arch.Description
@@ -189,6 +204,32 @@ func (c *CompiledGMA) EGraphDot() string {
 		return ""
 	}
 	return b.String()
+}
+
+// ErrNoCertificate is returned by WriteProof / WriteProofCNF when no
+// checked refutation is available — compile with Options.Certify, and
+// note a 0-cycle optimum is certified vacuously with no proof to export.
+var ErrNoCertificate = errors.New("repro: no certificate recorded (compile with Options.Certify)")
+
+// WriteProof exports the checked K−1 refutation in textual DRAT format.
+// Together with the WriteProofCNF output it can be re-checked by any
+// external DRAT checker (e.g. drat-trim).
+func (c *CompiledGMA) WriteProof(w io.Writer) error {
+	if c.cert == nil {
+		return ErrNoCertificate
+	}
+	return drat.WriteText(w, c.cert.Steps)
+}
+
+// WriteProofCNF exports the DIMACS CNF of the refuted K−1 scheduling
+// instance — the premises of the WriteProof derivation.
+func (c *CompiledGMA) WriteProofCNF(w io.Writer) error {
+	if c.cert == nil {
+		return ErrNoCertificate
+	}
+	return c.cert.WriteDIMACS(w,
+		fmt.Sprintf("denali refuted scheduling instance: gma=%s cycle-budget-K=%d", c.Name, c.Cycles-1),
+		"proof of optimality: pair with the DRAT proof from WriteProof")
 }
 
 // Proc is one compiled procedure.
@@ -235,6 +276,7 @@ func Compile(src string, opt Options) (*Result, error) {
 		Schedule: schedule.Options{
 			DisableAtMostOncePerTerm: opt.DisableAtMostOnce,
 			MaxConflicts:             opt.MaxConflicts,
+			Certify:                  opt.Certify,
 		},
 		MaxCycles: opt.MaxCycles,
 		Trace:     opt.Trace,
@@ -354,6 +396,7 @@ func CompileGMA(g *gma.GMA, opt Options) (*CompiledGMA, error) {
 		Schedule: schedule.Options{
 			DisableAtMostOncePerTerm: opt.DisableAtMostOnce,
 			MaxConflicts:             opt.MaxConflicts,
+			Certify:                  opt.Certify,
 		},
 		MaxCycles: opt.MaxCycles,
 		Trace:     opt.Trace,
@@ -408,7 +451,11 @@ func compileOne(g *gma.GMA, copts core.Options, desc *arch.Description) (cg *Com
 			Classes:        c.Match.Classes,
 			Elapsed:        c.MatchTime,
 		},
+		Certified:   c.Certified,
+		CertifyTime: c.CertifyTime,
+
 		MaxLive: c.Schedule.MaxLive(),
+		cert:    c.Cert,
 		gma:     g,
 		sched:   c.Schedule,
 		desc:    desc,

@@ -28,8 +28,22 @@ go test -race ./internal/core ./internal/schedule ./internal/sat ./internal/obs 
 echo "== serve smoke (HTTP compile + /metrics scrape + graceful shutdown)"
 go run ./scripts/servesmoke
 
+echo "== certification gate (drat checker tests + end-to-end -certify)"
+go test ./internal/drat
+out=$(go run ./cmd/denali -certify -q examples/byteswap/byteswap.dn)
+echo "$out"
+case "$out" in
+*"certified: DRAT check"*) ;;
+*)
+    echo "certification gate: byteswap4 compiled without a certified optimality proof" >&2
+    exit 1
+    ;;
+esac
+
 echo "== fuzz smoke (10s per target)"
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/lang
 go test -run '^$' -fuzz '^FuzzSolver$' -fuzztime 10s ./internal/sat
+go test -run '^$' -fuzz '^FuzzDRATChecker$' -fuzztime 10s ./internal/drat
+go test -run '^$' -fuzz '^FuzzDRATParse$' -fuzztime 10s ./internal/drat
 
 echo "verify.sh: all gates passed"
