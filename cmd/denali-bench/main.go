@@ -99,6 +99,7 @@ var (
 	curWallMS   float64
 	jsonPath    string
 	outPath     string
+	incOutPath  string
 
 	flagWorkers  int
 	flagParallel bool
@@ -264,6 +265,7 @@ func main() {
 	flag.StringVar(&outPath, "out", "", "write the per-experiment perf trajectory (wall time, strategy, workers, latency p50/p95/max) to this JSON file")
 	flag.IntVar(&flagWorkers, "workers", 0, "worker bound for parallel probes and multi-GMA compilation (0 = GOMAXPROCS)")
 	flag.BoolVar(&flagParallel, "parallel", false, "use the speculative parallel budget search in every experiment that does not pick its own strategy")
+	flag.StringVar(&incOutPath, "inc-out", "BENCH_5.json", "write E16's per-GMA scratch-vs-incremental comparison to this JSON file (empty to skip)")
 	flag.Parse()
 
 	exps := []experiment{
@@ -282,6 +284,7 @@ func main() {
 		{"E13", "sequential vs speculative-parallel budget search: corpus wall clock", e13},
 		{"E14", "served-mode throughput and latency under concurrent HTTP clients", e14},
 		{"E15", "certified optimality: DRAT proof logging and re-check overhead", e15},
+		{"E16", "scratch vs incremental budget search: conflicts, propagations, wall clock", e16},
 		{"A1", "ablation: at-most-once-per-term pruning constraint", a1},
 		{"A2", "ablation: matcher saturation budgets vs result quality", a2},
 	}
@@ -889,6 +892,8 @@ func e15() error {
 		{"lcp2", programs.Lcp2},
 		{"sumloop", programs.SumLoop},
 		{"checksum", programs.Checksum},
+		{"missloop", programs.MissLoop},
+		{"popcount", programs.Popcount},
 	}
 	run := func(opt repro.Options) (time.Duration, []*repro.CompiledGMA, error) {
 		total := time.Duration(0)
@@ -942,6 +947,164 @@ func e15() error {
 		baseT.Round(time.Millisecond), certT.Round(time.Millisecond), overhead,
 		checkTotal.Round(time.Millisecond), proofBytes)
 	fmt.Println("(every optimality verdict above was re-derived by the independent RUP checker, not taken from the solver)")
+	return nil
+}
+
+// e16Row is one GMA's scratch-vs-incremental comparison in the -inc-out
+// JSON (BENCH_5.json by default).
+type e16Row struct {
+	GMA                     string  `json:"gma"`
+	Cycles                  int     `json:"cycles"`
+	Optimal                 bool    `json:"optimal"`
+	Probes                  int     `json:"probes"`
+	WarmProbes              int     `json:"warm_probes"`
+	ScratchConflicts        int64   `json:"scratch_conflicts"`
+	IncrementalConflicts    int64   `json:"incremental_conflicts"`
+	ScratchPropagations     int64   `json:"scratch_propagations"`
+	IncrementalPropagations int64   `json:"incremental_propagations"`
+	ScratchSolveMillis      float64 `json:"scratch_solve_ms"`
+	IncrementalSolveMillis  float64 `json:"incremental_solve_ms"`
+}
+
+// e16 measures what the persistent probe engine buys: the example corpus
+// is compiled once with from-scratch probes (one throwaway solver per
+// budget) and once on the incremental engine (one layered encoding, each
+// budget an assumption), and the per-GMA CDCL work is compared. The
+// claim under test: on multi-probe compiles the engine's learned-clause
+// reuse strictly reduces total conflicts, so making it the default is a
+// pure win — the answers themselves must be identical either way. The
+// linear search is used on both sides (-parallel is ignored here) so the
+// probe sequences match and the comparison is deterministic.
+func e16() error {
+	corpus := []struct {
+		name      string
+		src       string
+		maxCycles int
+	}{
+		{"quickstart", programs.Quickstart, 0},
+		{"byteswap4", programs.Byteswap4, 0},
+		{"byteswap5", programs.Byteswap5, 0},
+		{"copyloop", programs.CopyLoop, 0},
+		{"rowop", programs.Rowop, 0},
+		{"rowop4", programs.Rowop4, 64},
+		{"lcp2", programs.Lcp2, 0},
+		{"sumloop", programs.SumLoop, 0},
+		{"checksum", programs.Checksum, 0},
+		{"missloop", programs.MissLoop, 0},
+		{"popcount", programs.Popcount, 0},
+	}
+	run := func(opt repro.Options) (time.Duration, []*repro.CompiledGMA, error) {
+		opt.Sink = benchSink
+		total := time.Duration(0)
+		var gmas []*repro.CompiledGMA
+		for _, p := range corpus {
+			opt.MaxCycles = p.maxCycles
+			start := time.Now()
+			res, err := repro.Compile(p.src, opt)
+			if err != nil {
+				return 0, nil, fmt.Errorf("%s: %w", p.name, err)
+			}
+			total += time.Since(start)
+			for _, proc := range res.Procs {
+				gmas = append(gmas, proc.GMAs...)
+			}
+		}
+		return total, gmas, nil
+	}
+	off := false
+	scratchT, scratchG, err := run(repro.Options{Incremental: &off})
+	if err != nil {
+		return fmt.Errorf("scratch: %w", err)
+	}
+	incT, incG, err := run(repro.Options{})
+	if err != nil {
+		return fmt.Errorf("incremental: %w", err)
+	}
+	if len(scratchG) != len(incG) {
+		return fmt.Errorf("corpus mismatch: %d GMAs scratch, %d incremental", len(scratchG), len(incG))
+	}
+	sums := func(g *repro.CompiledGMA) (conflicts, props int64, warm int) {
+		for _, p := range g.Probes {
+			conflicts += p.Conflicts
+			props += p.Propagations
+			if p.Reused {
+				warm++
+			}
+		}
+		return
+	}
+	fmt.Printf("%-18s %6s %6s %12s %12s %14s %14s %10s %10s\n",
+		"gma", "cycles", "probes", "scr-confl", "inc-confl", "scr-props", "inc-props", "scr-ms", "inc-ms")
+	var out []e16Row
+	wins, multi := 0, 0
+	for i, s := range incG {
+		b := scratchG[i]
+		if b.Name != s.Name {
+			return fmt.Errorf("gma order mismatch: %s vs %s", b.Name, s.Name)
+		}
+		if b.Cycles != s.Cycles || b.OptimalProven != s.OptimalProven {
+			return fmt.Errorf("%s: scratch (%d cycles, optimal=%v) and incremental (%d, %v) disagree",
+				s.Name, b.Cycles, b.OptimalProven, s.Cycles, s.OptimalProven)
+		}
+		if len(b.Probes) != len(s.Probes) {
+			return fmt.Errorf("%s: %d scratch probes vs %d incremental", s.Name, len(b.Probes), len(s.Probes))
+		}
+		bc, bp, _ := sums(b)
+		sc, sp, warm := sums(s)
+		row := e16Row{
+			GMA: s.Name, Cycles: s.Cycles, Optimal: s.OptimalProven,
+			Probes: len(s.Probes), WarmProbes: warm,
+			ScratchConflicts: bc, IncrementalConflicts: sc,
+			ScratchPropagations: bp, IncrementalPropagations: sp,
+			ScratchSolveMillis:     float64(b.SolveTime.Microseconds()) / 1e3,
+			IncrementalSolveMillis: float64(s.SolveTime.Microseconds()) / 1e3,
+		}
+		out = append(out, row)
+		if len(s.Probes) >= 2 {
+			multi++
+			if sc < bc {
+				wins++
+			}
+		}
+		fmt.Printf("%-18s %6d %6d %12d %12d %14d %14d %10.1f %10.1f\n",
+			s.Name, s.Cycles, len(s.Probes), bc, sc, bp, sp,
+			row.ScratchSolveMillis, row.IncrementalSolveMillis)
+	}
+	fmt.Printf("corpus wall clock: %v scratch, %v incremental; conflicts strictly reduced on %d/%d multi-probe compiles\n",
+		scratchT.Round(time.Millisecond), incT.Round(time.Millisecond), wins, multi)
+	fmt.Println("(identical cycle counts and optimality verdicts on both sides — incrementality changes the work, never the answer)")
+	if incOutPath != "" {
+		doc := struct {
+			Schema      string   `json:"schema"`
+			GeneratedAt string   `json:"generated_at"`
+			GoMaxProcs  int      `json:"gomaxprocs"`
+			ScratchMS   float64  `json:"scratch_wall_ms"`
+			IncMS       float64  `json:"incremental_wall_ms"`
+			MultiProbe  int      `json:"multi_probe_gmas"`
+			Wins        int      `json:"conflict_wins"`
+			Rows        []e16Row `json:"gmas"`
+		}{
+			Schema:      "denali-bench-incremental/v1",
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			ScratchMS:   float64(scratchT.Microseconds()) / 1e3,
+			IncMS:       float64(incT.Microseconds()) / 1e3,
+			MultiProbe:  multi,
+			Wins:        wins,
+			Rows:        out,
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(incOutPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("per-GMA comparison written to %s\n", incOutPath)
+	}
+	if wins*2 < multi {
+		return fmt.Errorf("incremental search reduced conflicts on only %d of %d multi-probe compiles", wins, multi)
+	}
 	return nil
 }
 

@@ -48,24 +48,25 @@ func main() {
 		return
 	}
 	var (
-		archName  = flag.String("arch", "ev6", "machine model: ev6, ev6-noclusters, ev6-single, ev6-dual")
-		binary    = flag.Bool("binary-search", false, "binary search over cycle budgets instead of linear")
-		parallel  = flag.Bool("parallel", false, "speculative parallel search over cycle budgets")
-		workers   = flag.Int("workers", 0, "worker bound for -parallel probes and multi-GMA compilation (0 = GOMAXPROCS)")
-		maxCycles = flag.Int("max-cycles", 24, "largest cycle budget to try")
-		maxRounds = flag.Int("matcher-rounds", 0, "matcher round budget (0 = default)")
-		maxNodes  = flag.Int("matcher-nodes", 0, "matcher node budget (0 = default)")
-		verifyN   = flag.Int("verify", 0, "verify each schedule on N random inputs")
-		certify   = flag.Bool("certify", false, "record DRAT proofs and re-check the optimality refutation with the independent checker")
-		proofOut  = flag.String("proof-out", "", "write each certified refutation as <path>_<gma>.drat with a companion .cnf (implies -certify)")
-		probes    = flag.Bool("probes", false, "print per-probe SAT statistics")
-		listing   = flag.Bool("nops", false, "print the nop-padded issue-slot listing")
-		baseline  = flag.Bool("baseline", false, "also compile with the conventional baseline generator")
-		quiet     = flag.Bool("q", false, "print only the summary line per GMA")
-		dotPath   = flag.String("dot", "", "write each GMA's saturated E-graph as <path>_<gma>.dot")
-		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON file of the compile pipeline")
-		metrics   = flag.Bool("metrics", false, "print the per-phase metrics summary table on stderr")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		archName    = flag.String("arch", "ev6", "machine model: ev6, ev6-noclusters, ev6-single, ev6-dual")
+		binary      = flag.Bool("binary-search", false, "binary search over cycle budgets instead of linear")
+		parallel    = flag.Bool("parallel", false, "speculative parallel search over cycle budgets")
+		workers     = flag.Int("workers", 0, "worker bound for -parallel probes and multi-GMA compilation (0 = GOMAXPROCS)")
+		maxCycles   = flag.Int("max-cycles", 24, "largest cycle budget to try")
+		incremental = flag.Bool("incremental", true, "answer budget probes on a persistent assumption-based solver; =false re-solves each budget from scratch")
+		maxRounds   = flag.Int("matcher-rounds", 0, "matcher round budget (0 = default)")
+		maxNodes    = flag.Int("matcher-nodes", 0, "matcher node budget (0 = default)")
+		verifyN     = flag.Int("verify", 0, "verify each schedule on N random inputs")
+		certify     = flag.Bool("certify", false, "record DRAT proofs and re-check the optimality refutation with the independent checker")
+		proofOut    = flag.String("proof-out", "", "write each certified refutation as <path>_<gma>.drat with a companion .cnf (implies -certify)")
+		probes      = flag.Bool("probes", false, "print per-probe SAT statistics")
+		listing     = flag.Bool("nops", false, "print the nop-padded issue-slot listing")
+		baseline    = flag.Bool("baseline", false, "also compile with the conventional baseline generator")
+		quiet       = flag.Bool("q", false, "print only the summary line per GMA")
+		dotPath     = flag.String("dot", "", "write each GMA's saturated E-graph as <path>_<gma>.dot")
+		tracePath   = flag.String("trace", "", "write a Chrome trace_event JSON file of the compile pipeline")
+		metrics     = flag.Bool("metrics", false, "print the per-phase metrics summary table on stderr")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -98,6 +99,7 @@ func main() {
 		MatcherMaxRounds: *maxRounds,
 		MatcherMaxNodes:  *maxNodes,
 		Certify:          *certify || *proofOut != "",
+		Incremental:      incremental,
 		Trace:            tr,
 	}
 	start := time.Now()
@@ -127,9 +129,16 @@ func main() {
 					g.Match.Rounds, g.Match.Instantiations, g.Match.Nodes, g.Match.Classes,
 					g.Match.Quiescent, g.Match.Elapsed.Round(time.Microsecond))
 				for _, p := range g.Probes {
-					fmt.Printf("  K=%-3d %-7s %6d vars %7d clauses %7d conflicts %8d decisions %9d props %10v\n",
+					mark := ""
+					if p.Incremental {
+						mark = "  inc"
+						if p.Reused {
+							mark = "  inc+warm"
+						}
+					}
+					fmt.Printf("  K=%-3d %-7s %6d vars %7d clauses %7d conflicts %8d decisions %9d props %10v%s\n",
 						p.K, p.Result, p.Vars, p.Clauses, p.Conflicts, p.Decisions, p.Propagations,
-						p.Elapsed.Round(time.Microsecond))
+						p.Elapsed.Round(time.Microsecond), mark)
 				}
 			}
 			if *baseline {
@@ -184,15 +193,16 @@ func main() {
 func serveMain(args []string) {
 	fs := flag.NewFlagSet("denali serve", flag.ExitOnError)
 	var (
-		addr       = fs.String("addr", ":8473", "listen address (host:port; port 0 picks a free port)")
-		addrFile   = fs.String("addr-file", "", "write the bound address to this file once listening (for scripts using port 0)")
-		archName   = fs.String("arch", "ev6", "machine model: ev6, ev6-noclusters, ev6-single, ev6-dual, itanium")
-		parallel   = fs.Bool("parallel", false, "default to the speculative parallel budget search")
-		certify    = fs.Bool("certify", false, "default to DRAT-certifying optimality claims (requests may override with \"certify\")")
-		workers    = fs.Int("workers", 0, "worker bound per compilation and ceiling for request overrides (0 = GOMAXPROCS)")
-		maxConc    = fs.Int("max-concurrent", 0, "concurrent /compile requests (0 = workers)")
-		reqTimeout = fs.Duration("timeout", 60*time.Second, "per-request compile timeout")
-		drain      = fs.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
+		addr        = fs.String("addr", ":8473", "listen address (host:port; port 0 picks a free port)")
+		addrFile    = fs.String("addr-file", "", "write the bound address to this file once listening (for scripts using port 0)")
+		archName    = fs.String("arch", "ev6", "machine model: ev6, ev6-noclusters, ev6-single, ev6-dual, itanium")
+		parallel    = fs.Bool("parallel", false, "default to the speculative parallel budget search")
+		certify     = fs.Bool("certify", false, "default to DRAT-certifying optimality claims (requests may override with \"certify\")")
+		incremental = fs.Bool("incremental", true, "default to the persistent incremental budget search (requests may override with \"incremental\")")
+		workers     = fs.Int("workers", 0, "worker bound per compilation and ceiling for request overrides (0 = GOMAXPROCS)")
+		maxConc     = fs.Int("max-concurrent", 0, "concurrent /compile requests (0 = workers)")
+		reqTimeout  = fs.Duration("timeout", 60*time.Second, "per-request compile timeout")
+		drain       = fs.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
 	)
 	fs.Parse(args)
 	if fs.NArg() != 0 {
@@ -207,6 +217,7 @@ func serveMain(args []string) {
 			ParallelSearch: *parallel,
 			Workers:        *workers,
 			Certify:        *certify,
+			Incremental:    incremental,
 		},
 		MaxConcurrent:  *maxConc,
 		RequestTimeout: *reqTimeout,

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/sat"
+	"repro/internal/schedule"
 )
 
 // certifyOptimality turns OptimalProven from a solver claim into a
@@ -20,6 +21,14 @@ import (
 // checker in internal/drat; a check failure is reported as an error
 // because it means the solver's UNSAT answer (and so the optimality
 // claim) cannot be trusted.
+//
+// Incremental probes carry no certificate: a refutation under a budget
+// assumption is relative to the assumption, not a standalone clausal
+// refutation, and the failed-assumption core is not itself a RUP step.
+// When the K−1 refutation came from the persistent engine, this function
+// re-derives it with a from-scratch proof-logging solve (recorded as one
+// more probe) before checking — an incremental UNSAT without a checkable
+// certificate never reports OptimalProven as Certified.
 func (c *Compiled) certifyOptimality(opt Options) error {
 	if !c.OptimalProven {
 		return nil // no optimality claimed, nothing to certify
@@ -39,10 +48,51 @@ func (c *Compiled) certifyOptimality(opt Options) error {
 		}
 	}
 	if cert == nil {
-		sp.End(obs.T("result", "missing"))
-		sk.Add(obs.MCertifyChecks, 1, obs.T("result", "missing"))
-		return fmt.Errorf("core: %s: optimality claimed at %d cycles but no proof of the K=%d refutation was recorded",
-			c.GMA.Name, c.Cycles, c.Cycles-1)
+		// No proof-logging probe refuted K−1 (the incremental engine
+		// answered it): re-derive the refutation from scratch with a
+		// recorder attached.
+		refuted := false
+		for i := range c.Probes {
+			p := &c.Probes[i]
+			if p.K == c.Cycles-1 && p.Result == sat.Unsat {
+				refuted = true
+				break
+			}
+		}
+		if !refuted {
+			sp.End(obs.T("result", "missing"))
+			sk.Add(obs.MCertifyChecks, 1, obs.T("result", "missing"))
+			return fmt.Errorf("core: %s: optimality claimed at %d cycles but no proof of the K=%d refutation was recorded",
+				c.GMA.Name, c.Cycles, c.Cycles-1)
+		}
+		sp.SetTag("rederived", "true")
+		sopt := opt.Schedule
+		sopt.Certify = true
+		p, err := schedule.NewProblem(c.Graph, c.GMA, c.Cycles-1, sopt)
+		if err != nil {
+			sp.End(obs.T("result", "rederive-error"))
+			sk.Add(obs.MCertifyChecks, 1, obs.T("result", "rederive-error"))
+			return fmt.Errorf("core: %s: re-encoding the K=%d refutation for certification: %w",
+				c.GMA.Name, c.Cycles-1, err)
+		}
+		t0 := time.Now()
+		_, stat, err := p.Solve()
+		elapsed := time.Since(t0)
+		c.SolveTime += elapsed
+		c.Probes = append(c.Probes, Probe{Stat: stat, Elapsed: elapsed})
+		if err == nil && stat.Result != sat.Unsat {
+			err = fmt.Errorf("scratch solve answered %v where the incremental engine answered UNSAT", stat.Result)
+		}
+		if err == nil && stat.Cert == nil {
+			err = fmt.Errorf("scratch UNSAT recorded no certificate")
+		}
+		if err != nil {
+			sp.End(obs.T("result", "rederive-failed"))
+			sk.Add(obs.MCertifyChecks, 1, obs.T("result", "rederive-failed"))
+			return fmt.Errorf("core: %s: re-deriving the K=%d refutation for certification: %w",
+				c.GMA.Name, c.Cycles-1, err)
+		}
+		cert = &c.Probes[len(c.Probes)-1]
 	}
 	t0 := time.Now()
 	err := cert.Cert.Check()

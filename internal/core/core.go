@@ -85,6 +85,16 @@ type Options struct {
 	// UpperBoundHint seeds DescendSearch with a known-feasible budget
 	// (e.g. the baseline compiler's cycle count); 0 means MaxCycles.
 	UpperBoundHint int
+	// DisableIncremental reverts the budget search to one from-scratch
+	// Problem (fresh CDCL solver, full re-encode) per probe. By default
+	// probes run on a persistent schedule.Engine that answers "budget ≤ k"
+	// as a solver assumption, so conflict clauses learned refuting one
+	// budget keep pruning every later probe. The switch exists so
+	// incrementality regressions can be bisected in production without a
+	// rebuild (the denali -incremental flag and serve's per-request
+	// "incremental" field end up here). Results are equivalent either way;
+	// only probe cost and the Probe.Incremental/Reused markers change.
+	DisableIncremental bool
 	// Workers bounds the number of concurrently in-flight SAT probes for
 	// ParallelSearch; <= 0 means GOMAXPROCS. Other strategies ignore it.
 	Workers int
@@ -210,7 +220,9 @@ func CompileGMA(gm *gma.GMA, opt Options) (compiled *Compiled, err error) {
 
 	// Each K-probe of the budget search is one span tagged with the
 	// outcome (SAT/UNSAT/UNKNOWN); the encode/solve/decode sub-phases
-	// nest inside it via Schedule.Trace.
+	// nest inside it via Schedule.Trace. The default path answers every
+	// probe on one persistent Engine (assumption-based incremental
+	// solving); DisableIncremental reverts to a throwaway Problem per K.
 	probe := func(k int) (*schedule.Schedule, sat.Result, error) {
 		psp := tr.Startf("probe K=%d", k)
 		tr.Add("probes", 1)
@@ -231,6 +243,28 @@ func CompileGMA(gm *gma.GMA, opt Options) (compiled *Compiled, err error) {
 			return nil, stat.Result, err
 		}
 		return sched, stat.Result, nil
+	}
+	if !opt.DisableIncremental && opt.Search != ParallelSearch {
+		eng, err := schedule.NewEngine(c.Graph, gm, initialWindow(opt), opt.MaxCycles, opt.Schedule)
+		if err != nil {
+			return c, err
+		}
+		probe = func(k int) (*schedule.Schedule, sat.Result, error) {
+			psp := tr.Startf("probe K=%d", k)
+			tr.Add("probes", 1)
+			t0 := time.Now()
+			sched, stat, err := eng.SolveBudget(k)
+			elapsed := time.Since(t0)
+			psp.End(obs.T("result", stat.Result.String()),
+				obs.Tint("vars", int64(stat.Vars)), obs.Tint("clauses", int64(stat.Clauses)),
+				obs.Tint("conflicts", stat.Solver.Conflicts))
+			c.SolveTime += elapsed
+			c.Probes = append(c.Probes, Probe{Stat: stat, Elapsed: elapsed})
+			if err != nil {
+				return nil, stat.Result, err
+			}
+			return sched, stat.Result, nil
+		}
 	}
 
 	switch opt.Search {
@@ -302,6 +336,28 @@ func (c *Compiled) descendSearch(probe probeFunc, maxCycles, hint int) error {
 }
 
 type probeFunc func(k int) (*schedule.Schedule, sat.Result, error)
+
+// initialWindow sizes the incremental engine's first encoded window to the
+// budgets its strategy probes early: descend starts at its upper bound, so
+// anything smaller would re-encode immediately; linear walks up from 0 and
+// binary doubles from 1, so a small window covers the common case and the
+// engine grows geometrically past it.
+func initialWindow(opt Options) int {
+	w := 7
+	switch opt.Search {
+	case DescendSearch:
+		w = opt.MaxCycles
+		if opt.UpperBoundHint > 0 && opt.UpperBoundHint <= opt.MaxCycles {
+			w = opt.UpperBoundHint
+		}
+	case BinarySearch:
+		w = 8
+	}
+	if w > opt.MaxCycles {
+		w = opt.MaxCycles
+	}
+	return w
+}
 
 func (c *Compiled) linearSearch(probe probeFunc, maxCycles int) error {
 	allRefuted := true
@@ -436,11 +492,28 @@ func exitLabel(g *gma.GMA) string {
 // problem sizes ("1639 variables and 4613 clauses for the 4-cycle
 // refutation ... 9203 variables and 26415 clauses for the 8-cycle
 // solution").
+// Incremental probes are marked "inc" ("inc+warm" once the persistent
+// solver carries learned clauses from an earlier probe), and a trailing
+// line summarizes how much of the search reused a warm solver.
 func (c *Compiled) ProbeSummary() string {
 	var b strings.Builder
+	inc, warm := 0, 0
 	for _, p := range c.Probes {
-		fmt.Fprintf(&b, "K=%-3d %-7s %6d vars %7d clauses %7d conflicts %10s\n",
-			p.K, p.Result, p.Vars, p.Clauses, p.Solver.Conflicts, p.Elapsed.Round(time.Microsecond))
+		mark := ""
+		if p.Incremental {
+			inc++
+			mark = "  inc"
+			if p.Reused {
+				warm++
+				mark = "  inc+warm"
+			}
+		}
+		fmt.Fprintf(&b, "K=%-3d %-7s %6d vars %7d clauses %7d conflicts %10s%s\n",
+			p.K, p.Result, p.Vars, p.Clauses, p.Solver.Conflicts, p.Elapsed.Round(time.Microsecond), mark)
+	}
+	if inc > 0 {
+		fmt.Fprintf(&b, "incremental: %d/%d probes on a persistent engine, %d on a warm solver\n",
+			inc, len(c.Probes), warm)
 	}
 	return b.String()
 }

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch/alpha"
+	"repro/internal/lang"
+	"repro/internal/sim"
+)
+
+// TestIncrementalEquivalence cross-checks the persistent probe engine
+// against from-scratch probes over the whole example corpus: for every
+// GMA, under both the greedy (linear, certifying) and parallel searches,
+// compiling with the incremental engine and with DisableIncremental set
+// must agree on the optimal cycle count, the proven-optimality verdict,
+// and the certification verdict, and both schedules must pass the
+// simulator. This is the end-to-end guarantee behind making the engine
+// the default: incrementality is a pure speedup, never a different
+// answer.
+func TestIncrementalEquivalence(t *testing.T) {
+	strategies := []struct {
+		name      string
+		configure func(*Options)
+	}{
+		{"greedy", func(o *Options) {
+			o.Search = LinearSearch
+			o.Schedule.Certify = true
+		}},
+		{"parallel", func(o *Options) {
+			o.Search = ParallelSearch
+			o.Workers = 4
+		}},
+	}
+	desc := alpha.EV6()
+	for _, p := range goldenCorpus {
+		prog, err := lang.Parse(p.src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", p.name, err)
+		}
+		for _, proc := range prog.Procs {
+			for _, g := range proc.GMAs {
+				for _, st := range strategies {
+					compile := func(disable bool) *Compiled {
+						o := opts(t)
+						o.Axioms = append(o.Axioms, prog.Axioms...)
+						st.configure(&o)
+						o.DisableIncremental = disable
+						c, err := CompileGMA(g, o)
+						if err != nil {
+							t.Fatalf("%s/%s/%s (disable=%v): %v", p.name, g.Name, st.name, disable, err)
+						}
+						return c
+					}
+					inc := compile(false)
+					scr := compile(true)
+					if inc.Cycles != scr.Cycles || inc.OptimalProven != scr.OptimalProven {
+						t.Errorf("%s/%s/%s: incremental (%d cycles, optimal=%v) vs scratch (%d cycles, optimal=%v)",
+							p.name, g.Name, st.name, inc.Cycles, inc.OptimalProven, scr.Cycles, scr.OptimalProven)
+					}
+					if inc.Certified != scr.Certified {
+						t.Errorf("%s/%s/%s: incremental certified=%v vs scratch certified=%v",
+							p.name, g.Name, st.name, inc.Certified, scr.Certified)
+					}
+					// The toggle must actually toggle: the incremental run
+					// answers probes on the engine, the scratch run never does.
+					// (The certifying greedy run may add one scratch re-solve
+					// of the final refutation on top of its engine probes.)
+					onEngine := 0
+					for _, pr := range inc.Probes {
+						if pr.Incremental {
+							onEngine++
+						}
+					}
+					if onEngine == 0 {
+						t.Errorf("%s/%s/%s: no probe used the persistent engine despite incremental search",
+							p.name, g.Name, st.name)
+					}
+					for _, pr := range scr.Probes {
+						if pr.Incremental {
+							t.Errorf("%s/%s/%s: scratch run produced an incremental probe at K=%d",
+								p.name, g.Name, st.name, pr.K)
+						}
+					}
+					for which, c := range map[string]*Compiled{"incremental": inc, "scratch": scr} {
+						rng := rand.New(rand.NewSource(7))
+						if err := sim.Verify(g, c.Schedule, desc, rng, 25); err != nil {
+							t.Errorf("%s/%s/%s: %s schedule fails simulation:\n%v",
+								p.name, g.Name, st.name, which, err)
+						}
+					}
+				}
+			}
+		}
+	}
+}

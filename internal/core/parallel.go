@@ -58,12 +58,23 @@ func (c *Compiled) parallelSearch(gm *gma.GMA, opt Options) error {
 	}
 	results := make(chan outcome)
 
-	var mu sync.Mutex // guards running
-	running := map[int]*schedule.Problem{}
+	var mu sync.Mutex // guards running and enginePool
+	type interrupter interface{ Interrupt() }
+	running := map[int]interrupter{}
+	// In incremental mode, finished probes park their persistent engines
+	// here for the next launch: each engine carries one e-graph clone and
+	// one warm solver, so a pool of ~workers engines serves the whole
+	// search with learned clauses accumulating across budgets.
+	var enginePool []*schedule.Engine
+	incremental := !opt.DisableIncremental
+	window := 7
+	if window > maxCycles {
+		window = maxCycles
+	}
 
-	// launch starts one speculative probe. The Problem is registered
-	// under its budget before solving so a completed answer elsewhere can
-	// interrupt it mid-search.
+	// launch starts one speculative probe. The probe's interrupter is
+	// registered under its budget before solving so a completed answer
+	// elsewhere can interrupt it mid-search.
 	launch := func(k int) {
 		tr.Add("parallel.launched", 1)
 		sk.Add(obs.MProbesLaunched, 1)
@@ -73,28 +84,70 @@ func (c *Compiled) parallelSearch(gm *gma.GMA, opt Options) error {
 				sp = tr.StartDetached(fmt.Sprintf("probe K=%d", k), obs.Tint("K", int64(k)))
 			}
 			t0 := time.Now()
-			// Each probe gets its own e-graph clone: a Graph is never safe
-			// for concurrent use (Find path-halves), and problem setup even
-			// adds input/constant terms. A single worker means probes never
-			// overlap, so the clone (which copies the hash-cons maps) is
-			// skipped.
-			g := c.Graph
-			if workers > 1 {
-				g = c.Graph.Clone()
+			var (
+				sched *schedule.Schedule
+				stat  schedule.Stat
+				err   error
+			)
+			if incremental {
+				mu.Lock()
+				var eng *schedule.Engine
+				if n := len(enginePool); n > 0 {
+					eng = enginePool[n-1]
+					enginePool = enginePool[:n-1]
+				}
+				mu.Unlock()
+				if eng == nil {
+					// Each engine gets its own e-graph clone: a Graph is
+					// never safe for concurrent use (Find path-halves), and
+					// problem setup even adds input/constant terms. A single
+					// worker means probes never overlap, so the clone (which
+					// copies the hash-cons maps) is skipped.
+					g := c.Graph
+					if workers > 1 {
+						g = c.Graph.Clone()
+					}
+					eng, err = schedule.NewEngine(g, gm, window, maxCycles, sopt)
+					if err != nil {
+						sp.End(obs.T("result", "error"))
+						results <- outcome{k: k, err: err, elapsed: time.Since(t0)}
+						return
+					}
+				}
+				// Re-arm and register under one critical section: a stale
+				// stop flag from a cancellation aimed at the engine's
+				// previous budget must not kill this probe, and cancelMoot
+				// iterates running under the same mutex, so an interrupt can
+				// never slip between the clear and the registration.
+				mu.Lock()
+				eng.ClearInterrupt()
+				running[k] = eng
+				mu.Unlock()
+				sched, stat, err = eng.SolveBudget(k)
+				mu.Lock()
+				delete(running, k)
+				enginePool = append(enginePool, eng)
+				mu.Unlock()
+			} else {
+				g := c.Graph
+				if workers > 1 {
+					g = c.Graph.Clone()
+				}
+				var p *schedule.Problem
+				p, err = schedule.NewProblem(g, gm, k, sopt)
+				if err != nil {
+					sp.End(obs.T("result", "error"))
+					results <- outcome{k: k, err: err, elapsed: time.Since(t0)}
+					return
+				}
+				mu.Lock()
+				running[k] = p
+				mu.Unlock()
+				sched, stat, err = p.Solve()
+				mu.Lock()
+				delete(running, k)
+				mu.Unlock()
 			}
-			p, err := schedule.NewProblem(g, gm, k, sopt)
-			if err != nil {
-				sp.End(obs.T("result", "error"))
-				results <- outcome{k: k, err: err, elapsed: time.Since(t0)}
-				return
-			}
-			mu.Lock()
-			running[k] = p
-			mu.Unlock()
-			sched, stat, err := p.Solve()
-			mu.Lock()
-			delete(running, k)
-			mu.Unlock()
 			sp.End(obs.T("result", stat.Result.String()),
 				obs.T("cancelled", boolStr(stat.Solver.Cancelled)),
 				obs.Tint("vars", int64(stat.Vars)), obs.Tint("clauses", int64(stat.Clauses)),

@@ -114,6 +114,14 @@ const (
 	MProbesLaunched  = "denali_parallel_probes_launched_total"
 	MProbesCancelled = "denali_parallel_probes_cancelled_total"
 	MProbeWaste      = "denali_probe_waste_total"
+	// MProbeIncremental counts probes answered by a persistent incremental
+	// engine under a budget assumption (by result); MProbeIncrementalReused
+	// counts the subset whose solver had already answered an earlier probe,
+	// so learned clauses carried over; MProbeIncrementalRebuilds counts
+	// window re-encodes (a probe outgrew the engine's encoded window).
+	MProbeIncremental         = "denali_probe_incremental_total"
+	MProbeIncrementalReused   = "denali_probe_incremental_reused_total"
+	MProbeIncrementalRebuilds = "denali_probe_incremental_rebuilds_total"
 	// MCertifySeconds is the latency of re-checking one DRAT refutation,
 	// and MCertifyChecks counts checks by result (ok/failed).
 	MCertifySeconds = "denali_certify_seconds"
@@ -152,6 +160,9 @@ func NewCompilerRegistry() *Registry {
 	r.DeclareCounter(MProbesLaunched, "Speculative probes launched by the parallel budget search.")
 	r.DeclareCounter(MProbesCancelled, "Speculative probes interrupted as moot.")
 	r.DeclareCounter(MProbeWaste, "Probes whose completed answer was discarded, by strategy.")
+	r.DeclareCounter(MProbeIncremental, "Probes answered incrementally under a budget assumption, by result.")
+	r.DeclareCounter(MProbeIncrementalReused, "Incremental probes that reused a warm solver (learned clauses carried over).")
+	r.DeclareCounter(MProbeIncrementalRebuilds, "Incremental engine window re-encodes.")
 	r.DeclareHistogram(MCertifySeconds, "Latency of re-checking one DRAT refutation.", DefSecondsBuckets)
 	r.DeclareHistogram(MCertifySteps, "DRAT proof length (addition steps) per check.", DefCountBuckets)
 	r.DeclareCounter(MCertifyChecks, "DRAT refutation checks by result.")

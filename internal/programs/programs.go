@@ -134,6 +134,19 @@ const Rowop = `
     (:= ((\deref (+ p 8)) (+ (\deref (+ p 8)) (* c (\deref (+ q 8))))))))
 `
 
+// Rowop4 widens Rowop to four adjacent 64-bit elements — a full cache
+// line per step, the shape a blocked DAXPY inner loop presents. At ~48
+// cycles it is the longest schedule in the example corpus; compile it
+// with MaxCycles ≥ 64.
+const Rowop4 = `
+(\procdecl rowop4 ((p long) (q long) (c long)) long
+  (\semi
+    (:= ((\deref p) (+ (\deref p) (* c (\deref q)))))
+    (:= ((\deref (+ p 8)) (+ (\deref (+ p 8)) (* c (\deref (+ q 8))))))
+    (:= ((\deref (+ p 16)) (+ (\deref (+ p 16)) (* c (\deref (+ q 16))))))
+    (:= ((\deref (+ p 24)) (+ (\deref (+ p 24)) (* c (\deref (+ q 24))))))))
+`
+
 // SumLoop is an unrolled reduction used by the unrolling tests: the
 // \unroll annotation makes Denali replicate the loop body.
 const SumLoop = `

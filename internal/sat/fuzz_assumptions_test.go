@@ -1,0 +1,177 @@
+package sat
+
+import (
+	"testing"
+)
+
+// FuzzSolveAssumptions differentially tests solve-under-assumptions
+// against truth-table enumeration. The input encodes an assumption set
+// followed by a CNF formula: byte 0 is the assumption count, the next n
+// bytes are assumption literals (variable in the high bits, sign in bit
+// 0), and the rest is the FuzzSolver clause encoding (one byte per
+// literal, high bit terminating a clause).
+//
+// Checked per input: the SAT/UNSAT verdict under assumptions matches
+// enumeration of formula ∧ assumptions; SAT models satisfy every clause
+// and every assumption; failed-assumption cores are subsets of the
+// assumptions and are themselves refutable when hardened as units; and a
+// follow-up assumption-free Solve on the same solver still matches the
+// formula's own status (the incremental trail restoration contract).
+func FuzzSolveAssumptions(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0x00})                               // assume x0, empty formula
+	f.Add([]byte{1, 0x01, 0x00, 0x80})                   // assume ¬x0, formula (x0)
+	f.Add([]byte{2, 0x00, 0x03, 0x00, 0x02, 0x80})       // assume x0 ¬x1, formula (x0 x1)
+	f.Add([]byte{2, 0x00, 0x01})                         // contradictory assumptions x0 ¬x0
+	f.Add([]byte{1, 0x04, 0x00, 0x02, 0x80, 0x01, 0x80}) // assume x2, formula (x0 x1)(¬x0)
+	f.Add([]byte{3, 0x02, 0x05, 0x06, 0x00, 0x03, 0x80, 0x01, 0x05, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxVars = 6
+		var assumps []Lit
+		if len(data) > 0 {
+			n := int(data[0]) % 4
+			data = data[1:]
+			for i := 0; i < n && len(data) > 0; i++ {
+				b := data[0]
+				data = data[1:]
+				v := int(b>>1) % maxVars
+				if b&1 == 1 {
+					assumps = append(assumps, Neg(v))
+				} else {
+					assumps = append(assumps, Pos(v))
+				}
+			}
+		}
+		var clauses [][]Lit
+		var cl []Lit
+		for _, b := range data {
+			if len(clauses) >= 16 {
+				break
+			}
+			if b&0x80 != 0 || len(cl) >= 3 {
+				if len(cl) > 0 {
+					clauses = append(clauses, cl)
+					cl = nil
+				}
+				continue
+			}
+			v := int(b>>1) % maxVars
+			if b&1 == 1 {
+				cl = append(cl, Neg(v))
+			} else {
+				cl = append(cl, Pos(v))
+			}
+		}
+		if len(cl) > 0 {
+			clauses = append(clauses, cl)
+		}
+
+		// naiveSat(extra) enumerates formula ∧ extra.
+		naiveSat := func(extra []Lit) bool {
+			all := make([][]Lit, 0, len(clauses)+len(extra))
+			all = append(all, clauses...)
+			for _, l := range extra {
+				all = append(all, []Lit{l})
+			}
+			for m := 0; m < 1<<maxVars; m++ {
+				ok := true
+				for _, c := range all {
+					csat := false
+					for _, l := range c {
+						if (m>>l.Var()&1 == 1) != l.IsNeg() {
+							csat = true
+							break
+						}
+					}
+					if !csat {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					return true
+				}
+			}
+			return false
+		}
+
+		s := New()
+		for i := 0; i < maxVars; i++ {
+			s.NewVar()
+		}
+		loaded := true
+		for _, c := range clauses {
+			if !s.AddClause(c...) {
+				loaded = false
+				break
+			}
+		}
+		res := Unsat
+		if loaded {
+			res = s.Solve(assumps...)
+		}
+
+		wantSat := naiveSat(assumps)
+		switch res {
+		case Sat:
+			if !wantSat {
+				t.Fatalf("Sat under assumptions %v but enumeration refutes: %v", assumps, clauses)
+			}
+			for _, c := range clauses {
+				csat := false
+				for _, l := range c {
+					if s.Value(l.Var()) != l.IsNeg() {
+						csat = true
+						break
+					}
+				}
+				if !csat {
+					t.Fatalf("model violates clause %v", c)
+				}
+			}
+			for _, a := range assumps {
+				if s.Value(a.Var()) == a.IsNeg() {
+					t.Fatalf("model violates assumption %v", a)
+				}
+			}
+		case Unsat:
+			if wantSat {
+				t.Fatalf("Unsat under assumptions %v but enumeration satisfies: %v", assumps, clauses)
+			}
+			if loaded {
+				core := s.Core()
+				if core == nil {
+					// Global refutation claimed: the formula alone must be
+					// unsatisfiable.
+					if naiveSat(nil) {
+						t.Fatalf("nil core but formula alone is satisfiable: %v", clauses)
+					}
+				} else {
+					seen := map[Lit]bool{}
+					for _, a := range assumps {
+						seen[a] = true
+					}
+					for _, l := range core {
+						if !seen[l] {
+							t.Fatalf("core literal %v not among assumptions %v", l, assumps)
+						}
+					}
+					if naiveSat(core) {
+						t.Fatalf("core %v is not refutable with the formula %v", core, clauses)
+					}
+				}
+			}
+		default:
+			t.Fatalf("unbounded solve returned %v", res)
+		}
+
+		if loaded {
+			// The assumptions must not have leaked into the database.
+			res2 := s.Solve()
+			want2 := naiveSat(nil)
+			if (res2 == Sat) != want2 {
+				t.Fatalf("follow-up assumption-free Solve = %v, enumeration says sat=%v", res2, want2)
+			}
+		}
+	})
+}

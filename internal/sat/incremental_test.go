@@ -1,0 +1,337 @@
+package sat_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sat"
+)
+
+// litOf converts a DIMACS-style signed integer literal (1-based) to a Lit.
+func litOf(l int) sat.Lit {
+	if l < 0 {
+		return sat.Neg(-l - 1)
+	}
+	return sat.Pos(l - 1)
+}
+
+// addAll allocates vars variables and adds every clause; it reports false
+// when the database became unsatisfiable at the top level.
+func addAll(s *sat.Solver, vars int, clauses [][]int) bool {
+	for i := 0; i < vars; i++ {
+		s.NewVar()
+	}
+	for _, c := range clauses {
+		lits := make([]sat.Lit, len(c))
+		for i, l := range c {
+			lits[i] = litOf(l)
+		}
+		if !s.AddClause(lits...) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSolveUnderAssumptions exercises the basic incremental contract on a
+// tiny XOR-ish instance: assumptions steer the model, a contradictory
+// assumption set fails with a core, and the database itself stays
+// satisfiable across calls.
+func TestSolveUnderAssumptions(t *testing.T) {
+	s := sat.New()
+	x, y := s.NewVar(), s.NewVar()
+	s.AddClause(sat.Pos(x), sat.Pos(y))
+	s.AddClause(sat.Neg(x), sat.Neg(y))
+
+	if res := s.Solve(); res != sat.Sat {
+		t.Fatalf("unassumed Solve = %v, want SAT", res)
+	}
+	if res := s.Solve(sat.Pos(x)); res != sat.Sat {
+		t.Fatalf("Solve(x) = %v, want SAT", res)
+	}
+	if !s.Value(x) || s.Value(y) {
+		t.Fatalf("Solve(x) model: x=%v y=%v, want x=true y=false", s.Value(x), s.Value(y))
+	}
+	if res := s.Solve(sat.Pos(y)); res != sat.Sat {
+		t.Fatalf("Solve(y) = %v, want SAT", res)
+	}
+	if s.Value(x) || !s.Value(y) {
+		t.Fatalf("Solve(y) model: x=%v y=%v, want x=false y=true", s.Value(x), s.Value(y))
+	}
+
+	if res := s.Solve(sat.Pos(x), sat.Pos(y)); res != sat.Unsat {
+		t.Fatalf("Solve(x, y) = %v, want UNSAT", res)
+	}
+	core := s.Core()
+	if len(core) == 0 {
+		t.Fatal("failed assumption solve returned no core")
+	}
+	for _, l := range core {
+		if l != sat.Pos(x) && l != sat.Pos(y) {
+			t.Fatalf("core literal %v is not one of the assumptions", l)
+		}
+	}
+
+	// The refutation was relative to the assumptions only: the clause
+	// database must still be satisfiable, and assumptions must not leak
+	// into later calls.
+	if res := s.Solve(); res != sat.Sat {
+		t.Fatalf("Solve after assumption failure = %v, want SAT (database must be untouched)", res)
+	}
+	if s.Core() != nil {
+		t.Fatal("Core must be cleared by a successful Solve")
+	}
+}
+
+// TestGlobalUnsatDuringAssumptions: when the database itself is refuted in
+// the middle of an assumption solve, the answer is a global UNSAT — Core
+// is nil and every later call answers UNSAT immediately.
+func TestGlobalUnsatDuringAssumptions(t *testing.T) {
+	s := sat.New()
+	x, y := s.NewVar(), s.NewVar()
+	s.AddClause(sat.Pos(x), sat.Pos(y))
+	s.AddClause(sat.Pos(x), sat.Neg(y))
+	s.AddClause(sat.Neg(x), sat.Pos(y))
+	s.AddClause(sat.Neg(x), sat.Neg(y))
+	if res := s.Solve(sat.Pos(x)); res != sat.Unsat {
+		t.Fatalf("Solve(x) = %v, want UNSAT", res)
+	}
+	if s.Core() != nil {
+		t.Fatalf("global refutation must have a nil core, got %v", s.Core())
+	}
+	if res := s.Solve(); res != sat.Unsat {
+		t.Fatalf("Solve after global refutation = %v, want UNSAT", res)
+	}
+}
+
+// TestAddClauseBetweenSolves is the incremental strengthening loop: each
+// round adds a clause cutting off the previous model, on one solver.
+func TestAddClauseBetweenSolves(t *testing.T) {
+	s := sat.New()
+	const n = 4
+	for i := 0; i < n; i++ {
+		s.NewVar()
+	}
+	var forbidden [][]sat.Lit
+	models := 0
+	for {
+		res := s.Solve()
+		if res == sat.Unsat {
+			break
+		}
+		if res != sat.Sat {
+			t.Fatalf("Solve = %v", res)
+		}
+		// Forbid the current model and count it.
+		models++
+		cut := make([]sat.Lit, n)
+		for v := 0; v < n; v++ {
+			if s.Value(v) {
+				cut[v] = sat.Neg(v)
+			} else {
+				cut[v] = sat.Pos(v)
+			}
+		}
+		forbidden = append(forbidden, cut)
+		s.AddClause(cut...)
+		if models > 1<<n {
+			t.Fatal("enumerated more models than assignments exist")
+		}
+	}
+	if models != 1<<n {
+		t.Fatalf("model enumeration found %d models over %d variables, want %d", models, n, 1<<n)
+	}
+	_ = forbidden
+}
+
+// TestAssumptionCoreRefutable: harden the reported core as unit clauses in
+// a fresh solver; the result must be UNSAT — a core is a proof obligation,
+// not a hint.
+func TestAssumptionCoreRefutable(t *testing.T) {
+	for _, inst := range loadCorpus(t) {
+		inst := inst
+		t.Run(inst.name, func(t *testing.T) {
+			s := sat.New()
+			if !addAll(s, inst.vars, inst.clauses) {
+				t.Skip("top-level unsat while loading")
+			}
+			rng := rand.New(rand.NewSource(int64(len(inst.name)) * 104729))
+			for round := 0; round < 8; round++ {
+				assumps := randomAssumptions(rng, inst.vars)
+				if s.Solve(assumps...) != sat.Unsat {
+					continue
+				}
+				core := s.Core()
+				if core == nil {
+					// Global refutation: the formula alone must be UNSAT.
+					if inst.sat {
+						t.Fatalf("round %d: nil core but instance is satisfiable", round)
+					}
+					continue
+				}
+				for _, l := range core {
+					if !containsLit(assumps, l) {
+						t.Fatalf("round %d: core literal %v not among assumptions %v", round, l, assumps)
+					}
+				}
+				fresh := sat.New()
+				ok := addAll(fresh, inst.vars, inst.clauses)
+				for _, l := range core {
+					if !ok {
+						break
+					}
+					ok = fresh.AddClause(l)
+				}
+				if ok && fresh.Solve() != sat.Unsat {
+					t.Fatalf("round %d: hardened core %v is not refutable", round, core)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusAssumptionsVsHardened is the satellite cross-check on the CNF
+// corpus: solving under assumptions on one persistent solver must agree,
+// instance by instance and assumption set by assumption set, with a fresh
+// solver that hardens the same assumptions as unit clauses.
+func TestCorpusAssumptionsVsHardened(t *testing.T) {
+	for _, inst := range loadCorpus(t) {
+		inst := inst
+		t.Run(inst.name, func(t *testing.T) {
+			inc := sat.New()
+			loaded := addAll(inc, inst.vars, inst.clauses)
+			rng := rand.New(rand.NewSource(int64(len(inst.name)) * 6151))
+			for round := 0; round < 12; round++ {
+				assumps := randomAssumptions(rng, inst.vars)
+				var got sat.Result
+				if loaded {
+					got = inc.Solve(assumps...)
+				} else {
+					got = sat.Unsat
+				}
+
+				hard := sat.New()
+				ok := addAll(hard, inst.vars, inst.clauses)
+				for _, l := range assumps {
+					if !ok {
+						break
+					}
+					ok = hard.AddClause(l)
+				}
+				want := sat.Unsat
+				if ok {
+					want = hard.Solve()
+				}
+				if got != want {
+					t.Fatalf("round %d: assumptions %v: incremental=%v hardened=%v", round, assumps, got, want)
+				}
+				if got == sat.Sat {
+					// The incremental model must satisfy formula and
+					// assumptions alike.
+					for _, c := range inst.clauses {
+						good := false
+						for _, l := range c {
+							lit := litOf(l)
+							if inc.Value(lit.Var()) != lit.IsNeg() {
+								good = true
+								break
+							}
+						}
+						if !good {
+							t.Fatalf("round %d: model violates clause %v", round, c)
+						}
+					}
+					for _, a := range assumps {
+						if inc.Value(a.Var()) == a.IsNeg() {
+							t.Fatalf("round %d: model violates assumption %v", round, a)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStatsDeltasSumToTotals is the regression test for the per-call
+// stats contract: summing LastStats deltas over a sequence of Solve calls
+// reproduces exactly the growth of the lifetime Stats totals.
+func TestStatsDeltasSumToTotals(t *testing.T) {
+	for _, inst := range loadCorpus(t) {
+		inst := inst
+		t.Run(inst.name, func(t *testing.T) {
+			s := sat.New()
+			if !addAll(s, inst.vars, inst.clauses) {
+				t.Skip("top-level unsat while loading")
+			}
+			base := s.Stats()
+			var sum sat.Stats
+			rng := rand.New(rand.NewSource(int64(len(inst.name)) * 31337))
+			calls := 0
+			for round := 0; round < 10; round++ {
+				assumps := randomAssumptions(rng, inst.vars)
+				res := s.Solve(assumps...)
+				calls++
+				d := s.LastStats()
+				sum.Conflicts += d.Conflicts
+				sum.Decisions += d.Decisions
+				sum.Propagations += d.Propagations
+				sum.Restarts += d.Restarts
+				sum.Reduced += d.Reduced
+				sum.Learned += d.Learned
+				if d.Vars != inst.vars {
+					t.Fatalf("LastStats.Vars = %d, want current total %d", d.Vars, inst.vars)
+				}
+				if res == sat.Unsat && s.Core() == nil {
+					break // globally refuted; later calls do no work
+				}
+			}
+			tot := s.Stats()
+			if got, want := sum.Conflicts, tot.Conflicts-base.Conflicts; got != want {
+				t.Errorf("sum of per-call Conflicts = %d, totals grew by %d over %d calls", got, want, calls)
+			}
+			if got, want := sum.Decisions, tot.Decisions-base.Decisions; got != want {
+				t.Errorf("sum of per-call Decisions = %d, totals grew by %d", got, want)
+			}
+			if got, want := sum.Propagations, tot.Propagations-base.Propagations; got != want {
+				t.Errorf("sum of per-call Propagations = %d, totals grew by %d", got, want)
+			}
+			if got, want := sum.Restarts, tot.Restarts-base.Restarts; got != want {
+				t.Errorf("sum of per-call Restarts = %d, totals grew by %d", got, want)
+			}
+			if got, want := sum.Reduced, tot.Reduced-base.Reduced; got != want {
+				t.Errorf("sum of per-call Reduced = %d, totals grew by %d", got, want)
+			}
+			if got, want := sum.Learned, tot.Learned-base.Learned; got != want {
+				t.Errorf("sum of per-call Learned = %d, totals grew by %d", got, want)
+			}
+		})
+	}
+}
+
+// randomAssumptions draws 0..4 assumption literals over distinct
+// variables with random polarity.
+func randomAssumptions(rng *rand.Rand, vars int) []sat.Lit {
+	n := rng.Intn(5)
+	if n > vars {
+		n = vars
+	}
+	perm := rng.Perm(vars)
+	out := make([]sat.Lit, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			out = append(out, sat.Pos(perm[i]))
+		} else {
+			out = append(out, sat.Neg(perm[i]))
+		}
+	}
+	return out
+}
+
+func containsLit(ls []sat.Lit, want sat.Lit) bool {
+	for _, l := range ls {
+		if l == want {
+			return true
+		}
+	}
+	return false
+}

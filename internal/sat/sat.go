@@ -85,7 +85,9 @@ func (r Result) String() string {
 	}
 }
 
-// Stats counts solver work.
+// Stats counts solver work. Stats() returns lifetime totals accumulated
+// across every Solve call on the solver; LastStats() returns the same
+// shape holding the just-finished call's deltas instead.
 type Stats struct {
 	Vars         int
 	Clauses      int
@@ -119,12 +121,25 @@ type Solver struct {
 	heap     []int32 // binary max-heap of variables by activity
 	heapPos  []int32 // var -> heap index, -1 if absent
 	phase    []bool
+	defPhase []bool // per-var reset polarity: SetPhase overrides, ResetPhases restores
 
 	unsat bool
 
-	stats Stats
+	// model is the assignment snapshot of the last Sat answer. Solve
+	// backtracks to level 0 before returning (so clauses can be added and
+	// further Solve calls made on the same solver); Model and Value read
+	// this snapshot, not the live trail.
+	model []int8
+	// core is the failed-assumption subset of the last Solve call that
+	// returned Unsat under assumptions; nil for global refutations.
+	core []Lit
 
-	// MaxConflicts bounds the search; <= 0 means unbounded.
+	stats Stats
+	// last holds the just-finished Solve call's per-call statistics.
+	last Stats
+
+	// MaxConflicts bounds each Solve call's search independently (a
+	// per-call budget, not a lifetime total); <= 0 means unbounded.
 	MaxConflicts int64
 
 	// Sink, when non-nil, receives the process-level solver metrics
@@ -156,6 +171,7 @@ func (s *Solver) NewVar() int {
 	s.reason = append(s.reason, nil)
 	s.activity = append(s.activity, 0)
 	s.phase = append(s.phase, false)
+	s.defPhase = append(s.defPhase, false)
 	s.heapPos = append(s.heapPos, -1)
 	s.watches = append(s.watches, nil, nil)
 	s.heapInsert(int32(v))
@@ -165,6 +181,18 @@ func (s *Solver) NewVar() int {
 
 // NumVars returns the number of allocated variables.
 func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// SetPhase overrides variable v's saved phase: the polarity the solver
+// tries first when branching on v. Incremental encodings use it to seed
+// structurally-known-good polarities (e.g. "enabled" for selector-style
+// variables whose positive assignment is never harmful) that the default
+// negative phase would search away from. The override is sticky: it also
+// becomes the polarity ResetPhases restores, so a seeded phase survives
+// the heuristic resets a persistent engine issues between probes.
+func (s *Solver) SetPhase(v int, phase bool) {
+	s.phase[v] = phase
+	s.defPhase[v] = phase
+}
 
 // NumClauses returns the number of problem (non-learned) clauses retained
 // after top-level simplification.
@@ -182,7 +210,10 @@ func (s *Solver) value(l Lit) int8 {
 }
 
 // AddClause adds a clause (a disjunction of literals). It returns false if
-// the formula is already unsatisfiable at the top level.
+// the formula is already unsatisfiable at the top level. Clauses may be
+// added before the first Solve and between Solve calls (the solver is
+// back at decision level 0 whenever Solve returns); learned clauses and
+// variable activity carry over.
 func (s *Solver) AddClause(lits ...Lit) bool {
 	if s.unsat {
 		return false
@@ -409,28 +440,58 @@ func (s *Solver) Interrupt() { s.stop.Store(true) }
 // Interrupted reports whether Interrupt has been called.
 func (s *Solver) Interrupted() bool { return s.stop.Load() }
 
-// Solve runs the CDCL search. When a Sink is attached the probe's result
-// and the search-work deltas accrued during this call are published into
-// the process registry on return (Solve may be called repeatedly under
-// assumptions-free incremental use, so deltas — not totals — are what
-// aggregate correctly).
-func (s *Solver) Solve() Result {
-	if s.Sink == nil {
-		return s.solve()
-	}
+// ClearInterrupt resets the cancellation flag so the solver can be
+// reused after an Interrupt. Persistent engines call it between probes:
+// a stale flag from a cancelled probe would otherwise abort the next
+// Solve immediately.
+func (s *Solver) ClearInterrupt() { s.stop.Store(false) }
+
+// Solve runs the CDCL search, optionally under assumption literals that
+// hold for this call only. With no assumptions the answer is global: Unsat
+// means the clause database itself is unsatisfiable. With assumptions,
+// Unsat means the database conjoined with the assumptions is
+// unsatisfiable — the database may still be satisfiable — and Core then
+// reports a failed subset of the assumptions. On Sat the model is
+// snapshotted (see Model/Value) and the solver backtracks to level 0, so
+// the caller may add clauses and Solve again; learned clauses, variable
+// activity and saved phases all carry over between calls. This is the
+// incremental contract the cycle-budget search is built on.
+//
+// MaxConflicts bounds each call independently. Stats returns lifetime
+// totals across calls; LastStats returns the just-finished call's
+// per-call deltas, and a Sink (if attached) is likewise published
+// per-call deltas — deltas, not totals, are what aggregate correctly
+// when Solve is called repeatedly on one solver.
+func (s *Solver) Solve(assumps ...Lit) Result {
 	before := s.stats
-	res := s.solve()
+	res := s.solve(assumps)
 	after := s.stats
-	s.Sink.Add(obs.MProbes, 1, obs.T("result", res.String()))
-	s.Sink.Add(obs.MSolverConflicts, float64(after.Conflicts-before.Conflicts))
-	s.Sink.Add(obs.MSolverDecisions, float64(after.Decisions-before.Decisions))
-	s.Sink.Add(obs.MSolverPropagations, float64(after.Propagations-before.Propagations))
-	s.Sink.Add(obs.MSolverRestarts, float64(after.Restarts-before.Restarts))
-	s.Sink.Add(obs.MSolverLearned, float64(after.Learned-before.Learned))
+	s.last = Stats{
+		Vars:         after.Vars,
+		Clauses:      after.Clauses,
+		Learned:      after.Learned - before.Learned,
+		Conflicts:    after.Conflicts - before.Conflicts,
+		Decisions:    after.Decisions - before.Decisions,
+		Propagations: after.Propagations - before.Propagations,
+		Restarts:     after.Restarts - before.Restarts,
+		Reduced:      after.Reduced - before.Reduced,
+		Cancelled:    after.Cancelled,
+	}
+	if s.Sink != nil {
+		s.Sink.Add(obs.MProbes, 1, obs.T("result", res.String()))
+		s.Sink.Add(obs.MSolverConflicts, float64(s.last.Conflicts))
+		s.Sink.Add(obs.MSolverDecisions, float64(s.last.Decisions))
+		s.Sink.Add(obs.MSolverPropagations, float64(s.last.Propagations))
+		s.Sink.Add(obs.MSolverRestarts, float64(s.last.Restarts))
+		s.Sink.Add(obs.MSolverLearned, float64(s.last.Learned))
+	}
 	return res
 }
 
-func (s *Solver) solve() Result {
+func (s *Solver) solve(assumps []Lit) Result {
+	s.model = nil
+	s.core = nil
+	s.stats.Cancelled = false
 	if s.unsat {
 		return Unsat
 	}
@@ -439,6 +500,7 @@ func (s *Solver) solve() Result {
 		s.unsat = true
 		return Unsat
 	}
+	startConflicts := s.stats.Conflicts
 	restartBase := int64(100)
 	lubyIdx := int64(1)
 	conflictsAtRestart := s.stats.Conflicts
@@ -474,7 +536,7 @@ func (s *Solver) solve() Result {
 			}
 			s.varInc /= 0.95
 			s.claInc /= 0.999
-			if s.MaxConflicts > 0 && s.stats.Conflicts >= s.MaxConflicts {
+			if s.MaxConflicts > 0 && s.stats.Conflicts-startConflicts >= s.MaxConflicts {
 				s.backtrack(0)
 				return Unknown
 			}
@@ -482,7 +544,9 @@ func (s *Solver) solve() Result {
 		}
 		if s.stats.Conflicts-conflictsAtRestart >= limit {
 			// Restart, and shed low-activity learned clauses when the
-			// database has grown past its budget.
+			// database has grown past its budget. Backtracking to level 0
+			// drops the assumption prefix too; the decide path below
+			// re-establishes it before any heuristic branching.
 			s.stats.Restarts++
 			s.backtrack(0)
 			if len(s.learned) > s.learnedLimit() {
@@ -493,9 +557,40 @@ func (s *Solver) solve() Result {
 			limit = restartBase * luby(lubyIdx)
 			continue
 		}
+		if len(s.lim) < len(assumps) {
+			// Establish the assumption prefix, one decision level per
+			// assumption in order, before any heuristic branching. Levels
+			// 1..len(assumps) thus always correspond to the assumptions.
+			p := assumps[len(s.lim)]
+			switch s.value(p) {
+			case lTrue:
+				// Already implied at an earlier level; a dummy decision
+				// level keeps the level index aligned with the
+				// assumption index.
+				s.lim = append(s.lim, len(s.trail))
+			case lFalse:
+				// The formula (plus earlier assumptions) forces ¬p: the
+				// assumption set has failed. Extract which assumptions
+				// were involved, leave the trail clean, and report Unsat
+				// for this call only — s.unsat stays false.
+				s.core = s.analyzeFinal(p)
+				s.backtrack(0)
+				return Unsat
+			default:
+				s.lim = append(s.lim, len(s.trail))
+				s.enqueue(p, nil)
+			}
+			continue
+		}
 		v := s.pickBranchVar()
 		if v < 0 {
-			return Sat // all variables assigned
+			// All variables assigned: snapshot the model, then restore
+			// level 0 so clauses can be added before the next call. Phase
+			// saving in backtrack keeps the assignment as the preferred
+			// polarity, so a related follow-up probe re-converges fast.
+			s.saveModel()
+			s.backtrack(0)
+			return Sat
 		}
 		s.stats.Decisions++
 		s.lim = append(s.lim, len(s.trail))
@@ -507,6 +602,60 @@ func (s *Solver) solve() Result {
 	}
 }
 
+// analyzeFinal computes the failed-assumption core once assumption p is
+// found false while establishing the assumption prefix: the subset of the
+// assumptions (always including p) whose conjunction with the clause
+// database is already contradictory. It walks the trail above the first
+// decision level, expanding propagated literals through their reason
+// clauses and collecting the assumption decisions it reaches — the
+// MiniSat analyzeFinal algorithm.
+func (s *Solver) analyzeFinal(p Lit) []Lit {
+	core := []Lit{p}
+	if len(s.lim) == 0 {
+		return core // ¬p holds at top level: p alone is contradictory
+	}
+	seen := make([]bool, len(s.assigns))
+	seen[p.Var()] = true
+	for i := len(s.trail) - 1; i >= s.lim[0]; i-- {
+		v := s.trail[i].Var()
+		if !seen[v] {
+			continue
+		}
+		if r := s.reason[v]; r == nil {
+			// A decision above level 0 while establishing assumptions is
+			// itself an assumption literal.
+			core = append(core, s.trail[i])
+		} else {
+			// The propagated literal is r.lits[0]; its antecedents are
+			// the rest. Level-0 literals need no justification.
+			for _, q := range r.lits[1:] {
+				if s.level[q.Var()] > 0 {
+					seen[q.Var()] = true
+				}
+			}
+		}
+		seen[v] = false
+	}
+	return core
+}
+
+// saveModel snapshots the current total assignment as the model.
+func (s *Solver) saveModel() {
+	if cap(s.model) < len(s.assigns) {
+		s.model = make([]int8, len(s.assigns))
+	}
+	s.model = s.model[:len(s.assigns)]
+	copy(s.model, s.assigns)
+}
+
+// Core returns the failed-assumption core of the most recent Solve call
+// that returned Unsat under assumptions: a subset of that call's
+// assumptions whose conjunction with the clause database is
+// unsatisfiable. It returns nil when the refutation was global (the
+// database alone is unsatisfiable — no assumptions needed) and after
+// Sat or Unknown answers. The slice is valid until the next Solve.
+func (s *Solver) Core() []Lit { return s.core }
+
 func (s *Solver) pickBranchVar() int {
 	for len(s.heap) > 0 {
 		v := s.heapPopMax()
@@ -517,20 +666,44 @@ func (s *Solver) pickBranchVar() int {
 	return -1
 }
 
-// Model returns the satisfying assignment after Solve reports Sat.
+// Model returns the satisfying assignment snapshotted by the most recent
+// Solve that reported Sat. (Solve backtracks to level 0 before returning,
+// so the snapshot — not the live trail — is the model; it stays readable
+// while clauses are added for a follow-up incremental call.)
 func (s *Solver) Model() []bool {
 	m := make([]bool, len(s.assigns))
-	for v := range s.assigns {
-		m[v] = s.assigns[v] == lTrue
+	src := s.assigns
+	if s.model != nil {
+		src = s.model
+	}
+	for v := range src {
+		m[v] = src[v] == lTrue
 	}
 	return m
 }
 
-// Value reports the assignment of variable v in the current model.
-func (s *Solver) Value(v int) bool { return s.assigns[v] == lTrue }
+// Value reports the assignment of variable v in the last Sat model.
+// Variables allocated after that model was found read as false.
+func (s *Solver) Value(v int) bool {
+	if s.model != nil {
+		if v < len(s.model) {
+			return s.model[v] == lTrue
+		}
+		return false
+	}
+	return s.assigns[v] == lTrue
+}
 
-// Stats returns search statistics.
+// Stats returns the lifetime search statistics, accumulated across every
+// Solve call on this solver.
 func (s *Solver) Stats() Stats { return s.stats }
+
+// LastStats returns the most recent Solve call's statistics: the work
+// counters (Conflicts, Decisions, Propagations, Restarts, Learned,
+// Reduced) are that call's deltas, while Vars and Clauses are the current
+// totals. Summing the per-call deltas over a solver's Solve calls yields
+// exactly the Stats totals.
+func (s *Solver) LastStats() Stats { return s.last }
 
 // luby returns the i'th element (1-based) of the Luby restart sequence.
 func luby(i int64) int64 {
@@ -656,4 +829,32 @@ func (s *Solver) reduceDB() {
 	}
 	s.learned = kept
 	s.stats.Reduced += int64(before - len(kept))
+}
+
+// ResetPhases restores every saved phase to its default polarity —
+// negative unless overridden by SetPhase — leaving activities and the
+// clause database untouched.
+func (s *Solver) ResetPhases() {
+	copy(s.phase, s.defPhase)
+}
+
+// ResetActivities zeroes the VSIDS state (variable and clause activities
+// and their bump increments) and restores the branching heap to canonical
+// variable order, leaving phases and clauses untouched. After the reset
+// the solver branches exactly like a freshly-built one on the same
+// clauses: with all activities tied, decision order is heap-array order,
+// which pops and re-inserts would otherwise have shuffled.
+func (s *Solver) ResetActivities() {
+	for v := range s.activity {
+		s.activity[v] = 0
+	}
+	s.varInc = 1.0
+	s.claInc = 1.0
+	s.heap = s.heap[:0]
+	for v := range s.heapPos {
+		s.heapPos[v] = -1
+	}
+	for v := 0; v < len(s.assigns); v++ {
+		s.heapInsert(int32(v))
+	}
 }

@@ -1,0 +1,233 @@
+package schedule
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/egraph"
+	"repro/internal/gma"
+	"repro/internal/obs"
+	"repro/internal/sat"
+)
+
+// Engine answers a sequence of cycle-budget probes for one GMA against a
+// single persistent solver. Instead of re-encoding and re-solving from
+// scratch per budget (one throwaway Problem per K), it encodes a
+// budget-layered window once and turns each probe into
+//
+//	Solve(selVar[k])
+//
+// so conflict clauses learned refuting one budget — which are implied by
+// the clause database alone, never by the assumption — keep pruning the
+// search at every later budget. This is the MiniSat assumption interface
+// applied to Denali's optimality loop: the questions "does a K-cycle
+// program exist?" for K, K−1, … differ only in the goal row, which the
+// layered encoding isolates behind per-budget selector literals.
+//
+// An Engine is not safe for concurrent SolveBudget calls; the parallel
+// strategy pools one Engine per in-flight probe instead of sharing one.
+// Interrupt and ClearInterrupt ARE safe from other goroutines — that is
+// how speculative probes are retired — including across the window
+// rebuilds that swap the underlying solver.
+type Engine struct {
+	g    *egraph.Graph
+	gm   *gma.GMA
+	opt  Options
+	maxK int
+
+	// pmu guards the p pointer itself: a rebuild swaps it mid-SolveBudget
+	// while Interrupt may dereference it from another goroutine.
+	pmu sync.Mutex
+	p   *Problem
+	// windowProbes counts probes answered by the current window's solver;
+	// rebuilds counts window re-encodes (each discards learned clauses).
+	windowProbes int
+	rebuilds     int
+	totalProbes  int
+	// lastSat/lastK record the previous probe on this window: they decide
+	// whether the next probe inherits or resets the branching heuristics
+	// (see SolveBudget).
+	lastSat bool
+	lastK   int
+	// refuted records budgets this engine has proven infeasible. Each one
+	// is committed to the clause database as the unit ¬selVar[k] — implied
+	// by the database, so satisfiability is unchanged — which stops the
+	// solver from ever branching a dead selector back on, and is
+	// re-asserted after a window rebuild (probe answers are window-
+	// independent, the invariant the whole engine rests on).
+	refuted map[int]bool
+}
+
+// NewEngine builds a persistent probe engine whose first encoded window
+// covers budgets 0..window. Probes beyond the window trigger a re-encode
+// (growing geometrically, capped at maxK); probes beyond maxK are
+// rejected. Options.Certify is ignored — layered refutations are relative
+// to a budget assumption and carry no standalone certificate, so callers
+// needing a checkable proof re-solve that one budget via NewProblem.
+func NewEngine(g *egraph.Graph, gm *gma.GMA, window, maxK int, opt Options) (*Engine, error) {
+	if window > maxK {
+		window = maxK
+	}
+	if window < 0 {
+		return nil, fmt.Errorf("schedule: negative window %d", window)
+	}
+	e := &Engine{g: g, gm: gm, opt: opt, maxK: maxK, refuted: map[int]bool{}}
+	if err := e.build(window); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *Engine) build(window int) error {
+	p, err := newProblem(e.g, e.gm, window, e.opt, true)
+	if err != nil {
+		return err
+	}
+	for k := range e.refuted {
+		p.solver.AddClause(sat.Neg(p.selVar[k]))
+	}
+	e.pmu.Lock()
+	e.p = p
+	e.pmu.Unlock()
+	e.windowProbes = 0
+	e.lastSat = false
+	return nil
+}
+
+// problem is the synchronized read of the current window's Problem.
+func (e *Engine) problem() *Problem {
+	e.pmu.Lock()
+	defer e.pmu.Unlock()
+	return e.p
+}
+
+// Window is the current encoded window: the largest budget answerable
+// without a re-encode.
+func (e *Engine) Window() int { return e.problem().K }
+
+// Rebuilds is the number of window re-encodes performed so far.
+func (e *Engine) Rebuilds() int { return e.rebuilds }
+
+// Probes is the number of budget probes answered so far.
+func (e *Engine) Probes() int { return e.totalProbes }
+
+// Interrupt asks a running (or future) SolveBudget to stop, returning
+// sat.Unknown with Stat.Solver.Cancelled set. Safe from any goroutine.
+// An interrupt landing exactly during a window rebuild may be lost (the
+// new solver starts unflagged); cancellation is best-effort by design.
+func (e *Engine) Interrupt() { e.problem().Interrupt() }
+
+// ClearInterrupt re-arms the engine after an Interrupt, so a pooled
+// engine's next probe is not cancelled by a stale stop flag.
+func (e *Engine) ClearInterrupt() { e.problem().solver.ClearInterrupt() }
+
+// SolveBudget probes "does a program of at most k cycles exist?" under
+// the budget assumption. The returned Stat mirrors Problem.Solve's, with
+// Incremental set and Solver holding this call's deltas; Stat.Cert is
+// always nil (see NewEngine).
+func (e *Engine) SolveBudget(k int) (*Schedule, Stat, error) {
+	if k < 0 || k > e.maxK {
+		return nil, Stat{}, fmt.Errorf("schedule: budget %d outside engine range [0, %d]", k, e.maxK)
+	}
+	if k > e.p.K {
+		// Outgrew the window: re-encode geometrically so a linear upward
+		// sweep costs O(log maxK) rebuilds, not one per probe. The factor
+		// is 4, not 2: a rebuild discards the learned clauses, so fewer,
+		// larger windows keep the reuse runs long, and the encoding only
+		// ever overshoots a budget the search was already heading toward.
+		grown := 4 * e.p.K
+		if grown < k {
+			grown = k
+		}
+		if grown > e.maxK {
+			grown = e.maxK
+		}
+		if err := e.build(grown); err != nil {
+			return nil, Stat{}, err
+		}
+		e.rebuilds++
+		e.opt.Sink.Add(obs.MProbeIncrementalRebuilds, 1)
+	}
+	p := e.p
+	reused := e.windowProbes > 0
+	e.windowProbes++
+	e.totalProbes++
+	if reused && !(e.lastSat && k == e.lastK-1) {
+		// Restore the branching heuristics to the cold-start state, keeping
+		// the learned clauses. Phases, activities, and heap order carried
+		// over from an earlier probe usually steer this one back into the
+		// region just explored — state saved while refuting budget k−1 was
+		// measured at 20–100× extra conflicts on the eventual SAT probe,
+		// and a model found at a distant budget misleads similarly. Reset,
+		// the solver walks the same cheap trajectory a fresh one would, and
+		// the retained conflict clauses prune it further. The one carry-over
+		// that helps is a model at exactly k+1: a K-cycle schedule is the
+		// best imaginable warm start for the K−1 question (the descending
+		// sweep's common case), so that state is kept.
+		p.solver.ResetPhases()
+		p.solver.ResetActivities()
+	}
+	tr := e.opt.Trace
+	sp := tr.Start("solve")
+	sp.SetTag("incremental", "true")
+	t0 := time.Now()
+	res := p.solver.Solve(sat.Pos(p.selVar[k]))
+	st := p.solver.LastStats()
+	e.lastSat, e.lastK = res == sat.Sat, k
+	e.opt.Sink.Observe(obs.MSolveSeconds, time.Since(t0).Seconds(), obs.T("result", res.String()))
+	e.opt.Sink.Observe(obs.MSolveConflicts, float64(st.Conflicts))
+	e.opt.Sink.Add(obs.MProbeIncremental, 1, obs.T("result", res.String()))
+	if reused {
+		e.opt.Sink.Add(obs.MProbeIncrementalReused, 1)
+	}
+	if st.Cancelled {
+		sp.SetTag("cancelled", "true")
+	}
+	sp.End(obs.T("result", res.String()), obs.Tint("conflicts", st.Conflicts))
+	tr.Add("sat.conflicts", st.Conflicts)
+	tr.Add("sat.decisions", st.Decisions)
+	tr.Add("sat.propagations", st.Propagations)
+	tr.Add("sat.learned", int64(st.Learned))
+	tr.Add("sat.restarts", st.Restarts)
+	stat := Stat{
+		K:            k,
+		Vars:         st.Vars,
+		Clauses:      st.Clauses,
+		Result:       res,
+		Solver:       st,
+		MachineTerms: len(p.terms),
+		ConeClasses:  len(p.cone),
+		Incremental:  true,
+		Reused:       reused,
+	}
+	if res == sat.Unsat && p.solver.Core() != nil && !e.refuted[k] {
+		// Commit the refutation: ¬selVar[k] is now implied by the clause
+		// database (the core proves it), so making it a unit stops later
+		// probes from branching this dead selector back on — without it,
+		// the VSIDS bumps it collected while being refuted make exactly
+		// that branch attractive, and the next probe re-explores the
+		// budget it just proved empty.
+		e.refuted[k] = true
+		p.solver.AddClause(sat.Neg(p.selVar[k]))
+	}
+	if res != sat.Sat {
+		return nil, stat, nil
+	}
+	// decode walks launch variables up to p.K; narrow it to the probed
+	// budget so the schedule reflects exactly the k-cycle program. The
+	// saved model has every out-of-window launch false anyway (the eVar
+	// chain forces them off under the assumption), but the narrowing also
+	// sets Schedule.K and final-operand availability correctly.
+	dsp := tr.Start("decode")
+	saved := p.K
+	p.K = k
+	sched, err := p.decode()
+	p.K = saved
+	dsp.End()
+	if sched != nil {
+		tr.Add("schedule.instructions", int64(len(sched.Launches)))
+		tr.Add("schedule.cycles", int64(sched.K))
+	}
+	return sched, stat, err
+}

@@ -109,6 +109,11 @@ type Problem struct {
 	terms []*mterm
 	// cone is every class the schedule may need to compute.
 	cone map[egraph.ClassID]bool
+	// coneList is the cone in deterministic (discovery) order: map
+	// iteration order would otherwise vary variable numbering and clause
+	// order run to run, making solver behaviour — and every conflict
+	// count reported by the benchmarks — irreproducible.
+	coneList []egraph.ClassID
 	// inputAvail marks classes available in registers on entry.
 	inputAvail map[egraph.ClassID]bool
 	goals      []egraph.ClassID
@@ -122,13 +127,31 @@ type Problem struct {
 	uVar      map[[3]int32]int // (term, cycle, unit) -> var
 	modeVar   map[[2]int32]int // (term, mode) -> var
 	bVar      map[[3]int32]int // (class, cycle, cluster) -> var
+
+	// layered marks the budget-layered encoding used by Engine: K is a
+	// window upper bound rather than the probed budget, launches beyond a
+	// probe's budget are switched off through the eVar chain, and the
+	// goal clauses are guarded by per-budget selector literals so "budget
+	// ≤ k" is a solver assumption instead of being baked into the CNF.
+	layered bool
+	// eVar[i] ("cycle-end i enabled") is true when the budget grants at
+	// least i+1 cycles; eVar[i] implies eVar[i-1], so refuting one
+	// cycle-end switches off every later one.
+	eVar []int
+	// selVar[k] is the "budget ≤ k" selector assumed by a probe at k:
+	// it forces ¬eVar[k] (for k < K) and requires every goal to be
+	// available by end of cycle k-1.
+	selVar []int
 }
 
 // Stat describes one SAT probe, mirroring the numbers the paper reports
 // (e.g. "1639 variables and 4613 clauses for the 4-cycle refutation").
 // Solver carries the solver's full search statistics — conflicts,
 // decisions, propagations, learned clauses, restarts — not just the
-// problem size.
+// problem size. For a one-shot Problem these are the probe's own
+// numbers; for an Engine probe they are the per-call deltas of the
+// persistent solver (Vars/Clauses stay window-sized totals), so summing
+// Stat.Solver across probes never double-counts.
 type Stat struct {
 	K            int
 	Vars         int
@@ -137,8 +160,17 @@ type Stat struct {
 	Solver       sat.Stats
 	MachineTerms int
 	ConeClasses  int
+	// Incremental marks a probe answered by a persistent Engine under a
+	// budget assumption; Reused additionally marks that the engine's
+	// solver had already answered an earlier probe, so learned clauses
+	// and variable activity carried over into this one.
+	Incremental bool
+	Reused      bool
 	// Cert is the recorded DRAT refutation when Options.Certify was set
-	// and the probe answered Unsat; nil otherwise.
+	// and the probe answered Unsat; nil otherwise. Engine probes never
+	// carry a certificate — an UNSAT under a budget assumption has no
+	// standalone clausal refutation — so certified optimality re-derives
+	// the final refutation from scratch (see core.certifyOptimality).
 	Cert *drat.Certificate
 }
 
@@ -155,10 +187,17 @@ func (e *UncomputableError) Error() string {
 
 // NewProblem builds the propositional constraint system for budget K.
 func NewProblem(g *egraph.Graph, gm *gma.GMA, K int, opt Options) (*Problem, error) {
+	return newProblem(g, gm, K, opt, false)
+}
+
+// newProblem builds either the classic baked-K encoding (layered=false)
+// or the budget-layered window encoding Engine probes against.
+func newProblem(g *egraph.Graph, gm *gma.GMA, K int, opt Options, layered bool) (*Problem, error) {
 	if opt.Desc == nil {
 		return nil, fmt.Errorf("schedule: Options.Desc is required")
 	}
 	p := &Problem{
+		layered:    layered,
 		G:          g,
 		Desc:       opt.Desc,
 		GMA:        gm,
@@ -249,6 +288,7 @@ func (p *Problem) setup() error {
 			return nil
 		}
 		p.cone[q] = true
+		p.coneList = append(p.coneList, q)
 		if v, isConst := g.ConstValue(q); isConst {
 			ldiq, _ := p.Desc.Op("ldiq")
 			p.terms = append(p.terms, &mterm{
@@ -398,9 +438,12 @@ func (p *Problem) encode() {
 	s := sat.New()
 	s.MaxConflicts = p.opt.MaxConflicts
 	s.Sink = p.opt.Sink
-	if p.opt.Certify {
+	if p.opt.Certify && !p.layered {
 		// Attach before the first AddClause so the certificate's premise
-		// set is the complete clause database.
+		// set is the complete clause database. Layered problems never log
+		// proofs: a refutation under a budget assumption is not a
+		// standalone clausal refutation, so certification re-solves the
+		// final budget from scratch instead (core.certifyOptimality).
 		p.proof = drat.NewRecorder()
 		s.Proof = p.proof
 	}
@@ -421,7 +464,7 @@ func (p *Problem) encode() {
 		}
 	}
 	// Availability variables for cone classes.
-	for q := range p.cone {
+	for _, q := range p.coneList {
 		for i := 0; i < K; i++ {
 			for c := 0; c < p.bClusters; c++ {
 				p.bVar[[3]int32{int32(q), int32(i), int32(c)}] = s.NewVar()
@@ -429,9 +472,59 @@ func (p *Problem) encode() {
 		}
 	}
 
+	if p.layered {
+		// Budget layering over the window K: every structural constraint
+		// below is emitted once for the whole window; which prefix of it
+		// is actually usable is controlled by the eVar chain, and each
+		// probe's "budget ≤ k" enters as the assumption selVar[k].
+		p.eVar = make([]int, K)
+		for i := range p.eVar {
+			p.eVar[i] = s.NewVar()
+			// "Enabled" is the permissive polarity: a branched-off eVar
+			// tightens the budget below what the probe asked for and sends
+			// the solver into a self-inflicted refutation, so seed (and
+			// keep, across heuristic resets) the positive phase.
+			s.SetPhase(p.eVar[i], true)
+		}
+		p.selVar = make([]int, K+1)
+		for k := range p.selVar {
+			p.selVar[k] = s.NewVar()
+		}
+		// Monotone chain: enabling cycle-end i enables every earlier one,
+		// so a single ¬eVar[k] switches off cycle-ends k..K-1.
+		for i := 1; i < K; i++ {
+			s.AddClause(sat.Neg(p.eVar[i]), sat.Pos(p.eVar[i-1]))
+		}
+		// A launch occupies cycle-ends up to its completion: launching at
+		// cycle i with latency L needs cycle-end i+L-1 enabled. Under the
+		// assumption selVar[k] this forces off exactly the launches the
+		// classic K=k encoding would not have variables for.
+		for mi, mt := range p.terms {
+			for i := 0; i+mt.latency <= K; i++ {
+				for _, u := range mt.op.Units {
+					s.AddClause(sat.Neg(p.uVar[[3]int32{int32(mi), int32(i), int32(u)}]),
+						sat.Pos(p.eVar[i+mt.latency-1]))
+				}
+			}
+		}
+		for k := 0; k < K; k++ {
+			s.AddClause(sat.Neg(p.selVar[k]), sat.Neg(p.eVar[k]))
+		}
+		// Budget monotonicity as a selector chain: a k-cycle program is also
+		// a (k+1)-cycle program, so sel_k -> sel_{k+1} is sound — the weaker
+		// budget's goal rows are implied and ¬eVar[k] already propagates
+		// ¬eVar[k+1..] off the chain above. The payoff is the contrapositive:
+		// once a refuted budget is committed as the unit ¬sel_{k}, every
+		// earlier selector is forced off too, so a probe below a refutation
+		// starts with the whole dead prefix propagated instead of relearned.
+		for k := 0; k+1 <= K; k++ {
+			s.AddClause(sat.Neg(p.selVar[k]), sat.Pos(p.selVar[k+1]))
+		}
+	}
+
 	// 1. Availability definition: B(q,i,c) -> some launch completes a
 	// machine term of q visible on cluster c by end of cycle i.
-	for q := range p.cone {
+	for _, q := range p.coneList {
 		for i := 0; i < K; i++ {
 			for c := 0; c < p.bClusters; c++ {
 				lits := []sat.Lit{sat.Neg(p.bVar[[3]int32{int32(q), int32(i), int32(c)}])}
@@ -533,10 +626,26 @@ func (p *Problem) encode() {
 	}
 
 	// 6. Goals: every goal class available by end of cycle K-1 (on any
-	// cluster — the producing cluster's register file holds it).
+	// cluster — the producing cluster's register file holds it). In the
+	// layered encoding the budget is not fixed, so the goal row is
+	// emitted once per selector: assuming selVar[k] requires every goal
+	// by end of cycle k-1 (and refutes k=0 outright, the counterpart of
+	// the classic encoding's empty clause).
 	for _, q := range p.goals {
 		q = p.G.Find(q)
 		if p.inputAvail[q] {
+			continue
+		}
+		if p.layered {
+			for k := 0; k <= K; k++ {
+				lits := []sat.Lit{sat.Neg(p.selVar[k])}
+				if k > 0 {
+					for c := 0; c < p.bClusters; c++ {
+						lits = append(lits, sat.Pos(p.bVar[[3]int32{int32(q), int32(k - 1), int32(c)}]))
+					}
+				}
+				s.AddClause(lits...)
+			}
 			continue
 		}
 		var lits []sat.Lit

@@ -254,6 +254,13 @@ type CompileRequest struct {
 	// claim is re-checked as a DRAT proof and each GMA's "certified" field
 	// reports the result. Absent (null) keeps the server's setting.
 	Certify *bool `json:"certify,omitempty"`
+	// Incremental overrides the server's incremental-search default for
+	// this request: true (also the absent-everywhere default) answers the
+	// budget probes on a persistent assumption-based solver, false solves
+	// each budget from scratch. The override exists so incrementality
+	// regressions can be bisected against production traffic without a
+	// rebuild. Absent (null) keeps the server's setting.
+	Incremental *bool `json:"incremental,omitempty"`
 	// Trace returns the request's pipeline trace as Chrome trace_event
 	// JSON in the response (load in chrome://tracing or Perfetto).
 	Trace bool `json:"trace,omitempty"`
@@ -267,6 +274,10 @@ type ProbeJSON struct {
 	Clauses   int     `json:"clauses"`
 	Conflicts int64   `json:"conflicts"`
 	Millis    float64 `json:"ms"`
+	// Incremental marks a probe answered by the persistent engine;
+	// Reused additionally marks that the engine's solver was warm.
+	Incremental bool `json:"incremental,omitempty"`
+	Reused      bool `json:"reused,omitempty"`
 }
 
 // GMAJSON is one compiled guarded multi-assignment in the response.
@@ -355,6 +366,9 @@ func (s *Server) options(req *CompileRequest, tr *obs.Trace) (repro.Options, err
 	}
 	if req.Certify != nil {
 		opt.Certify = *req.Certify
+	}
+	if req.Incremental != nil {
+		opt.Incremental = req.Incremental
 	}
 	return opt, nil
 }
@@ -501,6 +515,7 @@ func buildResponse(res *repro.Result, wall time.Duration, tr *obs.Trace, verifie
 				gj.Probes = append(gj.Probes, ProbeJSON{
 					K: p.K, Result: p.Result, Vars: p.Vars, Clauses: p.Clauses,
 					Conflicts: p.Conflicts, Millis: float64(p.Elapsed.Microseconds()) / 1e3,
+					Incremental: p.Incremental, Reused: p.Reused,
 				})
 			}
 			pj.GMAs = append(pj.GMAs, gj)

@@ -331,6 +331,69 @@ func TestServeCertifyOverride(t *testing.T) {
 	}
 }
 
+// TestServeIncrementalOverride exercises the tri-state per-request
+// incremental field: by default probes run on the persistent engine
+// (marked incremental in the response), "incremental": false reverts a
+// request to from-scratch probes, and either way the cycle counts and
+// optimality verdicts are identical.
+func TestServeIncrementalOverride(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: repro.Options{Arch: "ev6", Workers: 2}})
+
+	decode := func(raw []byte) CompileResponse {
+		t.Helper()
+		var cr CompileResponse
+		if err := json.Unmarshal(raw, &cr); err != nil {
+			t.Fatalf("decode response: %v\n%s", err, raw)
+		}
+		return cr
+	}
+	type verdict struct {
+		cycles  int
+		optimal bool
+	}
+	verdicts := func(cr CompileResponse, wantIncremental bool, label string) map[string]verdict {
+		t.Helper()
+		out := map[string]verdict{}
+		for _, p := range cr.Procs {
+			for _, g := range p.GMAs {
+				out[g.Name] = verdict{cycles: g.Cycles, optimal: g.OptimalProven}
+				for _, pr := range g.Probes {
+					if pr.Incremental != wantIncremental {
+						t.Errorf("%s: %s K=%d: incremental=%v, want %v",
+							label, g.Name, pr.K, pr.Incremental, wantIncremental)
+					}
+					if !pr.Incremental && pr.Reused {
+						t.Errorf("%s: %s K=%d: reused without incremental", label, g.Name, pr.K)
+					}
+				}
+			}
+		}
+		return out
+	}
+
+	resp, raw := postCompile(t, ts.URL, CompileRequest{Source: programs.Byteswap4})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default: status %d: %s", resp.StatusCode, raw)
+	}
+	inc := verdicts(decode(raw), true, "default on")
+
+	off := false
+	resp, raw = postCompile(t, ts.URL, CompileRequest{Source: programs.Byteswap4, Incremental: &off})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("incremental=false: status %d: %s", resp.StatusCode, raw)
+	}
+	scratch := verdicts(decode(raw), false, "override off")
+
+	if len(inc) == 0 || len(inc) != len(scratch) {
+		t.Fatalf("GMA sets differ: %d incremental vs %d scratch", len(inc), len(scratch))
+	}
+	for name, v := range inc {
+		if scratch[name] != v {
+			t.Errorf("%s: incremental %+v != scratch %+v", name, v, scratch[name])
+		}
+	}
+}
+
 func TestServeBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Config{
 		Options:        repro.Options{Arch: "ev6"},

@@ -86,6 +86,15 @@ type Options struct {
 	// check is a compilation error. The checked certificate is exportable
 	// via CompiledGMA.WriteProof / WriteProofCNF.
 	Certify bool
+	// Incremental is a tri-state override of the assumption-based
+	// incremental budget search: nil (the default) and true run every
+	// probe on a persistent engine that retains learned clauses across
+	// budgets; false reverts to one from-scratch solver per probe. The
+	// override exists so incrementality regressions can be bisected in
+	// production (denali -incremental=false, or serve's per-request
+	// "incremental" field) without a rebuild; results are equivalent
+	// either way.
+	Incremental *bool
 	// ExtraAxioms are appended to the built-in axiom files and any
 	// program-local axioms.
 	ExtraAxioms string
@@ -141,6 +150,11 @@ type ProbeStat struct {
 	Learned      int
 	Restarts     int64
 	Elapsed      time.Duration
+	// Incremental marks a probe answered by the persistent engine under a
+	// budget assumption; Reused additionally marks that the engine's
+	// solver was warm (learned clauses carried over from earlier probes).
+	Incremental bool
+	Reused      bool
 }
 
 // MatchStats describes the saturation phase.
@@ -292,6 +306,7 @@ func Compile(src string, opt Options) (*Result, error) {
 		copts.Search = core.ParallelSearch
 	}
 	copts.Workers = opt.Workers
+	copts.DisableIncremental = opt.Incremental != nil && !*opt.Incremental
 
 	// Flatten the program into one job per GMA (after software
 	// pipelining) so compilation can fan out across a worker pool while
@@ -412,6 +427,7 @@ func CompileGMA(g *gma.GMA, opt Options) (*CompiledGMA, error) {
 		copts.Search = core.ParallelSearch
 	}
 	copts.Workers = opt.Workers
+	copts.DisableIncremental = opt.Incremental != nil && !*opt.Incremental
 	return compileOne(g, copts, desc)
 }
 
@@ -469,7 +485,7 @@ func compileOne(g *gma.GMA, copts core.Options, desc *arch.Description) (cg *Com
 			Clauses: p.Clauses, Conflicts: p.Solver.Conflicts,
 			Decisions: p.Solver.Decisions, Propagations: p.Solver.Propagations,
 			Learned: p.Solver.Learned, Restarts: p.Solver.Restarts,
-			Elapsed: p.Elapsed,
+			Elapsed: p.Elapsed, Incremental: p.Incremental, Reused: p.Reused,
 		})
 	}
 	return cg, nil

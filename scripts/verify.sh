@@ -40,9 +40,13 @@ case "$out" in
     ;;
 esac
 
+echo "== incremental-equivalence gate (golden corpus, greedy + parallel, engine on/off)"
+go test -run '^TestIncrementalEquivalence$' -count=1 ./internal/core
+
 echo "== fuzz smoke (10s per target)"
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/lang
 go test -run '^$' -fuzz '^FuzzSolver$' -fuzztime 10s ./internal/sat
+go test -run '^$' -fuzz '^FuzzSolveAssumptions$' -fuzztime 10s ./internal/sat
 go test -run '^$' -fuzz '^FuzzDRATChecker$' -fuzztime 10s ./internal/drat
 go test -run '^$' -fuzz '^FuzzDRATParse$' -fuzztime 10s ./internal/drat
 
