@@ -38,6 +38,7 @@ import (
 	"repro/internal/axioms"
 	"repro/internal/brute"
 	"repro/internal/egraph"
+	"repro/internal/flight"
 	"repro/internal/matcher"
 	"repro/internal/obs"
 	"repro/internal/programs"
@@ -97,9 +98,17 @@ var (
 	curStrategy = "linear"
 	curWorkers  = 1
 	curWallMS   float64
+	curArch     = "ev6"
 	jsonPath    string
 	outPath     string
 	incOutPath  string
+	reportPath  string
+	// flightLog appends one flight.Report per compiled GMA when
+	// -report-out is set, with IDs like "E2-0003" so `denali report` can
+	// trace any aggregate back to the experiment and compile that produced
+	// it. reportSeq numbers reports under rowsMu.
+	flightLog *flight.Log
+	reportSeq int
 
 	flagWorkers  int
 	flagParallel bool
@@ -178,13 +187,29 @@ func summarize(snap obs.Snapshot, name string) *histSummary {
 	}
 }
 
-// record appends one compiled GMA to the -json rows.
+// record appends one compiled GMA to the -json rows and, when
+// -report-out is set, one flight report to the JSONL log.
 func record(g *repro.CompiledGMA) {
-	if jsonPath == "" || g == nil {
+	if g == nil || (jsonPath == "" && flightLog == nil) {
 		return
 	}
 	rowsMu.Lock()
 	defer rowsMu.Unlock()
+	if flightLog != nil {
+		reportSeq++
+		rep := flight.NewReport(fmt.Sprintf("%s-%04d", currentExp, reportSeq))
+		rep.Arch = curArch
+		rep.Strategy = curStrategy
+		rep.Workers = curWorkers
+		rep.WallMillis = curWallMS
+		rep.GMAs = []flight.GMAReport{g.FlightReport()}
+		if err := flightLog.Write(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "denali-bench: report-out:", err)
+		}
+	}
+	if jsonPath == "" {
+		return
+	}
 	row := benchRow{
 		Experiment:   currentExp,
 		GMA:          g.Name,
@@ -235,6 +260,10 @@ func compile(src string, opt repro.Options) (*repro.Result, time.Duration, error
 	}
 	opt.Sink = benchSink
 	curStrategy, curWorkers = strategyName(opt), opt.Workers
+	curArch = opt.Arch
+	if curArch == "" {
+		curArch = "ev6"
+	}
 	if curWorkers <= 0 {
 		if opt.ParallelSearch {
 			curWorkers = runtime.GOMAXPROCS(0)
@@ -266,7 +295,17 @@ func main() {
 	flag.IntVar(&flagWorkers, "workers", 0, "worker bound for parallel probes and multi-GMA compilation (0 = GOMAXPROCS)")
 	flag.BoolVar(&flagParallel, "parallel", false, "use the speculative parallel budget search in every experiment that does not pick its own strategy")
 	flag.StringVar(&incOutPath, "inc-out", "BENCH_5.json", "write E16's per-GMA scratch-vs-incremental comparison to this JSON file (empty to skip)")
+	flag.StringVar(&reportPath, "report-out", "", "append one flight report (JSON line) per compiled GMA to this file; summarize with `denali report`")
 	flag.Parse()
+	if reportPath != "" {
+		var err error
+		flightLog, err = flight.OpenLog(reportPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "denali-bench:", err)
+			os.Exit(1)
+		}
+		defer flightLog.Close()
+	}
 
 	exps := []experiment{
 		{"E1", "Figure 2: reg6*4+1 compiles to a single s4addq", e1},

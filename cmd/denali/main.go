@@ -8,6 +8,7 @@
 //	denali [flags] file.dn
 //	denali [flags] -        (read from stdin)
 //	denali serve [flags]    (run as an HTTP compile service)
+//	denali report [flags] reports.jsonl   (summarize a flight-report log)
 //
 // Flags select the machine model, the budget search strategy, matcher
 // budgets, and optional post-compile verification on random inputs.
@@ -18,9 +19,14 @@
 //	                  (open in chrome://tracing or https://ui.perfetto.dev)
 //	-metrics          print a per-phase wall-time and counter table on stderr
 //	-pprof addr       serve net/http/pprof on addr (e.g. localhost:6060)
+//	-report-out f     append this run's flight report (request ID, per-GMA
+//	                  fingerprints, the full SAT probe ladder, outcome) as
+//	                  one JSON line to f; summarize with `denali report f`
+//	-request-id id    use this request ID instead of generating one
 //
 // The serve mode exposes POST /compile, GET /metrics (Prometheus text
-// exposition), GET /healthz, GET /readyz and /debug/pprof/, with graceful
+// exposition), GET /healthz, GET /readyz, GET /version, the flight
+// recorder under /debug/requests and /debug/pprof/, with graceful
 // shutdown on SIGINT/SIGTERM; see `denali serve -h` and the README's
 // "Running as a service" section.
 package main
@@ -38,6 +44,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/flight"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -45,6 +52,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		serveMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "report" {
+		reportMain(os.Args[2:])
 		return
 	}
 	var (
@@ -67,6 +78,8 @@ func main() {
 		tracePath   = flag.String("trace", "", "write a Chrome trace_event JSON file of the compile pipeline")
 		metrics     = flag.Bool("metrics", false, "print the per-phase metrics summary table on stderr")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		reportOut   = flag.String("report-out", "", "append this run's flight report as one JSON line to this file")
+		requestID   = flag.String("request-id", "", "request ID for the flight report and provenance comments (default: generated)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -102,9 +115,46 @@ func main() {
 		Incremental:      incremental,
 		Trace:            tr,
 	}
+	// The flight recorder captures this run as one structured report —
+	// request ID, per-GMA fingerprint and probe ladder, outcome — appended
+	// to -report-out as a JSON line (`denali report` summarizes such logs).
+	var (
+		fr        *flight.Recorder
+		reportLog *flight.Log
+	)
+	if *reportOut != "" {
+		id := *requestID
+		if id == "" {
+			id = flight.NewID()
+		}
+		fr = flight.NewRecorder(flight.SanitizeID(id))
+		strategy := "linear"
+		if *binary {
+			strategy = "binary"
+		}
+		if *parallel {
+			strategy = "parallel"
+		}
+		fr.SetRequest(*archName, strategy, *workers, len(src))
+		opt.RequestID = fr.ID()
+		opt.Flight = fr
+		var err error
+		reportLog, err = flight.OpenLog(*reportOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer reportLog.Close()
+	}
 	start := time.Now()
 	res, err := repro.Compile(src, opt)
 	if err != nil {
+		// Failed runs are the reports most worth keeping: record the error
+		// (plus whatever partial per-GMA records the compiler left) first.
+		if fr.Enabled() {
+			fr.Fail(err.Error(), false)
+			reportLog.Write(fr.Report(time.Since(start)))
+			reportLog.Close()
+		}
 		fatal(err)
 	}
 	for _, proc := range res.Procs {
@@ -171,6 +221,13 @@ func main() {
 		}
 	}
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+	if fr.Enabled() {
+		if err := reportLog.Write(fr.Report(time.Since(start))); err != nil {
+			fmt.Fprintln(os.Stderr, "denali: report-out:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "flight report %s appended to %s\n", fr.ID(), *reportOut)
+		}
+	}
 	if *metrics {
 		fmt.Fprint(os.Stderr, tr.MetricsTable())
 	}
@@ -203,6 +260,8 @@ func serveMain(args []string) {
 		maxConc     = fs.Int("max-concurrent", 0, "concurrent /compile requests (0 = workers)")
 		reqTimeout  = fs.Duration("timeout", 60*time.Second, "per-request compile timeout")
 		drain       = fs.Duration("drain", 15*time.Second, "graceful-shutdown drain timeout")
+		accessLog   = fs.Bool("access-log", false, "log one JSON line per HTTP request to stderr (request ID, status, latency, strategy, cycles)")
+		flightRing  = fs.Int("flight-ring", 0, "flight reports kept for /debug/requests (0 = default)")
 	)
 	fs.Parse(args)
 	if fs.NArg() != 0 {
@@ -210,7 +269,7 @@ func serveMain(args []string) {
 		fs.Usage()
 		os.Exit(2)
 	}
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		Addr: *addr,
 		Options: repro.Options{
 			Arch:           *archName,
@@ -222,7 +281,12 @@ func serveMain(args []string) {
 		MaxConcurrent:  *maxConc,
 		RequestTimeout: *reqTimeout,
 		DrainTimeout:   *drain,
-	})
+		FlightRing:     *flightRing,
+	}
+	if *accessLog {
+		cfg.AccessLog = os.Stderr
+	}
+	srv := serve.New(cfg)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	// Report the bound address once the listener is up — both for humans
@@ -235,7 +299,7 @@ func serveMain(args []string) {
 			case <-time.After(5 * time.Millisecond):
 			}
 		}
-		fmt.Fprintf(os.Stderr, "denali: serving on http://%s (POST /compile, /metrics, /healthz, /readyz, /debug/pprof/)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "denali: serving on http://%s (POST /compile, /metrics, /healthz, /readyz, /version, /debug/requests, /debug/pprof/)\n", srv.Addr())
 		if *addrFile != "" {
 			if err := os.WriteFile(*addrFile, []byte(srv.Addr()), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "denali: addr-file:", err)

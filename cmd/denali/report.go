@@ -1,0 +1,45 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/flight"
+)
+
+// reportMain implements `denali report`: read one or more JSONL flight
+// report logs (written by -report-out here or in denali-bench, or
+// collected from serve's /debug/requests) and print the per-GMA summary —
+// cycle distributions, strategy win rates, probe histograms and the
+// top-conflict probes.
+func reportMain(args []string) {
+	fs := flag.NewFlagSet("denali report", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "dump every parsed report back out as JSON lines instead of summarizing")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: denali report [flags] reports.jsonl [more.jsonl ...]")
+		fs.Usage()
+		os.Exit(2)
+	}
+	var reps []flight.Report
+	for _, path := range fs.Args() {
+		r, err := flight.ReadLogFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		reps = append(reps, r...)
+	}
+	if *jsonOut {
+		log := flight.NewLog(os.Stdout)
+		for _, rep := range reps {
+			if err := log.Write(rep); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	if err := flight.Summarize(reps).WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+}

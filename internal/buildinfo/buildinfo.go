@@ -1,0 +1,56 @@
+// Package buildinfo pins the process's identity for observability
+// surfaces: the release string stamped into flight reports, the
+// denali_build_info metric, and the serve /version endpoint. Keeping it
+// in one leaf package (standard library only, importable from anywhere)
+// means every surface reports the same answer.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Release is the hand-maintained release string, bumped when the
+// observable surface changes. The VCS revision, when the binary was
+// built inside a checkout, is appended by Version.
+const Release = "0.6.0"
+
+var (
+	once    sync.Once
+	version string
+)
+
+// Version returns the full version string: Release, plus "+<revision>"
+// (12 hex digits, "-dirty" suffixed on a modified tree) when the Go
+// toolchain stamped VCS metadata into the binary.
+func Version() string {
+	once.Do(func() {
+		version = Release
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			version += "+" + rev + dirty
+		}
+	})
+	return version
+}
+
+// GoVersion returns the runtime's Go version (e.g. "go1.22.1").
+func GoVersion() string { return runtime.Version() }

@@ -98,6 +98,12 @@ type Options struct {
 	// Workers bounds the number of concurrently in-flight SAT probes for
 	// ParallelSearch; <= 0 means GOMAXPROCS. Other strategies ignore it.
 	Workers int
+	// RequestID correlates this compilation with the request that asked
+	// for it: it tags the compile root span and every detached parallel
+	// probe span, and is propagated into Schedule.RequestID so exported
+	// DIMACS instances and proof artifacts carry their provenance. Empty
+	// disables the tagging.
+	RequestID string
 	// Trace records the whole pipeline's telemetry — the compile root
 	// span, per-round matcher spans, and one span per SAT probe tagged
 	// with its outcome. Nil disables tracing at zero cost; the field is
@@ -165,11 +171,16 @@ func CompileGMA(gm *gma.GMA, opt Options) (compiled *Compiled, err error) {
 		opt.MaxCycles = 24
 	}
 	opt.Schedule.Desc = opt.Desc
+	opt.Schedule.RequestID = opt.RequestID
 	tr := opt.Trace
 	opt.Matcher.Trace = tr
 	opt.Schedule.Trace = tr
 	opt.Schedule.Sink = opt.Sink
-	root := tr.Start("compile", obs.T("gma", gm.Name))
+	rootTags := []obs.Tag{obs.T("gma", gm.Name)}
+	if opt.RequestID != "" {
+		rootTags = append(rootTags, obs.T("request", opt.RequestID))
+	}
+	root := tr.Start("compile", rootTags...)
 	defer root.End()
 	if sk := opt.Sink; sk != nil {
 		strategy := obs.T("strategy", opt.Search.String())

@@ -81,7 +81,11 @@ func (c *Compiled) parallelSearch(gm *gma.GMA, opt Options) error {
 		go func() {
 			var sp *obs.Span
 			if tr.Enabled() {
-				sp = tr.StartDetached(fmt.Sprintf("probe K=%d", k), obs.Tint("K", int64(k)))
+				tags := []obs.Tag{obs.Tint("K", int64(k))}
+				if opt.RequestID != "" {
+					tags = append(tags, obs.T("request", opt.RequestID))
+				}
+				sp = tr.StartDetached(fmt.Sprintf("probe K=%d", k), tags...)
 			}
 			t0 := time.Now()
 			var (

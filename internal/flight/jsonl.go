@@ -1,0 +1,92 @@
+package flight
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Log appends reports to a JSONL stream, one report per line — the
+// durable sink behind `denali -report-out` and `denali-bench
+// -report-out`. Writes are mutex-serialized so concurrent compilations
+// can share one log, and like the Recorder every method is nil-safe.
+type Log struct {
+	mu     sync.Mutex
+	w      io.Writer
+	closer io.Closer
+}
+
+// NewLog writes reports to w.
+func NewLog(w io.Writer) *Log { return &Log{w: w} }
+
+// OpenLog opens (creating or appending to) a JSONL report log at path.
+func OpenLog(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{w: f, closer: f}, nil
+}
+
+// Write appends one report as a JSON line.
+func (l *Log) Write(rep Report) error {
+	if l == nil {
+		return nil
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err = l.w.Write(b)
+	return err
+}
+
+// Close closes the underlying file, when Log owns one.
+func (l *Log) Close() error {
+	if l == nil || l.closer == nil {
+		return nil
+	}
+	return l.closer.Close()
+}
+
+// ReadLog parses a JSONL report log. Blank lines are skipped; a
+// malformed line fails with its line number so truncated logs are
+// diagnosable.
+func ReadLog(r io.Reader) ([]Report, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	var reps []Report
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var rep Report
+		if err := json.Unmarshal(text, &rep); err != nil {
+			return reps, fmt.Errorf("flight: report log line %d: %w", line, err)
+		}
+		reps = append(reps, rep)
+	}
+	if err := sc.Err(); err != nil {
+		return reps, fmt.Errorf("flight: report log line %d: %w", line, err)
+	}
+	return reps, nil
+}
+
+// ReadLogFile reads a JSONL report log from disk.
+func ReadLogFile(path string) ([]Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadLog(f)
+}

@@ -1,0 +1,82 @@
+package flight
+
+import "sync"
+
+// DefaultRingSize is the report ring capacity serve uses when the
+// configuration does not override it.
+const DefaultRingSize = 256
+
+// Ring is a goroutine-safe bounded buffer of the most recent reports,
+// the in-process sink behind serve's /debug/requests endpoints. Adding
+// past capacity evicts the oldest report; lookups by ID scan newest
+// first, so a reused request ID resolves to its latest report.
+type Ring struct {
+	mu   sync.Mutex
+	cap  int
+	reps []Report // oldest first
+}
+
+// NewRing returns a ring holding up to n reports (n <= 0 uses
+// DefaultRingSize).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &Ring{cap: n}
+}
+
+// Add appends a report, evicting the oldest when full.
+func (r *Ring) Add(rep Report) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.reps) == r.cap {
+		copy(r.reps, r.reps[1:])
+		r.reps = r.reps[:len(r.reps)-1]
+	}
+	r.reps = append(r.reps, rep)
+	r.mu.Unlock()
+}
+
+// Get returns the newest report with the given ID.
+func (r *Ring) Get(id string) (Report, bool) {
+	if r == nil {
+		return Report{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.reps) - 1; i >= 0; i-- {
+		if r.reps[i].ID == id {
+			return r.reps[i], true
+		}
+	}
+	return Report{}, false
+}
+
+// Last returns up to n reports, newest first (n <= 0 means all).
+func (r *Ring) Last(n int) []Report {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > len(r.reps) {
+		n = len(r.reps)
+	}
+	out := make([]Report, 0, n)
+	for i := len(r.reps) - 1; i >= len(r.reps)-n; i-- {
+		out = append(out, r.reps[i])
+	}
+	return out
+}
+
+// Len returns the number of buffered reports.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.reps)
+}

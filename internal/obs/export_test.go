@@ -165,3 +165,46 @@ func TestSnapshotFinishesOpenSpansAtNow(t *testing.T) {
 		t.Errorf("open span duration = %v, want 1ms", d)
 	}
 }
+
+// TestAssignLanesDirect exercises the greedy lane assigner on raw span
+// copies, the unit under TestChromeTraceDetachedLanes' end-to-end check:
+// chain spans get no lane, concurrent detached spans get distinct lanes
+// (tid >= 2), a span starting exactly at a lane's end reuses it, and lane
+// numbers are assigned first-fit in span-start order.
+func TestAssignLanesDirect(t *testing.T) {
+	at := func(ms int) time.Time { return time.Unix(0, int64(ms)*int64(time.Millisecond)) }
+	spans := []spanCopy{
+		{name: "compile", start: at(0), end: at(100)},                 // chain: no lane
+		{name: "probe K=0", start: at(1), end: at(5), detached: true}, // lane 2
+		{name: "probe K=1", start: at(2), end: at(9), detached: true}, // overlaps K=0 -> lane 3
+		{name: "probe K=2", start: at(3), end: at(4), detached: true}, // overlaps both -> lane 4
+		{name: "probe K=3", start: at(5), end: at(6), detached: true}, // starts at K=0's end -> reuse lane 2
+		{name: "probe K=4", start: at(7), end: at(8), detached: true}, // lanes 2 and 4 free -> first fit lane 2
+		{name: "chain 2", start: at(3), end: at(4)},                   // chain: no lane, despite overlap
+	}
+	lanes := assignLanes(spans)
+	want := map[int]int{1: 2, 2: 3, 3: 4, 4: 2, 5: 2}
+	if len(lanes) != len(want) {
+		t.Fatalf("assigned %d lanes, want %d: %v", len(lanes), len(want), lanes)
+	}
+	for i, lane := range want {
+		if lanes[i] != lane {
+			t.Errorf("span %d (%s): lane %d, want %d", i, spans[i].name, lanes[i], lane)
+		}
+	}
+	if _, ok := lanes[0]; ok {
+		t.Error("chain span must not get a lane")
+	}
+	// Overlapping detached spans must never share a lane.
+	for i, li := range lanes {
+		for j, lj := range lanes {
+			if i >= j || li != lj {
+				continue
+			}
+			a, b := spans[i], spans[j]
+			if a.start.Before(b.end) && b.start.Before(a.end) {
+				t.Errorf("overlapping spans %d and %d share lane %d", i, j, li)
+			}
+		}
+	}
+}

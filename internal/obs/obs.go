@@ -4,7 +4,8 @@
 // JSON lines, and the Chrome trace_event format (loadable in
 // chrome://tracing or Perfetto).
 //
-// The package is dependency-free (standard library only) and every
+// The package is dependency-free (standard library plus the leaf
+// internal/buildinfo package that stamps build identity) and every
 // recording method is safe on a nil *Trace, so instrumented code pays
 // nothing when tracing is disabled:
 //

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // DefSecondsBuckets are the default latency buckets (seconds): roughly
@@ -90,6 +91,9 @@ type Registry struct {
 	// series remembers insertion order of keys per name so exposition is
 	// deterministic without re-sorting the world on every scrape.
 	series map[string][]metricKey
+	// start is captured at construction; process-uptime gauges measure
+	// from it so every exposition of one registry agrees on the epoch.
+	start time.Time
 }
 
 // NewRegistry returns an empty registry.
@@ -100,8 +104,13 @@ func NewRegistry() *Registry {
 		gauge:   map[metricKey]float64{},
 		hist:    map[metricKey]*histogram{},
 		series:  map[string][]metricKey{},
+		start:   time.Now(),
 	}
 }
+
+// StartTime returns the registry's construction time, the epoch for
+// MUptimeSeconds.
+func (r *Registry) StartTime() time.Time { return r.start }
 
 // DeclareCounter registers help text for a counter metric. Declaration is
 // optional — publishing auto-declares — but declared metrics render HELP

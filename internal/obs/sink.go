@@ -1,5 +1,7 @@
 package obs
 
+import "repro/internal/buildinfo"
+
 // Sink is the library-facing handle for publishing into a *Registry. It
 // mirrors the *Trace contract: every method is safe and free on a nil
 // *Sink, so pipeline code can be instrumented unconditionally —
@@ -132,6 +134,15 @@ const (
 	MVerifyTrials = "denali_verify_trials_total"
 	MSimCycles    = "denali_sim_cycles_total"
 	MSimInstrs    = "denali_sim_instructions_total"
+
+	// MBuildInfo is the constant-1 build-identity gauge (version and
+	// goversion labels), the Prometheus idiom for joining a process's
+	// version onto any other series. The same version string is stamped
+	// into flight reports and served on /version.
+	MBuildInfo = "denali_build_info"
+	// MUptimeSeconds measures from the registry's construction time
+	// (Registry.StartTime); servers refresh it at scrape time.
+	MUptimeSeconds = "denali_process_uptime_seconds"
 )
 
 // cyclesBuckets cover the budget search range (MaxCycles defaults to 24).
@@ -169,5 +180,9 @@ func NewCompilerRegistry() *Registry {
 	r.DeclareCounter(MVerifyTrials, "Random-input verification trials executed.")
 	r.DeclareCounter(MSimCycles, "Machine cycles executed by the simulator.")
 	r.DeclareCounter(MSimInstrs, "Instructions executed by the simulator.")
+	r.DeclareGauge(MBuildInfo, "Build identity: constant 1, labeled by version and goversion.")
+	r.DeclareGauge(MUptimeSeconds, "Seconds since the registry was constructed.")
+	r.Set(MBuildInfo, 1,
+		T("version", buildinfo.Version()), T("goversion", buildinfo.GoVersion()))
 	return r
 }

@@ -11,11 +11,15 @@ import (
 // WriteDIMACS writes the problem clauses in DIMACS CNF format. Learned
 // clauses are not written. Each comment (plus a generated line with the
 // variable and clause counts) is emitted as a leading "c" line, so
-// exported instances are self-describing; comments must not contain
-// newlines.
+// exported instances are self-describing. Newlines inside a comment are
+// replaced with spaces: provenance strings can carry caller-supplied
+// text (request IDs, GMA names), and a stray line break must not be able
+// to forge a problem line.
 func (s *Solver) WriteDIMACS(w io.Writer, comments ...string) error {
 	bw := bufio.NewWriter(w)
 	for _, c := range comments {
+		c = strings.ReplaceAll(c, "\n", " ")
+		c = strings.ReplaceAll(c, "\r", " ")
 		fmt.Fprintf(bw, "c %s\n", c)
 	}
 	fmt.Fprintf(bw, "c %d variables, %d clauses\n", s.NumVars(), len(s.clauses))

@@ -352,6 +352,33 @@ func TestDIMACSRoundTrip(t *testing.T) {
 	}
 }
 
+func TestDIMACSCommentNewlineEscape(t *testing.T) {
+	// Comments can carry caller-supplied text (request IDs, GMA names); a
+	// line break inside one must not be able to forge a problem line.
+	s := New()
+	s.NewVar()
+	s.NewVar()
+	s.AddClause(Pos(0), Pos(1))
+	var buf bytes.Buffer
+	if err := s.WriteDIMACS(&buf, "request=evil\np cnf 9 9\r\nmore"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "\np cnf 9 9") {
+		t.Fatalf("newline in comment forged a problem line:\n%s", out)
+	}
+	if !strings.Contains(out, "c request=evil p cnf 9 9  more\n") {
+		t.Fatalf("comment not flattened to one line:\n%s", out)
+	}
+	s2, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.NumVars() != 2 || s2.NumClauses() != 1 {
+		t.Fatalf("parsed %d vars %d clauses, want 2 and 1", s2.NumVars(), s2.NumClauses())
+	}
+}
+
 func TestParseDIMACS(t *testing.T) {
 	src := `c example
 p cnf 2 2

@@ -62,6 +62,12 @@ type Options struct {
 	// across compilations; nil disables it. Unlike Trace, a Sink is safe
 	// to share between concurrent probes.
 	Sink *obs.Sink
+	// RequestID names the compile request this problem belongs to; when
+	// set it is stamped into exported DIMACS provenance comments so an
+	// instance pulled out of a production log can be traced back to its
+	// flight report. Callers must sanitize externally supplied IDs
+	// (flight.SanitizeID) before they reach provenance comments.
+	RequestID string
 }
 
 // mode is one alternative operand form for a machine term.
@@ -769,8 +775,12 @@ func (p *Problem) WriteDIMACS(w io.Writer) error {
 	if p.GMA != nil {
 		name = p.GMA.Name
 	}
+	head := fmt.Sprintf("denali scheduling instance: gma=%s cycle-budget-K=%d", name, p.K)
+	if p.opt.RequestID != "" {
+		head += " request=" + p.opt.RequestID
+	}
 	return p.solver.WriteDIMACS(w,
-		fmt.Sprintf("denali scheduling instance: gma=%s cycle-budget-K=%d", name, p.K),
+		head,
 		fmt.Sprintf("machine-terms=%d cone-classes=%d", len(p.terms), len(p.cone)),
 	)
 }

@@ -252,3 +252,25 @@ func TestOperandString(t *testing.T) {
 		t.Fatal("register operand")
 	}
 }
+
+func TestWriteDIMACSRequestProvenance(t *testing.T) {
+	g := simpleGMA("(add64 a b)", "a", "b")
+
+	p := build(t, g, 2, Options{RequestID: "req-abc"})
+	var buf strings.Builder
+	if err := p.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "request=req-abc") {
+		t.Fatalf("DIMACS provenance missing request id:\n%s", buf.String())
+	}
+
+	p2 := build(t, g, 2, Options{})
+	buf.Reset()
+	if err := p2.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "request=") {
+		t.Fatalf("DIMACS provenance should omit request= when unset:\n%s", buf.String())
+	}
+}

@@ -10,7 +10,18 @@
 //	GET  /healthz        liveness: 200 while the process runs
 //	GET  /readyz         readiness: 200 while accepting work, 503 during
 //	                     graceful drain
+//	GET  /version        build identity (version + Go version) as JSON
+//	GET  /debug/requests        the last N flight reports, newest first
+//	GET  /debug/requests/{id}   the full flight report for one request
 //	GET  /debug/pprof/   the standard net/http/pprof handlers
+//
+// Every request carries a request ID: accepted from an X-Request-ID
+// header (sanitized — it is untrusted input), generated otherwise, echoed
+// in the X-Request-ID response header and the response body, and threaded
+// through the whole pipeline (trace spans, DIMACS provenance, the flight
+// report). Each /compile leaves a flight.Report in an in-process ring, so
+// "what happened to request X?" is answerable after the response is gone;
+// Config.AccessLog additionally emits one JSON line per request.
 //
 // Every /compile request is panic-isolated, bounded by a per-request
 // timeout, and admitted through a concurrency limiter sized from
@@ -30,11 +41,15 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro"
+	"repro/internal/buildinfo"
+	"repro/internal/flight"
 	"repro/internal/obs"
 )
 
@@ -77,6 +92,13 @@ type Config struct {
 	Registry *obs.Registry
 	// MaxSourceBytes bounds the request body (default 1 MiB).
 	MaxSourceBytes int64
+	// FlightRing bounds the in-process flight-report ring behind
+	// /debug/requests. <= 0 uses flight.DefaultRingSize.
+	FlightRing int
+	// AccessLog, when non-nil, receives one JSON line per HTTP request:
+	// request ID, method, path, status, latency, and (for compiles) the
+	// strategy and total cycles. Nil disables access logging.
+	AccessLog io.Writer
 }
 
 // Server is one compile service instance.
@@ -86,8 +108,12 @@ type Server struct {
 	sink    *obs.Sink
 	limiter chan struct{}
 	ready   atomic.Bool
-	start   time.Time
 	addr    atomic.Value // string, set once the listener is bound
+	// ring keeps the last N flight reports for /debug/requests.
+	ring *flight.Ring
+	// accessMu serializes access-log lines so concurrent requests cannot
+	// interleave bytes within a line.
+	accessMu sync.Mutex
 }
 
 // New builds a Server from the config, filling defaults.
@@ -113,22 +139,30 @@ func New(cfg Config) *Server {
 	if cfg.MaxSourceBytes <= 0 {
 		cfg.MaxSourceBytes = 1 << 20
 	}
+	if cfg.FlightRing <= 0 {
+		cfg.FlightRing = flight.DefaultRingSize
+	}
 	s := &Server{
 		cfg:     cfg,
 		reg:     cfg.Registry,
 		sink:    obs.NewSink(cfg.Registry),
 		limiter: make(chan struct{}, cfg.MaxConcurrent),
-		start:   time.Now(),
+		ring:    flight.NewRing(cfg.FlightRing),
 	}
 	s.reg.DeclareCounter(mHTTPRequests, "HTTP requests by path and status code.")
 	s.reg.DeclareHistogram(mHTTPSeconds, "HTTP request latency by path.", obs.DefSecondsBuckets)
 	s.reg.DeclareGauge(mHTTPInflight, "HTTP requests currently being served.")
 	s.reg.DeclareCounter(mHTTPPanics, "Handler panics recovered (each answered 500).")
 	s.reg.DeclareCounter(mRejected, "Compile requests rejected before running, by reason.")
-	s.reg.DeclareGauge(mUptimeSeconds, "Seconds since the server started.")
+	s.reg.DeclareGauge(mUptimeSeconds, "Seconds since the registry was constructed.")
 	s.reg.DeclareGauge(mGoroutines, "Current goroutine count.")
 	s.reg.DeclareGauge(mHeapBytes, "Heap bytes currently allocated.")
 	s.reg.DeclareGauge(mNumGC, "Completed GC cycles.")
+	// Callers supplying their own (non-compiler) registry still get the
+	// build-identity gauge; declaring twice only refreshes help text.
+	s.reg.DeclareGauge(obs.MBuildInfo, "Build identity: constant 1, labeled by version and goversion.")
+	s.reg.Set(obs.MBuildInfo, 1,
+		obs.T("version", buildinfo.Version()), obs.T("goversion", buildinfo.GoVersion()))
 	s.ready.Store(true)
 	return s
 }
@@ -160,6 +194,11 @@ func (s *Server) Handler() http.Handler {
 		}
 		io.WriteString(w, "ready\n")
 	}))
+	mux.HandleFunc("/version", s.instrument("/version", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, versionJSON{Version: buildinfo.Version(), Go: buildinfo.GoVersion()})
+	}))
+	mux.HandleFunc("/debug/requests", s.instrument("/debug/requests", s.handleRequests))
+	mux.HandleFunc("/debug/requests/", s.instrument("/debug/requests/", s.handleRequestByID))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -208,12 +247,74 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with panic isolation and the HTTP metrics:
-// in-flight gauge, per-path latency histogram, per-path/code counter. A
-// recovered panic answers 500 without taking the process down — one bad
-// request must not kill the service for everyone else.
+// reqInfo rides the request context from instrument (which mints the
+// request ID) into the handler, and carries the compile outcome back out
+// for the access log.
+type reqInfo struct {
+	id       string
+	strategy string
+	cycles   int
+}
+
+type ctxKey struct{}
+
+// requestInfo returns the context's reqInfo, minting a fresh one for
+// handlers invoked outside instrument (direct Handler() tests).
+func requestInfo(r *http.Request) *reqInfo {
+	if info, ok := r.Context().Value(ctxKey{}).(*reqInfo); ok {
+		return info
+	}
+	return &reqInfo{id: flight.NewID()}
+}
+
+// accessLine is one JSON access-log record.
+type accessLine struct {
+	Time     string  `json:"time"`
+	ID       string  `json:"id"`
+	Method   string  `json:"method"`
+	Path     string  `json:"path"`
+	Status   int     `json:"status"`
+	Millis   float64 `json:"ms"`
+	Strategy string  `json:"strategy,omitempty"`
+	Cycles   int     `json:"cycles,omitempty"`
+}
+
+func (s *Server) logAccess(r *http.Request, info *reqInfo, code int, d time.Duration) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	line, err := json.Marshal(accessLine{
+		Time:   time.Now().UTC().Format(time.RFC3339Nano),
+		ID:     info.id,
+		Method: r.Method,
+		Path:   r.URL.Path,
+		Status: code,
+		Millis: float64(d.Microseconds()) / 1e3,
+		// Zero for everything but successful compiles (omitted by JSON).
+		Strategy: info.strategy,
+		Cycles:   info.cycles,
+	})
+	if err != nil {
+		return
+	}
+	s.accessMu.Lock()
+	s.cfg.AccessLog.Write(append(line, '\n'))
+	s.accessMu.Unlock()
+}
+
+// instrument wraps a handler with the request-ID front door, panic
+// isolation, the HTTP metrics (in-flight gauge, per-path latency
+// histogram, per-path/code counter) and the access log. The request ID is
+// taken from X-Request-ID when present — sanitized, since it is untrusted
+// input headed for logs and DIMACS provenance — or generated, and always
+// echoed in the X-Request-ID response header. A recovered panic answers
+// 500 without taking the process down — one bad request must not kill the
+// service for everyone else.
 func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		info := &reqInfo{id: flight.SanitizeID(r.Header.Get("X-Request-ID"))}
+		w.Header().Set("X-Request-ID", info.id)
+		r = r.WithContext(context.WithValue(r.Context(), ctxKey{}, info))
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		t0 := time.Now()
 		s.sink.Set(mHTTPInflight, float64(len(s.limiter)))
@@ -225,6 +326,7 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 			}
 			s.sink.Observe(mHTTPSeconds, time.Since(t0).Seconds(), obs.T("path", path))
 			s.sink.Add(mHTTPRequests, 1, obs.T("path", path), obs.T("code", fmt.Sprintf("%d", sw.code)))
+			s.logAccess(r, info, sw.code, time.Since(t0))
 		}()
 		h(sw, r)
 	}
@@ -305,6 +407,9 @@ type ProcJSON struct {
 
 // CompileResponse is the POST /compile reply.
 type CompileResponse struct {
+	// RequestID echoes the request's ID (also in the X-Request-ID
+	// header); GET /debug/requests/{id} serves the matching flight report.
+	RequestID  string          `json:"request_id"`
 	Procs      []ProcJSON      `json:"procs"`
 	WallMillis float64         `json:"wall_ms"`
 	Trace      json.RawMessage `json:"trace,omitempty"`
@@ -312,7 +417,14 @@ type CompileResponse struct {
 
 // errorJSON is the uniform error reply shape.
 type errorJSON struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// versionJSON is the GET /version reply.
+type versionJSON struct {
+	Version string `json:"version"`
+	Go      string `json:"go"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -374,27 +486,36 @@ func (s *Server) options(req *CompileRequest, tr *obs.Trace) (repro.Options, err
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	info := requestInfo(r)
+	// reject answers an error and leaves a minimal flight report in the
+	// ring, so /debug/requests explains rejected requests too.
+	reject := func(code int, msg string) {
+		rep := flight.NewReport(info.id)
+		rep.Error = msg
+		s.ring.Add(rep)
+		writeJSON(w, code, errorJSON{Error: msg, RequestID: info.id})
+	}
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "POST only"})
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "POST only", RequestID: info.id})
 		return
 	}
 	if !s.ready.Load() {
 		s.sink.Add(mRejected, 1, obs.T("reason", "draining"))
-		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "server draining"})
+		reject(http.StatusServiceUnavailable, "server draining")
 		return
 	}
 	var req CompileRequest
 	body := io.LimitReader(r.Body, s.cfg.MaxSourceBytes+1)
 	raw, err := io.ReadAll(body)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "read body: " + err.Error()})
+		reject(http.StatusBadRequest, "read body: "+err.Error())
 		return
 	}
 	if int64(len(raw)) > s.cfg.MaxSourceBytes {
 		s.sink.Add(mRejected, 1, obs.T("reason", "too_large"))
-		writeJSON(w, http.StatusRequestEntityTooLarge,
-			errorJSON{Error: fmt.Sprintf("source exceeds %d bytes", s.cfg.MaxSourceBytes)})
+		reject(http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("source exceeds %d bytes", s.cfg.MaxSourceBytes))
 		return
 	}
 	// Accept either the JSON envelope or raw Denali source (text/plain),
@@ -402,14 +523,14 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	trimmed := strings.TrimSpace(string(raw))
 	if strings.HasPrefix(trimmed, "{") {
 		if err := json.Unmarshal(raw, &req); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorJSON{Error: "decode request: " + err.Error()})
+			reject(http.StatusBadRequest, "decode request: "+err.Error())
 			return
 		}
 	} else {
 		req.Source = string(raw)
 	}
 	if strings.TrimSpace(req.Source) == "" {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "empty source"})
+		reject(http.StatusBadRequest, "empty source")
 		return
 	}
 
@@ -421,11 +542,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	case s.limiter <- struct{}{}:
 	case <-admit.C:
 		s.sink.Add(mRejected, 1, obs.T("reason", "busy"))
-		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "server busy: concurrency limit reached"})
+		reject(http.StatusServiceUnavailable, "server busy: concurrency limit reached")
 		return
 	case <-r.Context().Done():
 		s.sink.Add(mRejected, 1, obs.T("reason", "client_gone"))
-		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "client cancelled while queued"})
+		reject(http.StatusServiceUnavailable, "client cancelled while queued")
 		return
 	}
 
@@ -436,9 +557,18 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	opt, err := s.options(&req, tr)
 	if err != nil {
 		<-s.limiter
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		reject(http.StatusBadRequest, err.Error())
 		return
 	}
+	// Thread the request ID through the pipeline and attach the flight
+	// recorder; the assembled report lands in the ring whenever the
+	// compile finishes, even after the HTTP response has timed out — the
+	// ring is exactly where "what happened to request X?" gets answered.
+	fr := flight.NewRecorder(info.id)
+	opt.RequestID = info.id
+	opt.Flight = fr
+	info.strategy = strategyName(opt)
+	fr.SetRequest(opt.Arch, info.strategy, opt.Workers, len(req.Source))
 
 	type compileOut struct {
 		res  *repro.Result
@@ -452,7 +582,10 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		// cannot catch it.
 		defer func() {
 			if rec := recover(); rec != nil {
-				outc <- compileOut{err: fmt.Errorf("internal panic: %v", rec)}
+				err := fmt.Errorf("internal panic: %v", rec)
+				fr.Fail(err.Error(), true)
+				s.ring.Add(fr.Report(0))
+				outc <- compileOut{err: err}
 			}
 			<-s.limiter
 		}()
@@ -468,6 +601,10 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 		}
+		if err != nil {
+			fr.Fail(err.Error(), false)
+		}
+		s.ring.Add(fr.Report(wall))
 		outc <- compileOut{res: res, wall: wall, err: err}
 	}()
 
@@ -478,18 +615,39 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		if out.err != nil {
 			// Compilation errors are the client's program, not the server:
 			// 422 keeps them distinct from transport-level 400s.
-			writeJSON(w, http.StatusUnprocessableEntity, errorJSON{Error: out.err.Error()})
+			writeJSON(w, http.StatusUnprocessableEntity, errorJSON{Error: out.err.Error(), RequestID: info.id})
 			return
 		}
-		writeJSON(w, http.StatusOK, buildResponse(out.res, out.wall, tr, req.Verify))
+		resp := buildResponse(out.res, out.wall, tr, req.Verify)
+		resp.RequestID = info.id
+		for _, p := range resp.Procs {
+			for _, g := range p.GMAs {
+				info.cycles += g.Cycles
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
 	case <-deadline.C:
 		// The compilation has no cancellation point; it keeps its limiter
 		// slot until it finishes, so sustained timeouts degrade into 503s
-		// rather than oversubscription.
+		// rather than oversubscription. The worker still files its flight
+		// report on completion, shadowing this marker in the ring.
 		s.sink.Add(mRejected, 1, obs.T("reason", "timeout"))
-		writeJSON(w, http.StatusGatewayTimeout,
-			errorJSON{Error: fmt.Sprintf("compilation exceeded %v", s.cfg.RequestTimeout)})
+		reject(http.StatusGatewayTimeout,
+			fmt.Sprintf("compilation exceeded %v", s.cfg.RequestTimeout))
 	}
+}
+
+// strategyName renders the effective search strategy of merged options.
+func strategyName(opt repro.Options) string {
+	switch {
+	case opt.ParallelSearch:
+		return "parallel"
+	case opt.DescendSearch:
+		return "descend"
+	case opt.BinarySearch:
+		return "binary"
+	}
+	return "linear"
 }
 
 func buildResponse(res *repro.Result, wall time.Duration, tr *obs.Trace, verified int) CompileResponse {
@@ -536,10 +694,62 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// current without a background ticker.
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	s.sink.Set(mUptimeSeconds, time.Since(s.start).Seconds())
+	s.sink.Set(mUptimeSeconds, time.Since(s.reg.StartTime()).Seconds())
 	s.sink.Set(mGoroutines, float64(runtime.NumGoroutine()))
 	s.sink.Set(mHeapBytes, float64(ms.HeapAlloc))
 	s.sink.Set(mNumGC, float64(ms.NumGC))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WritePrometheus(w)
+}
+
+// requestsIndexJSON is the GET /debug/requests reply: a shallow view of
+// the newest reports (per-GMA ladders are one click away at the ID).
+type requestsIndexJSON struct {
+	Count   int             `json:"count"`
+	Reports []flight.Report `json:"reports"`
+}
+
+// handleRequests serves the last-N flight reports, newest first. ?n=
+// bounds the count (default 32, capped at the ring size).
+func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "GET only"})
+		return
+	}
+	n := 32
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: "n must be a positive integer"})
+			return
+		}
+		n = v
+	}
+	reps := s.ring.Last(n)
+	if reps == nil {
+		reps = []flight.Report{}
+	}
+	writeJSON(w, http.StatusOK, requestsIndexJSON{Count: len(reps), Reports: reps})
+}
+
+// handleRequestByID serves the full flight report for one request ID.
+func (s *Server) handleRequestByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "GET only"})
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/debug/requests/")
+	if id == "" || strings.Contains(id, "/") {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "want /debug/requests/{id}"})
+		return
+	}
+	rep, ok := s.ring.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound,
+			errorJSON{Error: fmt.Sprintf("no report for request %q (ring keeps the last %d)", id, s.cfg.FlightRing)})
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/flight"
 	"repro/internal/programs"
 )
 
@@ -579,5 +580,300 @@ func TestServeProcessGaugesRefreshOnScrape(t *testing.T) {
 	}
 	if samples["denali_process_heap_alloc_bytes"] <= 0 {
 		t.Errorf("heap gauge = %g, want > 0", samples["denali_process_heap_alloc_bytes"])
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decode %s: %v\n%s", url, err, raw)
+		}
+	}
+	return resp
+}
+
+// TestServeRequestIDEcho is the flight-recorder acceptance test: a
+// compile posted with X-Request-ID must echo the ID in the response
+// header and body, and /debug/requests/{id} must return a report whose
+// cycle counts agree with the response.
+func TestServeRequestIDEcho(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: repro.Options{Arch: "ev6"}})
+
+	body, _ := json.Marshal(CompileRequest{Source: programs.Quickstart})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/compile", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "abc")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "abc" {
+		t.Errorf("response header X-Request-ID = %q, want abc", got)
+	}
+	var out CompileResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.RequestID != "abc" {
+		t.Errorf("body request_id = %q, want abc", out.RequestID)
+	}
+	wantCycles := 0
+	for _, p := range out.Procs {
+		for _, g := range p.GMAs {
+			wantCycles += g.Cycles
+		}
+	}
+
+	var rep flight.Report
+	if r := getJSON(t, ts.URL+"/debug/requests/abc", &rep); r.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/requests/abc status %d", r.StatusCode)
+	}
+	if rep.ID != "abc" {
+		t.Errorf("report id = %q", rep.ID)
+	}
+	if rep.Error != "" || rep.Panic {
+		t.Errorf("report unexpectedly failed: error=%q panic=%v", rep.Error, rep.Panic)
+	}
+	if rep.Strategy != "linear" {
+		t.Errorf("report strategy = %q, want linear", rep.Strategy)
+	}
+	if rep.SourceBytes != len(programs.Quickstart) {
+		t.Errorf("report source_bytes = %d, want %d", rep.SourceBytes, len(programs.Quickstart))
+	}
+	if rep.Version == "" {
+		t.Error("report version empty")
+	}
+	if rep.WallMillis <= 0 {
+		t.Errorf("report wall_ms = %g", rep.WallMillis)
+	}
+	gotCycles := 0
+	for _, g := range rep.GMAs {
+		gotCycles += g.Cycles
+		if g.Fingerprint == "" {
+			t.Errorf("%s: empty fingerprint", g.Name)
+		}
+		if len(g.Probes) == 0 {
+			t.Errorf("%s: no probe ladder in report", g.Name)
+		}
+		if g.EGraphNodes <= 0 || g.EGraphClasses <= 0 {
+			t.Errorf("%s: e-graph stats missing: %d nodes %d classes",
+				g.Name, g.EGraphNodes, g.EGraphClasses)
+		}
+	}
+	if len(rep.GMAs) == 0 || gotCycles != wantCycles {
+		t.Errorf("report cycles = %d over %d GMAs, response total = %d",
+			gotCycles, len(rep.GMAs), wantCycles)
+	}
+}
+
+func TestServeRequestIDGeneratedAndSanitized(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: repro.Options{Arch: "ev6"}})
+
+	// No header: the server mints an ID and reports it back.
+	resp, raw := postCompile(t, ts.URL, CompileRequest{Source: programs.Quickstart})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var out CompileResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.RequestID == "" || out.RequestID != resp.Header.Get("X-Request-ID") {
+		t.Errorf("generated id: body %q, header %q", out.RequestID, resp.Header.Get("X-Request-ID"))
+	}
+
+	// A hostile header is sanitized before it reaches logs or reports.
+	body, _ := json.Marshal(CompileRequest{Source: programs.Quickstart})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/compile", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "evil id!")
+	hresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hraw, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", hresp.StatusCode, hraw)
+	}
+	if got := hresp.Header.Get("X-Request-ID"); got != "evil_id_" {
+		t.Errorf("sanitized id = %q, want evil_id_", got)
+	}
+	var rep flight.Report
+	if r := getJSON(t, ts.URL+"/debug/requests/evil_id_", &rep); r.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/requests/evil_id_ status %d", r.StatusCode)
+	}
+	if rep.ID != "evil_id_" {
+		t.Errorf("report id = %q", rep.ID)
+	}
+}
+
+func TestServeDebugRequestsIndex(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: repro.Options{Arch: "ev6"}, FlightRing: 4})
+
+	for i := 0; i < 3; i++ {
+		body, _ := json.Marshal(CompileRequest{Source: programs.Quickstart})
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/compile", bytes.NewReader(body))
+		req.Header.Set("X-Request-ID", fmt.Sprintf("req-%d", i))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("compile %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	var idx requestsIndexJSON
+	if r := getJSON(t, ts.URL+"/debug/requests", &idx); r.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/requests status %d", r.StatusCode)
+	}
+	if idx.Count != 3 || len(idx.Reports) != 3 {
+		t.Fatalf("count = %d, reports = %d, want 3", idx.Count, len(idx.Reports))
+	}
+	// Newest first.
+	for i, want := range []string{"req-2", "req-1", "req-0"} {
+		if idx.Reports[i].ID != want {
+			t.Errorf("reports[%d].ID = %q, want %q", i, idx.Reports[i].ID, want)
+		}
+	}
+
+	var last requestsIndexJSON
+	if r := getJSON(t, ts.URL+"/debug/requests?n=1", &last); r.StatusCode != http.StatusOK {
+		t.Fatalf("?n=1 status %d", r.StatusCode)
+	}
+	if last.Count != 1 || last.Reports[0].ID != "req-2" {
+		t.Errorf("?n=1 = %+v, want just req-2", last.Reports)
+	}
+
+	if r := getJSON(t, ts.URL+"/debug/requests?n=bogus", nil); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("?n=bogus status %d, want 400", r.StatusCode)
+	}
+	if r := getJSON(t, ts.URL+"/debug/requests/nosuch", nil); r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id status %d, want 404", r.StatusCode)
+	}
+}
+
+// TestServeErrorReportCaptured: a rejected compile still files a flight
+// report so failed requests are debuggable after the fact.
+func TestServeErrorReportCaptured(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: repro.Options{Arch: "ev6"}})
+	body, _ := json.Marshal(CompileRequest{Source: "this is not denali"})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/compile", bytes.NewReader(body))
+	req.Header.Set("X-Request-ID", "broken-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var e errorJSON
+	if err := json.Unmarshal(raw, &e); err != nil || e.RequestID != "broken-1" {
+		t.Errorf("error body should carry request_id: %s", raw)
+	}
+	var rep flight.Report
+	if r := getJSON(t, ts.URL+"/debug/requests/broken-1", &rep); r.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/requests/broken-1 status %d", r.StatusCode)
+	}
+	if rep.Error == "" {
+		t.Error("failed compile produced a report without an error")
+	}
+}
+
+func TestServeAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	_, ts := newTestServer(t, Config{Options: repro.Options{Arch: "ev6"}, AccessLog: &buf})
+
+	body, _ := json.Marshal(CompileRequest{Source: programs.Quickstart})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/compile", bytes.NewReader(body))
+	req.Header.Set("X-Request-ID", "log-me")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	var line accessLine
+	found := false
+	for _, l := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var al accessLine
+		if err := json.Unmarshal([]byte(l), &al); err != nil {
+			t.Fatalf("access log line is not JSON: %q: %v", l, err)
+		}
+		if al.ID == "log-me" {
+			line, found = al, true
+		}
+	}
+	if !found {
+		t.Fatalf("no access line for log-me in:\n%s", buf.String())
+	}
+	if line.Method != "POST" || line.Path != "/compile" || line.Status != 200 {
+		t.Errorf("access line = %+v", line)
+	}
+	if line.Strategy != "linear" || line.Cycles <= 0 {
+		t.Errorf("compile outcome missing from access line: %+v", line)
+	}
+	if line.Millis < 0 {
+		t.Errorf("negative duration: %+v", line)
+	}
+}
+
+func TestServeVersionAndBuildInfo(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: repro.Options{Arch: "ev6"}})
+	var v versionJSON
+	if r := getJSON(t, ts.URL+"/version", &v); r.StatusCode != http.StatusOK {
+		t.Fatalf("/version status %d", r.StatusCode)
+	}
+	if v.Version == "" || !strings.HasPrefix(v.Go, "go") {
+		t.Errorf("version = %+v", v)
+	}
+
+	samples := scrapeMetrics(t, ts.URL)
+	foundBuild := false
+	for k, val := range samples {
+		if strings.HasPrefix(k, "denali_build_info{") {
+			foundBuild = true
+			if val != 1 {
+				t.Errorf("%s = %g, want 1", k, val)
+			}
+			if !strings.Contains(k, `version=`) || !strings.Contains(k, `goversion=`) {
+				t.Errorf("build info labels missing: %s", k)
+			}
+		}
+	}
+	if !foundBuild {
+		t.Error("denali_build_info not exported")
+	}
+	if up, ok := samples["denali_process_uptime_seconds"]; !ok || up < 0 {
+		t.Errorf("denali_process_uptime_seconds = %g (present=%v)", up, ok)
 	}
 }

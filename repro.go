@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/drat"
 	"repro/internal/egraph"
+	"repro/internal/flight"
 	"repro/internal/gma"
 	"repro/internal/lang"
 	"repro/internal/matcher"
@@ -118,6 +119,18 @@ type Options struct {
 	// what `denali serve` exposes on /metrics. Nil (the default) disables
 	// publication at zero cost.
 	Sink *obs.Sink
+	// RequestID correlates everything this compilation produces with the
+	// request that asked for it: trace spans, exported DIMACS provenance,
+	// and the flight report all carry it. Empty disables the tagging.
+	// IDs from untrusted sources (HTTP headers) should pass through
+	// flight.SanitizeID first.
+	RequestID string
+	// Flight assembles a per-request structured report: one GMAReport per
+	// compiled GMA (fingerprint, match stats, the full probe ladder,
+	// outcome), including partial records for GMAs that failed or
+	// panicked. Nil (the default) disables report assembly at zero cost.
+	// See internal/flight.
+	Flight *flight.Recorder
 }
 
 // ArchDescription resolves the Options.Arch name.
@@ -295,6 +308,7 @@ func Compile(src string, opt Options) (*Result, error) {
 		MaxCycles: opt.MaxCycles,
 		Trace:     opt.Trace,
 		Sink:      opt.Sink,
+		RequestID: opt.RequestID,
 	}
 	if opt.BinarySearch {
 		copts.Search = core.BinarySearch
@@ -341,7 +355,7 @@ func Compile(src string, opt Options) (*Result, error) {
 	}
 	if workers <= 1 {
 		for _, j := range jobs {
-			cg, err := compileOne(j.g, copts, desc)
+			cg, err := compileOne(j.g, copts, desc, opt.Flight)
 			if err != nil {
 				return nil, fmt.Errorf("repro: %s: %w", j.g.Name, err)
 			}
@@ -365,7 +379,7 @@ func Compile(src string, opt Options) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			cg, err := compileOne(j.g, copts, desc)
+			cg, err := compileOne(j.g, copts, desc, opt.Flight)
 			if err != nil {
 				mu.Lock()
 				errs = append(errs, fmt.Errorf("repro: %s: %w", j.g.Name, err))
@@ -416,6 +430,7 @@ func CompileGMA(g *gma.GMA, opt Options) (*CompiledGMA, error) {
 		MaxCycles: opt.MaxCycles,
 		Trace:     opt.Trace,
 		Sink:      opt.Sink,
+		RequestID: opt.RequestID,
 	}
 	if opt.BinarySearch {
 		copts.Search = core.BinarySearch
@@ -428,17 +443,23 @@ func CompileGMA(g *gma.GMA, opt Options) (*CompiledGMA, error) {
 	}
 	copts.Workers = opt.Workers
 	copts.DisableIncremental = opt.Incremental != nil && !*opt.Incremental
-	return compileOne(g, copts, desc)
+	return compileOne(g, copts, desc, opt.Flight)
 }
 
-func compileOne(g *gma.GMA, copts core.Options, desc *arch.Description) (cg *CompiledGMA, err error) {
+func compileOne(g *gma.GMA, copts core.Options, desc *arch.Description, fr *flight.Recorder) (cg *CompiledGMA, err error) {
 	// Per-GMA isolation: a panic anywhere in the pipeline surfaces as this
 	// GMA's error instead of tearing down a whole (possibly concurrent)
-	// multi-GMA run.
+	// multi-GMA run. The flight report keeps a record of the casualty.
 	defer func() {
 		if r := recover(); r != nil {
 			cg, err = nil, fmt.Errorf("internal panic compiling %s: %v", g.Name, r)
 			copts.Sink.Add(obs.MCompileErrors, 1)
+			if fr.Enabled() {
+				gr := flight.DescribeGMA(g)
+				gr.Error = err.Error()
+				gr.Panic = true
+				fr.AddGMA(gr)
+			}
 		}
 	}()
 	if copts.Search == core.DescendSearch && copts.UpperBoundHint == 0 {
@@ -449,6 +470,19 @@ func compileOne(g *gma.GMA, copts core.Options, desc *arch.Description) (cg *Com
 	}
 	c, err := core.CompileGMA(g, copts)
 	if err != nil {
+		// Search errors still return a partial Compiled carrying the match
+		// stats and probe ladder accumulated before the failure — exactly
+		// what a post-mortem needs, so the flight report keeps them.
+		if fr.Enabled() {
+			gr := flight.DescribeGMA(g)
+			gr.Error = err.Error()
+			if c != nil {
+				fillMatch(&gr, c)
+				gr.Probes = probeRows(c.Probes)
+				gr.SolveMillis = millis(c.SolveTime)
+			}
+			fr.AddGMA(gr)
+		}
 		return nil, err
 	}
 	cg = &CompiledGMA{
@@ -488,8 +522,73 @@ func compileOne(g *gma.GMA, copts core.Options, desc *arch.Description) (cg *Com
 			Elapsed: p.Elapsed, Incremental: p.Incremental, Reused: p.Reused,
 		})
 	}
+	if fr.Enabled() {
+		fr.AddGMA(cg.FlightReport())
+	}
 	return cg, nil
 }
+
+// FlightReport converts the compiled GMA into its flight-recorder record:
+// identity (canonical fingerprint), search features, the full probe
+// ladder, and the outcome. Compile and CompileGMA call this for every GMA
+// when Options.Flight is set; it is exported so callers holding a
+// CompiledGMA (benchmarks, tests) can assemble reports themselves.
+func (c *CompiledGMA) FlightReport() flight.GMAReport {
+	gr := flight.DescribeGMA(c.gma)
+	gr.MatchRounds = c.Match.Rounds
+	gr.MatchInstantiations = c.Match.Instantiations
+	gr.MatchQuiescent = c.Match.Quiescent
+	gr.EGraphNodes = c.Match.Nodes
+	gr.EGraphClasses = c.Match.Classes
+	gr.MatchMillis = millis(c.Match.Elapsed)
+	for _, p := range c.Probes {
+		gr.Probes = append(gr.Probes, flight.ProbeRow{
+			K: p.K, Result: p.Result, Vars: p.Vars, Clauses: p.Clauses,
+			Conflicts: p.Conflicts, Decisions: p.Decisions,
+			Propagations: p.Propagations, Learned: p.Learned,
+			Restarts: p.Restarts, Millis: millis(p.Elapsed),
+			Incremental: p.Incremental, Reused: p.Reused,
+		})
+	}
+	gr.SolveMillis = millis(c.SolveTime)
+	gr.Cycles = c.Cycles
+	gr.Instructions = c.Instructions
+	gr.OptimalProven = c.OptimalProven
+	gr.Certified = c.Certified
+	gr.CertifyMillis = millis(c.CertifyTime)
+	return gr
+}
+
+// fillMatch copies core match statistics into a flight record (the
+// error-path twin of FlightReport, working from the partial core result).
+func fillMatch(gr *flight.GMAReport, c *core.Compiled) {
+	gr.MatchRounds = c.Match.Rounds
+	gr.MatchInstantiations = c.Match.Instantiations
+	gr.MatchQuiescent = c.Match.Quiescent
+	gr.EGraphNodes = c.Match.Nodes
+	gr.EGraphClasses = c.Match.Classes
+	gr.MatchMillis = millis(c.MatchTime)
+}
+
+// probeRows converts core probe records for the error path, where no
+// CompiledGMA exists yet.
+func probeRows(ps []core.Probe) []flight.ProbeRow {
+	var rows []flight.ProbeRow
+	for _, p := range ps {
+		rows = append(rows, flight.ProbeRow{
+			K: p.Stat.K, Result: p.Stat.Result.String(),
+			Vars: p.Stat.Vars, Clauses: p.Stat.Clauses,
+			Conflicts: p.Stat.Solver.Conflicts, Decisions: p.Stat.Solver.Decisions,
+			Propagations: p.Stat.Solver.Propagations, Learned: p.Stat.Solver.Learned,
+			Restarts: p.Stat.Solver.Restarts, Millis: millis(p.Elapsed),
+			Incremental: p.Stat.Incremental, Reused: p.Stat.Reused,
+		})
+	}
+	return rows
+}
+
+// millis renders a duration as fractional milliseconds for JSON reports.
+func millis(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
 
 // Execute runs the compiled GMA's schedule on the simulator with the given
 // input values and initial memory, returning the final value of every

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/flight"
 	"repro/internal/programs"
 )
 
@@ -585,5 +586,87 @@ func TestPopcount(t *testing.T) {
 	}
 	if g.Cycles > base.Cycles {
 		t.Fatalf("denali %d vs baseline %d", g.Cycles, base.Cycles)
+	}
+}
+
+// TestFlightRecorderIntegration compiles with a flight recorder attached
+// and checks the assembled report mirrors the CompiledGMA results: one
+// GMAReport per compiled GMA, matching cycles, the full probe ladder,
+// and the request ID carried through.
+func TestFlightRecorderIntegration(t *testing.T) {
+	fr := flight.NewRecorder("itest-1")
+	fr.SetRequest("ev6", "linear", 0, len(programs.Quickstart))
+	res, err := Compile(programs.Quickstart, Options{RequestID: "itest-1", Flight: fr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := fr.Report(0)
+	if rep.ID != "itest-1" || rep.Arch != "ev6" || rep.Strategy != "linear" {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if rep.Version == "" {
+		t.Error("version not stamped into report")
+	}
+
+	var gmas []*CompiledGMA
+	for _, p := range res.Procs {
+		gmas = append(gmas, p.GMAs...)
+	}
+	if len(rep.GMAs) != len(gmas) {
+		t.Fatalf("report has %d GMAs, compile produced %d", len(rep.GMAs), len(gmas))
+	}
+	byName := map[string]flight.GMAReport{}
+	for _, g := range rep.GMAs {
+		byName[g.Name] = g
+	}
+	for _, cg := range gmas {
+		g, ok := byName[cg.Name]
+		if !ok {
+			t.Errorf("%s missing from report", cg.Name)
+			continue
+		}
+		if g.Cycles != cg.Cycles || g.Instructions != cg.Instructions || g.OptimalProven != cg.OptimalProven {
+			t.Errorf("%s: report %d cycles/%d instrs/optimal=%v, compile %d/%d/%v",
+				cg.Name, g.Cycles, g.Instructions, g.OptimalProven,
+				cg.Cycles, cg.Instructions, cg.OptimalProven)
+		}
+		if len(g.Probes) != len(cg.Probes) {
+			t.Errorf("%s: report probe ladder %d rows, compile ran %d probes",
+				cg.Name, len(g.Probes), len(cg.Probes))
+			continue
+		}
+		for i, pr := range cg.Probes {
+			if g.Probes[i].K != pr.K || g.Probes[i].Result != pr.Result {
+				t.Errorf("%s probe %d: report K=%d %s, compile K=%d %s",
+					cg.Name, i, g.Probes[i].K, g.Probes[i].Result, pr.K, pr.Result)
+			}
+			if g.Probes[i].Conflicts != pr.Conflicts {
+				t.Errorf("%s probe %d: conflicts %d != %d",
+					cg.Name, i, g.Probes[i].Conflicts, pr.Conflicts)
+			}
+		}
+		if g.Fingerprint == "" || g.GoalSize == 0 || len(g.OperatorMix) == 0 {
+			t.Errorf("%s: search features missing: %+v", cg.Name, g)
+		}
+		if g.EGraphNodes == 0 || g.EGraphClasses == 0 || !g.MatchQuiescent {
+			t.Errorf("%s: match stats missing: %+v", cg.Name, g)
+		}
+	}
+
+	// A parse failure still yields a request-level error in the report.
+	fr2 := flight.NewRecorder("itest-2")
+	if _, err := Compile("not a program", Options{Flight: fr2}); err == nil {
+		t.Fatal("want parse error")
+	}
+	// The recorder itself only collects per-GMA rows; the caller records
+	// the request-level failure, as serve and the CLI do.
+	fr2.Fail("parse failed", false)
+	if rep2 := fr2.Report(0); rep2.Error == "" {
+		t.Errorf("failure not recorded: %+v", rep2)
+	}
+
+	// A nil recorder must be inert through the whole pipeline.
+	if _, err := Compile(programs.Quickstart, Options{Flight: nil}); err != nil {
+		t.Fatal(err)
 	}
 }

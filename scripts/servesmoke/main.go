@@ -1,10 +1,13 @@
 // Command servesmoke is verify.sh's end-to-end check of `denali serve`:
 // it builds the real binary, starts it on a random loopback port, compiles
-// one program over HTTP, scrapes /metrics and asserts the compile-latency
-// histogram counted the request, then shuts the server down with SIGTERM
-// and requires a clean exit. It exercises the whole service path —
-// listener bootstrap, addr-file handshake, raw-source POST, the shared
-// registry, graceful drain — with no test harness in between.
+// one program over HTTP with an X-Request-ID, asserts the ID is echoed
+// and that /debug/requests/{id} serves a flight report consistent with
+// the compile response, checks /version, scrapes /metrics and asserts the
+// compile-latency histogram counted the request, then shuts the server
+// down with SIGTERM and requires a clean exit. It exercises the whole
+// service path — listener bootstrap, addr-file handshake, raw-source
+// POST, the flight-report ring, the shared registry, graceful drain —
+// with no test harness in between.
 package main
 
 import (
@@ -58,18 +61,27 @@ func run() error {
 	}
 	base := "http://" + addr
 
-	resp, err := http.Post(base+"/compile", "text/plain", strings.NewReader(source))
+	const reqID = "servesmoke-1"
+	creq, err := http.NewRequest(http.MethodPost, base+"/compile", strings.NewReader(source))
+	if err != nil {
+		return err
+	}
+	creq.Header.Set("Content-Type", "text/plain")
+	creq.Header.Set("X-Request-ID", reqID)
+	resp, err := http.DefaultClient.Do(creq)
 	if err != nil {
 		return fmt.Errorf("POST /compile: %w", err)
 	}
 	var out struct {
-		Procs []struct {
+		RequestID string `json:"request_id"`
+		Procs     []struct {
 			GMAs []struct {
 				Cycles        int  `json:"cycles"`
 				OptimalProven bool `json:"optimal_proven"`
 			} `json:"gmas"`
 		} `json:"procs"`
 	}
+	echoed := resp.Header.Get("X-Request-ID")
 	err = json.NewDecoder(resp.Body).Decode(&out)
 	resp.Body.Close()
 	if err != nil {
@@ -78,11 +90,60 @@ func run() error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("/compile answered %d", resp.StatusCode)
 	}
+	if echoed != reqID || out.RequestID != reqID {
+		return fmt.Errorf("request id not echoed: header %q, body %q, want %q", echoed, out.RequestID, reqID)
+	}
 	if len(out.Procs) != 1 || len(out.Procs[0].GMAs) != 1 {
 		return fmt.Errorf("unexpected response shape: %+v", out)
 	}
 	if g := out.Procs[0].GMAs[0]; g.Cycles != 1 || !g.OptimalProven {
 		return fmt.Errorf("reg6*4+1 compiled to %d cycles (optimal=%v), want 1 proven-optimal cycle", g.Cycles, g.OptimalProven)
+	}
+
+	// The flight report for that request must be live on the debug
+	// endpoint and agree with the response we just decoded.
+	resp, err = http.Get(base + "/debug/requests/" + reqID)
+	if err != nil {
+		return fmt.Errorf("GET /debug/requests/%s: %w", reqID, err)
+	}
+	var rep struct {
+		ID   string `json:"id"`
+		GMAs []struct {
+			Cycles int              `json:"cycles"`
+			Probes []map[string]any `json:"probes"`
+		} `json:"gmas"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&rep)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("decode flight report: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/requests/%s answered %d", reqID, resp.StatusCode)
+	}
+	if rep.ID != reqID || len(rep.GMAs) != 1 {
+		return fmt.Errorf("flight report mismatch: id %q, %d GMAs", rep.ID, len(rep.GMAs))
+	}
+	if rep.GMAs[0].Cycles != out.Procs[0].GMAs[0].Cycles {
+		return fmt.Errorf("flight report says %d cycles, response said %d",
+			rep.GMAs[0].Cycles, out.Procs[0].GMAs[0].Cycles)
+	}
+	if len(rep.GMAs[0].Probes) == 0 {
+		return fmt.Errorf("flight report has no probe ladder")
+	}
+
+	resp, err = http.Get(base + "/version")
+	if err != nil {
+		return fmt.Errorf("GET /version: %w", err)
+	}
+	var ver struct {
+		Version string `json:"version"`
+		Go      string `json:"go"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ver)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || ver.Version == "" || ver.Go == "" {
+		return fmt.Errorf("/version: status %d, body %+v, err %v", resp.StatusCode, ver, err)
 	}
 
 	resp, err = http.Get(base + "/metrics")

@@ -22,10 +22,10 @@ go vet ./...
 echo "== tests"
 go test ./...
 
-echo "== race gate (core, schedule, sat, obs, serve)"
-go test -race ./internal/core ./internal/schedule ./internal/sat ./internal/obs ./internal/serve
+echo "== race gate (core, schedule, sat, obs, serve, flight)"
+go test -race ./internal/core ./internal/schedule ./internal/sat ./internal/obs ./internal/serve ./internal/flight
 
-echo "== serve smoke (HTTP compile + /metrics scrape + graceful shutdown)"
+echo "== serve smoke (HTTP compile + request-id echo + flight report + /metrics scrape + graceful shutdown)"
 go run ./scripts/servesmoke
 
 echo "== certification gate (drat checker tests + end-to-end -certify)"
