@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"runtime"
@@ -37,6 +38,7 @@ import (
 	"repro"
 	"repro/internal/axioms"
 	"repro/internal/brute"
+	"repro/internal/compilecache"
 	"repro/internal/egraph"
 	"repro/internal/flight"
 	"repro/internal/matcher"
@@ -92,17 +94,18 @@ type benchRow struct {
 // experiments sequentially, but compilations inside one experiment may fan
 // out, so rows is mutex-guarded.
 var (
-	rowsMu      sync.Mutex
-	rows        []benchRow
-	currentExp  string
-	curStrategy = "linear"
-	curWorkers  = 1
-	curWallMS   float64
-	curArch     = "ev6"
-	jsonPath    string
-	outPath     string
-	incOutPath  string
-	reportPath  string
+	rowsMu       sync.Mutex
+	rows         []benchRow
+	currentExp   string
+	curStrategy  = "linear"
+	curWorkers   = 1
+	curWallMS    float64
+	curArch      = "ev6"
+	jsonPath     string
+	outPath      string
+	incOutPath   string
+	cacheOutPath string
+	reportPath   string
 	// flightLog appends one flight.Report per compiled GMA when
 	// -report-out is set, with IDs like "E2-0003" so `denali report` can
 	// trace any aggregate back to the experiment and compile that produced
@@ -295,6 +298,7 @@ func main() {
 	flag.IntVar(&flagWorkers, "workers", 0, "worker bound for parallel probes and multi-GMA compilation (0 = GOMAXPROCS)")
 	flag.BoolVar(&flagParallel, "parallel", false, "use the speculative parallel budget search in every experiment that does not pick its own strategy")
 	flag.StringVar(&incOutPath, "inc-out", "BENCH_5.json", "write E16's per-GMA scratch-vs-incremental comparison to this JSON file (empty to skip)")
+	flag.StringVar(&cacheOutPath, "cache-out", "BENCH_6.json", "write E17's cold-vs-warm compile-cache comparison to this JSON file (empty to skip)")
 	flag.StringVar(&reportPath, "report-out", "", "append one flight report (JSON line) per compiled GMA to this file; summarize with `denali report`")
 	flag.Parse()
 	if reportPath != "" {
@@ -324,6 +328,7 @@ func main() {
 		{"E14", "served-mode throughput and latency under concurrent HTTP clients", e14},
 		{"E15", "certified optimality: DRAT proof logging and re-check overhead", e15},
 		{"E16", "scratch vs incremental budget search: conflicts, propagations, wall clock", e16},
+		{"E17", "compile cache under a repeat-heavy served workload: cold vs warm throughput", e17},
 		{"A1", "ablation: at-most-once-per-term pruning constraint", a1},
 		{"A2", "ablation: matcher saturation budgets vs result quality", a2},
 	}
@@ -1143,6 +1148,211 @@ func e16() error {
 	}
 	if wins*2 < multi {
 		return fmt.Errorf("incremental search reduced conflicts on only %d of %d multi-probe compiles", wins, multi)
+	}
+	return nil
+}
+
+// e17Row is one golden program in the E17 comparison: its cold (fresh
+// compile) and hit (cache replay) service latency, and whether the cached
+// answer was byte-identical to the fresh one.
+type e17Row struct {
+	Program    string  `json:"program"`
+	GMAs       int     `json:"gmas"`
+	ColdMillis float64 `json:"cold_ms"`
+	HitMillis  float64 `json:"hit_ms"`
+	Identical  bool    `json:"identical"`
+}
+
+// e17 measures what the compile cache buys on a repeat-heavy served
+// workload: the golden corpus is compiled cold through an in-process
+// server (all misses), then hammered with a Zipf-skewed warm mix that
+// re-requests the popular programs. The claims under test: warm
+// throughput is at least 5x cold, and every cached answer is
+// byte-identical to the fresh compile it replays — a cache that serves
+// stale or divergent code is worse than no cache.
+func e17() error {
+	srv := serve.New(serve.Config{
+		Addr:     "127.0.0.1:0",
+		Registry: benchReg,
+		Cache:    compilecache.New(compilecache.Config{MaxEntries: 256}),
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(ctx) }()
+	for srv.Addr() == "" {
+		time.Sleep(time.Millisecond)
+	}
+	base := "http://" + srv.Addr()
+
+	corpus := []struct{ name, src string }{
+		{"quickstart", programs.Quickstart},
+		{"byteswap4", programs.Byteswap4},
+		{"byteswap5", programs.Byteswap5},
+		{"copyloop", programs.CopyLoop},
+		{"rowop", programs.Rowop},
+		{"lcp2", programs.Lcp2},
+		{"sumloop", programs.SumLoop},
+		{"checksum", programs.Checksum},
+	}
+	// post compiles one program over HTTP and returns the cache header,
+	// the flattened GMAs, and the client-side latency.
+	post := func(src string) (string, []serve.GMAJSON, time.Duration, error) {
+		t0 := time.Now()
+		resp, err := http.Post(base+"/compile", "text/plain", strings.NewReader(src))
+		if err != nil {
+			return "", nil, 0, err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		lat := time.Since(t0)
+		if resp.StatusCode != http.StatusOK {
+			return "", nil, 0, fmt.Errorf("HTTP %d: %.120s", resp.StatusCode, body)
+		}
+		var out serve.CompileResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			return "", nil, 0, err
+		}
+		var gmas []serve.GMAJSON
+		for _, p := range out.Procs {
+			gmas = append(gmas, p.GMAs...)
+		}
+		return resp.Header.Get("X-Denali-Cache"), gmas, lat, nil
+	}
+	// identical compares the fields the cache must reproduce exactly; the
+	// per-request numbers (match/solve wall time) legitimately differ.
+	identical := func(a, b []serve.GMAJSON) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].Name != b[i].Name || a[i].Cycles != b[i].Cycles ||
+				a[i].Instructions != b[i].Instructions ||
+				a[i].OptimalProven != b[i].OptimalProven ||
+				a[i].Assembly != b[i].Assembly {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Cold pass: every program once. All must miss.
+	rows := make([]e17Row, len(corpus))
+	cold := make([][]serve.GMAJSON, len(corpus))
+	coldStart := time.Now()
+	for i, p := range corpus {
+		hdr, gmas, lat, err := post(p.src)
+		if err != nil {
+			return fmt.Errorf("cold %s: %w", p.name, err)
+		}
+		if hdr != "miss" {
+			return fmt.Errorf("cold %s: X-Denali-Cache = %q, want \"miss\"", p.name, hdr)
+		}
+		cold[i] = gmas
+		rows[i] = e17Row{Program: p.name, GMAs: len(gmas), ColdMillis: float64(lat.Microseconds()) / 1e3}
+	}
+	coldWall := time.Since(coldStart)
+
+	// Warm pass: a Zipf-skewed mix over the now-cached corpus — the
+	// served steady state, where a few hot programs dominate. Fixed seed
+	// so the workload (and the numbers) are reproducible.
+	const warmN = 64
+	zipf := rand.NewZipf(rand.New(rand.NewSource(17)), 1.4, 1.5, uint64(len(corpus)-1))
+	warmStart := time.Now()
+	for i := 0; i < warmN; i++ {
+		j := int(zipf.Uint64())
+		hdr, gmas, _, err := post(corpus[j].src)
+		if err != nil {
+			return fmt.Errorf("warm %s: %w", corpus[j].name, err)
+		}
+		if hdr != "hit" {
+			return fmt.Errorf("warm %s: X-Denali-Cache = %q, want \"hit\"", corpus[j].name, hdr)
+		}
+		if !identical(gmas, cold[j]) {
+			return fmt.Errorf("warm %s: cached answer diverged from the fresh compile", corpus[j].name)
+		}
+	}
+	warmWall := time.Since(warmStart)
+
+	// Divergence sweep: one guaranteed hit per golden program (the Zipf
+	// mix may skip the tail), each compared against its fresh answer.
+	diverged := 0
+	for i, p := range corpus {
+		hdr, gmas, lat, err := post(p.src)
+		if err != nil {
+			return fmt.Errorf("sweep %s: %w", p.name, err)
+		}
+		if hdr != "hit" {
+			return fmt.Errorf("sweep %s: X-Denali-Cache = %q, want \"hit\"", p.name, hdr)
+		}
+		rows[i].HitMillis = float64(lat.Microseconds()) / 1e3
+		rows[i].Identical = identical(gmas, cold[i])
+		if !rows[i].Identical {
+			diverged++
+		}
+	}
+
+	hits := benchReg.CounterValue(obs.MCacheHits, obs.T("tier", "memory")) +
+		benchReg.CounterValue(obs.MCacheHits, obs.T("tier", "disk"))
+	misses := benchReg.CounterValue(obs.MCacheMisses)
+	coldRPS := float64(len(corpus)) / coldWall.Seconds()
+	warmRPS := float64(warmN) / warmWall.Seconds()
+	speedup := warmRPS / coldRPS
+
+	fmt.Printf("%-12s %5s %10s %10s %10s\n", "program", "gmas", "cold-ms", "hit-ms", "identical")
+	for _, r := range rows {
+		fmt.Printf("%-12s %5d %10.1f %10.1f %10v\n", r.Program, r.GMAs, r.ColdMillis, r.HitMillis, r.Identical)
+	}
+	fmt.Printf("cold: %d programs in %v (%.1f req/s); warm: %d requests in %v (%.1f req/s) — %.1fx\n",
+		len(corpus), coldWall.Round(time.Millisecond), coldRPS,
+		warmN, warmWall.Round(time.Millisecond), warmRPS, speedup)
+	fmt.Printf("cache counters: %.0f hits, %.0f misses (%.0f%% hit rate); %d/%d cached answers identical to fresh\n",
+		hits, misses, 100*hits/(hits+misses), len(corpus)-diverged, len(corpus))
+
+	cancel()
+	if err := <-errc; err != nil {
+		return err
+	}
+	if cacheOutPath != "" {
+		doc := struct {
+			Schema       string   `json:"schema"`
+			GeneratedAt  string   `json:"generated_at"`
+			GoMaxProcs   int      `json:"gomaxprocs"`
+			ColdMS       float64  `json:"cold_wall_ms"`
+			WarmMS       float64  `json:"warm_wall_ms"`
+			ColdRPS      float64  `json:"cold_req_per_sec"`
+			WarmRPS      float64  `json:"warm_req_per_sec"`
+			Speedup      float64  `json:"warm_over_cold"`
+			WarmRequests int      `json:"warm_requests"`
+			Hits         int      `json:"cache_hits"`
+			Misses       int      `json:"cache_misses"`
+			Diverged     int      `json:"diverged"`
+			Rows         []e17Row `json:"programs"`
+		}{
+			Schema:      "denali-bench-cache/v1",
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			ColdMS:      float64(coldWall.Microseconds()) / 1e3,
+			WarmMS:      float64(warmWall.Microseconds()) / 1e3,
+			ColdRPS:     coldRPS, WarmRPS: warmRPS, Speedup: speedup,
+			WarmRequests: warmN,
+			Hits:         int(hits), Misses: int(misses), Diverged: diverged,
+			Rows: rows,
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cacheOutPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("cold-vs-warm comparison written to %s\n", cacheOutPath)
+	}
+	if diverged > 0 {
+		return fmt.Errorf("%d of %d cached answers diverged from their fresh compiles", diverged, len(corpus))
+	}
+	if speedup < 5 {
+		return fmt.Errorf("warm throughput only %.1fx cold, want >= 5x", speedup)
 	}
 	return nil
 }

@@ -1,0 +1,122 @@
+package compilecache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Store is the pluggable persistent tier behind the in-memory LRU. A
+// store only sees validated keys (64-hex SHA-256). Implementations must
+// be goroutine-safe; errors are tolerated by the Cache (counted, then
+// treated as a miss or a dropped write), so a flaky store degrades the
+// cache to memory-only rather than failing compiles. The interface is
+// deliberately minimal so a shared remote tier (memcache/redis-style)
+// can slot in later without touching the cache.
+type Store interface {
+	// Get returns the entry stored under key, reporting whether one
+	// exists. A corrupt entry is (Entry{}, false, nil) — quarantined,
+	// not fatal.
+	Get(key string) (Entry, bool, error)
+	// Put durably stores the entry under key, atomically: a concurrent
+	// Get never observes a partial write.
+	Put(key string, e Entry) error
+}
+
+// DiskStore is the on-disk Store: one content-addressed JSON file per
+// key (<dir>/<key>.json), written to a temp file and renamed into place
+// so loads never see partial writes. Corrupt or foreign files are
+// quarantined (renamed to .bad) on first read rather than failing the
+// compile — a half-written file from a crashed process must not take
+// the service down.
+type DiskStore struct {
+	dir string
+}
+
+// OpenDisk opens (creating if needed) a disk store rooted at dir.
+func OpenDisk(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("compilecache: open store: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+// validKey guards the filesystem path: keys are lowercase-hex SHA-256
+// digests; anything else (a doctored persistent file, a future schema)
+// must not be able to traverse out of the store directory.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for _, r := range key {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *DiskStore) path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// Get loads one entry. Unreadable, truncated, unparseable or
+// wrongly-keyed files are quarantined as <key>.json.bad and reported as
+// a miss.
+func (s *DiskStore) Get(key string) (Entry, bool, error) {
+	if !validKey(key) {
+		return Entry{}, false, fmt.Errorf("compilecache: invalid key %q", key)
+	}
+	path := s.path(key)
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return Entry{}, false, nil
+	}
+	if err != nil {
+		return Entry{}, false, err
+	}
+	var e Entry
+	if uerr := json.Unmarshal(raw, &e); uerr != nil || e.Key != key {
+		// Corruption tolerance: move the bad file aside so the next
+		// compile overwrites cleanly and the evidence survives.
+		os.Rename(path, path+".bad")
+		return Entry{}, false, nil
+	}
+	return e, true, nil
+}
+
+// Put stores one entry atomically: marshal, write to a same-directory
+// temp file, fsync-free rename over the final name. Concurrent Puts of
+// the same key race benignly — both files are complete, rename is
+// atomic, last writer wins.
+func (s *DiskStore) Put(key string, e Entry) error {
+	if !validKey(key) {
+		return fmt.Errorf("compilecache: invalid key %q", key)
+	}
+	e.Key = key
+	raw, err := json.Marshal(&e)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(append(raw, '\n'))
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

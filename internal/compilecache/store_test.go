@@ -1,0 +1,196 @@
+package compilecache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testKey returns a syntactically valid (64-hex) key derived from i.
+func testKey(i int) string {
+	return fmt.Sprintf("%064x", i+1)
+}
+
+func testEntry(key string) Entry {
+	return Entry{
+		Key:           key,
+		OriginRequest: "req-" + key[:6],
+		CreatedAt:     time.Unix(1700000000, 0).UTC(),
+		Assembly:      "addq r1, r2, r3",
+		Listing:       "0: addq",
+		MaxLive:       2,
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	s, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(1)
+	want := testEntry(key)
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if got.Assembly != want.Assembly || got.OriginRequest != want.OriginRequest ||
+		got.MaxLive != want.MaxLive || !got.CreatedAt.Equal(want.CreatedAt) {
+		t.Fatalf("round trip mismatch: got %+v want %+v", got, want)
+	}
+	if _, ok, err := s.Get(testKey(2)); ok || err != nil {
+		t.Fatalf("missing key: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestDiskStoreSurvivesReopen: the restart scenario — entries written by
+// one process generation are served by the next.
+func TestDiskStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(3)
+	if err := s1.Put(key, testEntry(key)); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s2.Get(key); !ok || err != nil {
+		t.Fatalf("entry did not survive reopen: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestDiskStoreCorruptionQuarantined: truncated, garbage and wrongly-keyed
+// files must be reported as misses (never errors) and moved aside so the
+// next compile overwrites cleanly.
+func TestDiskStoreCorruptionQuarantined(t *testing.T) {
+	cases := map[string]func(valid []byte) []byte{
+		"truncated": func(v []byte) []byte { return v[:len(v)/2] },
+		"garbage":   func([]byte) []byte { return []byte("not json at all\x00\xff") },
+		"empty":     func([]byte) []byte { return nil },
+		"wrong-key": func([]byte) []byte {
+			e := testEntry(testKey(99)) // body disagrees with filename
+			b, _ := json.Marshal(&e)
+			return b
+		},
+	}
+	for name, corrupt := range cases {
+		t.Run(name, func(t *testing.T) {
+			s, err := OpenDisk(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := testKey(4)
+			if err := s.Put(key, testEntry(key)); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(s.Dir(), key+".json")
+			valid, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(valid), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, err := s.Get(key); ok || err != nil {
+				t.Fatalf("corrupt entry should be a silent miss: ok=%v err=%v", ok, err)
+			}
+			if _, err := os.Stat(path + ".bad"); err != nil {
+				t.Fatalf("corrupt file not quarantined: %v", err)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt file still in place: %v", err)
+			}
+			// The slot is reusable: a fresh Put serves again.
+			if err := s.Put(key, testEntry(key)); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok, _ := s.Get(key); !ok {
+				t.Fatal("Put after quarantine did not restore the entry")
+			}
+		})
+	}
+}
+
+// TestDiskStoreRejectsInvalidKeys: anything that is not a 64-hex digest
+// must error before touching the filesystem — the key is a filename.
+func TestDiskStoreRejectsInvalidKeys(t *testing.T) {
+	s, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"", "short", strings.Repeat("g", 64), strings.Repeat("A", 64),
+		"../../../../etc/passwd", strings.Repeat("a", 63) + "/",
+	} {
+		if _, _, err := s.Get(key); err == nil {
+			t.Errorf("Get(%q): want error", key)
+		}
+		if err := s.Put(key, Entry{}); err == nil {
+			t.Errorf("Put(%q): want error", key)
+		}
+	}
+}
+
+// TestDiskStoreConcurrentPutsStayAtomic: hammer one key from many
+// goroutines while reading it; every read must see a complete entry
+// (ok with intact fields) or a clean miss — never corruption.
+func TestDiskStoreConcurrentPutsStayAtomic(t *testing.T) {
+	s, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(5)
+	const writers, reads = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := testEntry(key)
+			e.Assembly = fmt.Sprintf("writer-%d", w)
+			for i := 0; i < reads; i++ {
+				if err := s.Put(key, e); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writers*reads; i++ {
+			e, ok, err := s.Get(key)
+			if err != nil {
+				t.Errorf("Get: %v", err)
+				return
+			}
+			if ok && !strings.HasPrefix(e.Assembly, "writer-") {
+				t.Errorf("torn read: %+v", e)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if _, err := os.Stat(filepath.Join(s.Dir(), key+".json.bad")); err == nil {
+		t.Fatal("concurrent writes produced a quarantined file — a torn write was observed")
+	}
+	// No temp files may linger after all Puts complete.
+	matches, _ := filepath.Glob(filepath.Join(s.Dir(), "put-*.tmp"))
+	if len(matches) != 0 {
+		t.Fatalf("leaked temp files: %v", matches)
+	}
+}

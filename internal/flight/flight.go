@@ -85,6 +85,18 @@ type GMAReport struct {
 	// stats and any probes completed before the failure are retained.
 	Error string `json:"error,omitempty"`
 	Panic bool   `json:"panic,omitempty"`
+
+	// CacheHit marks a result served from the compile cache — the match
+	// stats and probe ladder above are the origin compile's, replayed
+	// from the cached entry, not work done by this request. Coalesced
+	// instead marks a request that blocked on an identical in-flight
+	// compile (single-flight dedup) and took the leader's result.
+	// CacheOrigin is the request ID of the compile that produced the
+	// cached entry, so a hit can be traced back to the compile that paid
+	// for it.
+	CacheHit    bool   `json:"cache_hit,omitempty"`
+	Coalesced   bool   `json:"coalesced,omitempty"`
+	CacheOrigin string `json:"cache_origin,omitempty"`
 }
 
 // Report is one compile request end to end.
@@ -180,12 +192,27 @@ func countOps(t *term.Term, mix map[string]int) {
 // target kinds, values, load protection, assumptions — separates them.
 // The 16-hex-digit prefix of a SHA-256 is returned.
 func Fingerprint(g *gma.GMA) string {
+	text, _ := Canonical(g)
+	sum := sha256.Sum256([]byte(text))
+	return hex.EncodeToString(sum[:8])
+}
+
+// Canonical returns the canonical alpha-renamed rendering of the GMA —
+// the exact text Fingerprint hashes — together with the GMA's variables
+// in first-occurrence order over guard, values, miss annotations and
+// assumptions. Two alpha-renamed variants of one computation render the
+// same text, and position i of each variant's variable list names the
+// same canonical variable v<i>, so a consumer holding both lists (the
+// compile cache) can translate names between the variants.
+func Canonical(g *gma.GMA) (string, []string) {
 	alias := map[string]string{}
+	var order []string
 	rename := func(name string) string {
 		a, ok := alias[name]
 		if !ok {
 			a = fmt.Sprintf("v%d", len(alias))
 			alias[name] = a
+			order = append(order, name)
 		}
 		return a
 	}
@@ -219,8 +246,7 @@ func Fingerprint(g *gma.GMA) string {
 		writeCanonical(&b, as.B, rename)
 		b.WriteByte('\n')
 	}
-	sum := sha256.Sum256([]byte(b.String()))
-	return hex.EncodeToString(sum[:8])
+	return b.String(), order
 }
 
 // writeCanonical renders a term with variables replaced by their

@@ -15,6 +15,10 @@ import (
 type Summary struct {
 	Reports int
 	Errors  int
+	// CacheHits / Coalesced count GMA records answered by the compile
+	// cache rather than a fresh pipeline run, across all reports.
+	CacheHits int
+	Coalesced int
 	// Strategies counts reports per request-level strategy.
 	Strategies map[string]int
 	GMAs       []*GMASummary
@@ -59,6 +63,12 @@ type GMASummary struct {
 	names    map[string]int
 	Compiles int
 	Errors   int
+	// CacheHits / Coalesced count the subset of Compiles answered from
+	// the compile cache (the cycle distribution still includes them; the
+	// probe and strategy aggregates do not, since a cached row replays
+	// the origin compile's ladder and would double-count its work).
+	CacheHits int
+	Coalesced int
 	// Cycles distributes the winning budget; a well-behaved GMA has one.
 	Cycles     map[int]int
 	Strategies map[string]*StrategyStat
@@ -105,6 +115,19 @@ func Summarize(reps []Report) *Summary {
 			}
 			gs.Compiles++
 			gs.Cycles[g.Cycles]++
+			if g.CacheHit || g.Coalesced {
+				if g.CacheHit {
+					gs.CacheHits++
+					s.CacheHits++
+				} else {
+					gs.Coalesced++
+					s.Coalesced++
+				}
+				// The row's match stats and probe ladder are the origin
+				// compile's, replayed from the cache — aggregating them
+				// again would double-count solver work that ran once.
+				continue
+			}
 			st := gs.Strategies[rep.Strategy]
 			if st == nil {
 				st = &StrategyStat{}
@@ -184,12 +207,22 @@ func (g *GMASummary) noteConflicts(p ProbeRef) {
 // the winner), probe histogram by budget, and top-conflict probes.
 func (s *Summary) WriteText(w io.Writer) error {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d reports, %d errors, %d distinct GMAs\n", s.Reports, s.Errors, len(s.GMAs))
+	fmt.Fprintf(&b, "%d reports, %d errors, %d distinct GMAs", s.Reports, s.Errors, len(s.GMAs))
+	if s.CacheHits > 0 || s.Coalesced > 0 {
+		fmt.Fprintf(&b, ", %d cache hits, %d coalesced", s.CacheHits, s.Coalesced)
+	}
+	b.WriteByte('\n')
 	for _, k := range sortedKeys(s.Strategies) {
 		fmt.Fprintf(&b, "  strategy %-10s %6d reports\n", k, s.Strategies[k])
 	}
 	for _, g := range s.GMAs {
 		fmt.Fprintf(&b, "\n%s  [%s]  goal-size=%d  compiles=%d", g.Name, g.Fingerprint, g.GoalSize, g.Compiles)
+		if g.CacheHits > 0 {
+			fmt.Fprintf(&b, "  cache-hits=%d", g.CacheHits)
+		}
+		if g.Coalesced > 0 {
+			fmt.Fprintf(&b, "  coalesced=%d", g.Coalesced)
+		}
 		if g.Errors > 0 {
 			fmt.Fprintf(&b, "  errors=%d", g.Errors)
 		}

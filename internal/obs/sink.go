@@ -135,6 +135,24 @@ const (
 	MSimCycles    = "denali_sim_cycles_total"
 	MSimInstrs    = "denali_sim_instructions_total"
 
+	// MCacheHits counts compile-cache lookups answered from a cached
+	// entry, labeled by tier (memory/disk); MCacheMisses counts lookups
+	// that had to compile; MCacheCoalesced counts requests that blocked
+	// on an identical in-flight compile instead of starting their own
+	// (single-flight dedup). MCacheEvictions counts LRU evictions,
+	// MCacheBytes / MCacheEntries gauge the in-memory tier's size, and
+	// MCacheHitSeconds is the latency of answering from the cache.
+	// MCacheStoreErrors counts persistent-store failures (all tolerated:
+	// the cache degrades to memory-only).
+	MCacheHits        = "denali_cache_hits_total"
+	MCacheMisses      = "denali_cache_misses_total"
+	MCacheCoalesced   = "denali_cache_coalesced_total"
+	MCacheEvictions   = "denali_cache_evictions_total"
+	MCacheBytes       = "denali_cache_bytes"
+	MCacheEntries     = "denali_cache_entries"
+	MCacheHitSeconds  = "denali_cache_hit_seconds"
+	MCacheStoreErrors = "denali_cache_store_errors_total"
+
 	// MBuildInfo is the constant-1 build-identity gauge (version and
 	// goversion labels), the Prometheus idiom for joining a process's
 	// version onto any other series. The same version string is stamped
@@ -180,6 +198,14 @@ func NewCompilerRegistry() *Registry {
 	r.DeclareCounter(MVerifyTrials, "Random-input verification trials executed.")
 	r.DeclareCounter(MSimCycles, "Machine cycles executed by the simulator.")
 	r.DeclareCounter(MSimInstrs, "Instructions executed by the simulator.")
+	r.DeclareCounter(MCacheHits, "Compile-cache lookups answered from a cached entry, by tier.")
+	r.DeclareCounter(MCacheMisses, "Compile-cache lookups that had to compile.")
+	r.DeclareCounter(MCacheCoalesced, "Compile requests coalesced onto an identical in-flight compile.")
+	r.DeclareCounter(MCacheEvictions, "Compile-cache LRU evictions.")
+	r.DeclareGauge(MCacheBytes, "Bytes held by the in-memory compile-cache tier.")
+	r.DeclareGauge(MCacheEntries, "Entries held by the in-memory compile-cache tier.")
+	r.DeclareHistogram(MCacheHitSeconds, "Latency of answering a compile from the cache.", DefSecondsBuckets)
+	r.DeclareCounter(MCacheStoreErrors, "Persistent compile-cache store failures (tolerated).")
 	r.DeclareGauge(MBuildInfo, "Build identity: constant 1, labeled by version and goversion.")
 	r.DeclareGauge(MUptimeSeconds, "Seconds since the registry was constructed.")
 	r.Set(MBuildInfo, 1,

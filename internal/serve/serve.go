@@ -49,6 +49,7 @@ import (
 
 	"repro"
 	"repro/internal/buildinfo"
+	"repro/internal/compilecache"
 	"repro/internal/flight"
 	"repro/internal/obs"
 )
@@ -99,6 +100,13 @@ type Config struct {
 	// request ID, method, path, status, latency, and (for compiles) the
 	// strategy and total cycles. Nil disables access logging.
 	AccessLog io.Writer
+	// Cache, when non-nil, answers repeated identical compiles from the
+	// content-addressed compile cache and deduplicates concurrent ones
+	// (see internal/compilecache). The response reports the outcome in an
+	// X-Denali-Cache header (hit/miss/coalesced/bypass); requests override
+	// per-call with the "cache" field (true, false, or "refresh"). The
+	// cache's metrics sink is attached to the server's registry by New.
+	Cache *compilecache.Cache
 }
 
 // Server is one compile service instance.
@@ -149,6 +157,10 @@ func New(cfg Config) *Server {
 		limiter: make(chan struct{}, cfg.MaxConcurrent),
 		ring:    flight.NewRing(cfg.FlightRing),
 	}
+	// The cache is usually built at flag-parse time, before a registry
+	// exists; attach it to the server's sink so denali_cache_* metrics
+	// land on /metrics. Nil-safe on both sides.
+	cfg.Cache.SetSink(s.sink)
 	s.reg.DeclareCounter(mHTTPRequests, "HTTP requests by path and status code.")
 	s.reg.DeclareHistogram(mHTTPSeconds, "HTTP request latency by path.", obs.DefSecondsBuckets)
 	s.reg.DeclareGauge(mHTTPInflight, "HTTP requests currently being served.")
@@ -366,6 +378,14 @@ type CompileRequest struct {
 	// Trace returns the request's pipeline trace as Chrome trace_event
 	// JSON in the response (load in chrome://tracing or Perfetto).
 	Trace bool `json:"trace,omitempty"`
+	// Cache overrides the compile cache for this request (tri-state, only
+	// meaningful when the server has one configured): absent or true uses
+	// the cache, false bypasses it for this request, and the string
+	// "refresh" recompiles and overwrites the stored entries. The response
+	// reports what happened in the X-Denali-Cache header — the body stays
+	// byte-identical between cached and fresh answers (modulo request_id
+	// and timings), which the conformance tests rely on.
+	Cache json.RawMessage `json:"cache,omitempty"`
 }
 
 // ProbeJSON is one SAT probe in the response.
@@ -482,7 +502,62 @@ func (s *Server) options(req *CompileRequest, tr *obs.Trace) (repro.Options, err
 	if req.Incremental != nil {
 		opt.Incremental = req.Incremental
 	}
+	opt.Cache = s.cfg.Cache
+	if len(req.Cache) > 0 {
+		mode, err := parseCacheMode(req.Cache)
+		if err != nil {
+			return opt, err
+		}
+		opt.CacheMode = mode
+	}
 	return opt, nil
+}
+
+// parseCacheMode decodes the tri-state "cache" request field into a
+// repro.Options.CacheMode value: true → "" (use), false → "off",
+// "refresh" → "refresh".
+func parseCacheMode(raw json.RawMessage) (string, error) {
+	var b bool
+	if err := json.Unmarshal(raw, &b); err == nil {
+		if b {
+			return "", nil
+		}
+		return "off", nil
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		switch s {
+		case "refresh":
+			return "refresh", nil
+		}
+		return "", fmt.Errorf("unknown cache mode %q (want true, false or \"refresh\")", s)
+	}
+	return "", errors.New(`invalid "cache" field (want true, false or "refresh")`)
+}
+
+// cacheOutcome aggregates the per-GMA cache outcomes of one compiled
+// program into the X-Denali-Cache header value, worst-first: a fresh
+// compile anywhere makes the whole response a "miss", else coalescing
+// wins over plain hits, so the header always names the most expensive
+// path any GMA took. "" (no cache configured) suppresses the header.
+func cacheOutcome(res *repro.Result) string {
+	saw := map[string]bool{}
+	for _, proc := range res.Procs {
+		for _, g := range proc.GMAs {
+			saw[g.Cache] = true
+		}
+	}
+	switch {
+	case saw["miss"]:
+		return "miss"
+	case saw["coalesced"]:
+		return "coalesced"
+	case saw["hit"]:
+		return "hit"
+	case saw["bypass"]:
+		return "bypass"
+	}
+	return ""
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
@@ -617,6 +692,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			// 422 keeps them distinct from transport-level 400s.
 			writeJSON(w, http.StatusUnprocessableEntity, errorJSON{Error: out.err.Error(), RequestID: info.id})
 			return
+		}
+		if hv := cacheOutcome(out.res); hv != "" {
+			w.Header().Set("X-Denali-Cache", hv)
 		}
 		resp := buildResponse(out.res, out.wall, tr, req.Verify)
 		resp.RequestID = info.id

@@ -32,6 +32,8 @@ import (
 	"repro/internal/arch/alpha"
 	"repro/internal/arch/itanium"
 	"repro/internal/axioms"
+	"repro/internal/buildinfo"
+	"repro/internal/compilecache"
 	"repro/internal/core"
 	"repro/internal/drat"
 	"repro/internal/egraph"
@@ -119,6 +121,18 @@ type Options struct {
 	// what `denali serve` exposes on /metrics. Nil (the default) disables
 	// publication at zero cost.
 	Sink *obs.Sink
+	// Cache, when set, answers each GMA compilation from the
+	// content-addressed compile cache instead of re-running the pipeline
+	// when an identical compile (same canonical GMA, same result-shaping
+	// options, same axiom bundle and build) has already been answered.
+	// Concurrent identical compiles are deduplicated: one leads, the rest
+	// coalesce onto its result. Nil (the default) disables caching. See
+	// internal/compilecache; CompiledGMA.Cache reports the outcome.
+	Cache *compilecache.Cache
+	// CacheMode overrides how this compilation treats Cache: "" uses it
+	// normally, "refresh" recomputes and overwrites the stored entries,
+	// "off" bypasses the cache entirely for this call.
+	CacheMode string
 	// RequestID correlates everything this compilation produces with the
 	// request that asked for it: trace spans, exported DIMACS provenance,
 	// and the flight report all carry it. Empty disables the tagging.
@@ -204,6 +218,15 @@ type CompiledGMA struct {
 	// cost of that check.
 	Certified   bool
 	CertifyTime time.Duration
+	// Cache reports how the compile cache answered this GMA: "" (no cache
+	// configured), "hit", "miss" (this compile led and populated the
+	// cache), "coalesced" (deduplicated onto an identical in-flight
+	// compile), or "bypass". On a hit or coalesced result the statistics
+	// above (Probes, Match, SolveTime) are the origin compile's, replayed
+	// from the cached entry; Assembly likewise shows the origin's variable
+	// names. The schedule is remapped to this GMA's names, so Execute and
+	// Verify behave identically to a fresh compile.
+	Cache string
 
 	// MaxLive is the peak number of simultaneously live temporaries.
 	MaxLive int
@@ -221,6 +244,10 @@ type CompiledGMA struct {
 // (Figure 2 style), for inspecting what the matcher discovered. The graph
 // label carries the final size statistics and how saturation ended.
 func (c *CompiledGMA) EGraphDot() string {
+	if c.graph == nil {
+		// Cache hits reconstruct the result without a live E-graph.
+		return ""
+	}
 	var b strings.Builder
 	state := "budget-exhausted"
 	if c.Match.Quiescent {
@@ -321,6 +348,7 @@ func Compile(src string, opt Options) (*Result, error) {
 	}
 	copts.Workers = opt.Workers
 	copts.DisableIncremental = opt.Incremental != nil && !*opt.Incremental
+	cc := cacheFor(opt, axs)
 
 	// Flatten the program into one job per GMA (after software
 	// pipelining) so compilation can fan out across a worker pool while
@@ -355,7 +383,7 @@ func Compile(src string, opt Options) (*Result, error) {
 	}
 	if workers <= 1 {
 		for _, j := range jobs {
-			cg, err := compileOne(j.g, copts, desc, opt.Flight)
+			cg, err := compileOne(j.g, copts, desc, opt.Flight, cc)
 			if err != nil {
 				return nil, fmt.Errorf("repro: %s: %w", j.g.Name, err)
 			}
@@ -379,7 +407,7 @@ func Compile(src string, opt Options) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			cg, err := compileOne(j.g, copts, desc, opt.Flight)
+			cg, err := compileOne(j.g, copts, desc, opt.Flight, cc)
 			if err != nil {
 				mu.Lock()
 				errs = append(errs, fmt.Errorf("repro: %s: %w", j.g.Name, err))
@@ -443,10 +471,171 @@ func CompileGMA(g *gma.GMA, opt Options) (*CompiledGMA, error) {
 	}
 	copts.Workers = opt.Workers
 	copts.DisableIncremental = opt.Incremental != nil && !*opt.Incremental
-	return compileOne(g, copts, desc, opt.Flight)
+	return compileOne(g, copts, desc, opt.Flight, cacheFor(opt, axs))
 }
 
-func compileOne(g *gma.GMA, copts core.Options, desc *arch.Description, fr *flight.Recorder) (cg *CompiledGMA, err error) {
+// cacheCtx carries the compile-cache wiring of one Compile/CompileGMA
+// call: the cache, the per-call mode, and the option slice of the key
+// (everything but the GMA itself, which varies per job).
+type cacheCtx struct {
+	cache *compilecache.Cache
+	mode  compilecache.Mode
+	cfg   compilecache.KeyConfig
+	reqID string
+}
+
+// cacheFor derives the cache context from Options; nil when no cache is
+// configured, so the compile path stays zero-cost by default.
+func cacheFor(opt Options, axs []*axioms.Axiom) *cacheCtx {
+	if opt.Cache == nil {
+		return nil
+	}
+	mode := compilecache.ModeUse
+	switch opt.CacheMode {
+	case "refresh":
+		mode = compilecache.ModeRefresh
+	case "off":
+		mode = compilecache.ModeBypass
+	}
+	return &cacheCtx{
+		cache: opt.Cache,
+		mode:  mode,
+		cfg: compilecache.KeyConfig{
+			Arch:              opt.Arch,
+			AxiomVersion:      compilecache.AxiomVersion(axs),
+			BuildVersion:      buildinfo.Version(),
+			MaxCycles:         opt.MaxCycles,
+			MaxConflicts:      opt.MaxConflicts,
+			MatcherMaxRounds:  opt.MatcherMaxRounds,
+			MatcherMaxNodes:   opt.MatcherMaxNodes,
+			DisableAtMostOnce: opt.DisableAtMostOnce,
+			Certify:           opt.Certify,
+			Incremental:       opt.Incremental == nil || *opt.Incremental,
+		},
+		reqID: opt.RequestID,
+	}
+}
+
+// compileOne compiles one GMA, consulting the compile cache when one is
+// wired. The cache key covers the canonical GMA and every result-shaping
+// option; concurrent identical compiles coalesce onto one leader. The
+// leader returns its fresh result directly (keeping the E-graph and any
+// certificate); hits and coalesced waiters reconstruct a CompiledGMA
+// from the cached entry, with the schedule remapped onto this GMA's
+// variable names so Execute/Verify behave as if freshly compiled.
+func compileOne(g *gma.GMA, copts core.Options, desc *arch.Description, fr *flight.Recorder, cc *cacheCtx) (*CompiledGMA, error) {
+	if cc == nil {
+		return compileFresh(g, copts, desc, fr)
+	}
+	key := compilecache.Key(g, cc.cfg)
+	var fresh *CompiledGMA
+	entry, outcome, err := cc.cache.GetOrCompute(key, cc.mode, func() (compilecache.Entry, error) {
+		cg, cerr := compileFresh(g, copts, desc, fr)
+		if cerr != nil {
+			return compilecache.Entry{}, cerr
+		}
+		fresh = cg
+		return entryFromCompiled(cg, key, cc.reqID), nil
+	})
+	if err != nil {
+		// A leader's failure was already recorded by compileFresh into this
+		// request's flight report; a waiter coalesced onto someone else's
+		// failure records its own marker row instead.
+		if outcome == compilecache.OutcomeCoalesced && fr.Enabled() {
+			gr := flight.DescribeGMA(g)
+			gr.Error = err.Error()
+			gr.Coalesced = true
+			fr.AddGMA(gr)
+		}
+		return nil, err
+	}
+	if fresh != nil {
+		// This caller ran the pipeline itself (cache miss or bypass).
+		fresh.Cache = string(outcome)
+		return fresh, nil
+	}
+	return fromEntry(g, entry, outcome, copts, desc, fr), nil
+}
+
+// entryFromCompiled captures a fresh compile as a cache entry: the flight
+// record, the rendered listings, and the schedule together with the
+// variable/target correspondence tables that make it remappable onto
+// alpha-renamed requesters. Certificates and the E-graph are deliberately
+// not cached — WriteProof on a hit reports ErrNoCertificate, EGraphDot
+// returns "" — because both are large and replayable by a refresh.
+func entryFromCompiled(cg *CompiledGMA, key, requestID string) compilecache.Entry {
+	_, vars := flight.Canonical(cg.gma)
+	targets := make([]string, len(cg.gma.Targets))
+	for i, t := range cg.gma.Targets {
+		targets[i] = t.Name
+	}
+	return compilecache.Entry{
+		Key:           key,
+		OriginRequest: requestID,
+		CreatedAt:     time.Now(),
+		Report:        cg.FlightReport(),
+		Assembly:      cg.Assembly,
+		Listing:       cg.Listing,
+		MaxLive:       cg.MaxLive,
+		Sched:         cg.sched,
+		Vars:          vars,
+		Targets:       targets,
+	}
+}
+
+// fromEntry reconstructs a CompiledGMA from a cached entry for the
+// requesting GMA g (possibly an alpha-renamed variant of the origin).
+// The statistics replay the origin compile's; the flight report marks
+// the row as a cache hit (or coalesced) with the origin's request ID.
+func fromEntry(g *gma.GMA, e compilecache.Entry, outcome compilecache.Outcome, copts core.Options, desc *arch.Description, fr *flight.Recorder) *CompiledGMA {
+	rep := e.Report
+	cg := &CompiledGMA{
+		Name:          g.Name,
+		Cycles:        rep.Cycles,
+		Instructions:  rep.Instructions,
+		OptimalProven: rep.OptimalProven,
+		Assembly:      e.Assembly,
+		Listing:       e.Listing,
+		SolveTime:     unmillis(rep.SolveMillis),
+		Match: MatchStats{
+			Rounds:         rep.MatchRounds,
+			Instantiations: rep.MatchInstantiations,
+			Quiescent:      rep.MatchQuiescent,
+			Nodes:          rep.EGraphNodes,
+			Classes:        rep.EGraphClasses,
+			Elapsed:        unmillis(rep.MatchMillis),
+		},
+		Certified:   rep.Certified,
+		CertifyTime: unmillis(rep.CertifyMillis),
+		MaxLive:     e.MaxLive,
+		Cache:       string(outcome),
+		gma:         g,
+		sched:       e.ScheduleFor(g),
+		desc:        desc,
+		trace:       copts.Trace,
+		sink:        copts.Sink,
+	}
+	for _, p := range rep.Probes {
+		cg.Probes = append(cg.Probes, ProbeStat{
+			K: p.K, Result: p.Result, Vars: p.Vars, Clauses: p.Clauses,
+			Conflicts: p.Conflicts, Decisions: p.Decisions,
+			Propagations: p.Propagations, Learned: p.Learned,
+			Restarts: p.Restarts, Elapsed: unmillis(p.Millis),
+			Incremental: p.Incremental, Reused: p.Reused,
+		})
+	}
+	if fr.Enabled() {
+		gr := rep
+		gr.Name = g.Name
+		gr.CacheHit = outcome == compilecache.OutcomeHit
+		gr.Coalesced = outcome == compilecache.OutcomeCoalesced
+		gr.CacheOrigin = e.OriginRequest
+		fr.AddGMA(gr)
+	}
+	return cg
+}
+
+func compileFresh(g *gma.GMA, copts core.Options, desc *arch.Description, fr *flight.Recorder) (cg *CompiledGMA, err error) {
 	// Per-GMA isolation: a panic anywhere in the pipeline surfaces as this
 	// GMA's error instead of tearing down a whole (possibly concurrent)
 	// multi-GMA run. The flight report keeps a record of the casualty.
@@ -590,10 +779,19 @@ func probeRows(ps []core.Probe) []flight.ProbeRow {
 // millis renders a duration as fractional milliseconds for JSON reports.
 func millis(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
 
+// unmillis is the inverse, for reconstructing durations from cached
+// flight records.
+func unmillis(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
 // Execute runs the compiled GMA's schedule on the simulator with the given
 // input values and initial memory, returning the final value of every
 // register target (plus "<guard>" when guarded) and the final memory.
 func (c *CompiledGMA) Execute(inputs map[string]uint64, memory map[uint64]uint64) (map[string]uint64, map[uint64]uint64, error) {
+	if c.sched == nil {
+		return nil, nil, errors.New("repro: no schedule available (degenerate cache entry)")
+	}
 	m := sim.NewMachine()
 	for name, reg := range c.sched.InputRegs {
 		m.Regs[reg] = inputs[name]
@@ -620,6 +818,9 @@ func (c *CompiledGMA) Execute(inputs map[string]uint64, memory map[uint64]uint64
 // When the GMA was compiled with a trace, the verification run is recorded
 // into it as a "verify" span with trial and simulated-cycle counters.
 func (c *CompiledGMA) Verify(n int, seed int64) error {
+	if c.sched == nil {
+		return errors.New("repro: no schedule available (degenerate cache entry)")
+	}
 	return sim.VerifyObserved(c.gma, c.sched, c.desc, rand.New(rand.NewSource(seed)), n, c.trace, c.sink)
 }
 

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/compilecache"
 	"repro/internal/flight"
 	"repro/internal/programs"
 )
@@ -668,5 +669,58 @@ func TestFlightRecorderIntegration(t *testing.T) {
 	// A nil recorder must be inert through the whole pipeline.
 	if _, err := Compile(programs.Quickstart, Options{Flight: nil}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCompileCacheOptions(t *testing.T) {
+	cache := compilecache.New(compilecache.Config{MaxEntries: 16})
+	fresh, err := Compile(programs.Byteswap4, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := fresh.Procs[0].GMAs[0]
+	if first.Cache != "miss" {
+		t.Fatalf("first compile Cache = %q, want \"miss\"", first.Cache)
+	}
+	hitRes, err := Compile(programs.Byteswap4, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := hitRes.Procs[0].GMAs[0]
+	if hit.Cache != "hit" {
+		t.Fatalf("second compile Cache = %q, want \"hit\"", hit.Cache)
+	}
+	// The cached answer is byte-identical where it matters and still
+	// executable: the remapped schedule must survive random-input
+	// verification against the requester's own GMA.
+	if hit.Assembly != first.Assembly || hit.Cycles != first.Cycles ||
+		hit.Instructions != first.Instructions || hit.OptimalProven != first.OptimalProven {
+		t.Fatalf("cached answer diverged:\nfresh: %d cycles\n%s\nhit: %d cycles\n%s",
+			first.Cycles, first.Assembly, hit.Cycles, hit.Assembly)
+	}
+	if err := hit.Verify(25, 7); err != nil {
+		t.Fatalf("cached schedule failed verification: %v", err)
+	}
+	// "refresh" recomputes (a miss), "off" bypasses, nil cache is inert.
+	ref, err := Compile(programs.Byteswap4, Options{Cache: cache, CacheMode: "refresh"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ref.Procs[0].GMAs[0].Cache; got != "miss" {
+		t.Fatalf("refresh Cache = %q, want \"miss\"", got)
+	}
+	off, err := Compile(programs.Byteswap4, Options{Cache: cache, CacheMode: "off"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := off.Procs[0].GMAs[0].Cache; got != "bypass" {
+		t.Fatalf("off Cache = %q, want \"bypass\"", got)
+	}
+	plain, err := Compile(programs.Byteswap4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plain.Procs[0].GMAs[0].Cache; got != "" {
+		t.Fatalf("uncached compile Cache = %q, want \"\"", got)
 	}
 }

@@ -82,6 +82,7 @@ func run() error {
 		} `json:"procs"`
 	}
 	echoed := resp.Header.Get("X-Request-ID")
+	echoedCache := resp.Header.Get("X-Denali-Cache")
 	err = json.NewDecoder(resp.Body).Decode(&out)
 	resp.Body.Close()
 	if err != nil {
@@ -132,6 +133,33 @@ func run() error {
 		return fmt.Errorf("flight report has no probe ladder")
 	}
 
+	// The compile cache is on by default: the first request was a miss,
+	// an identical re-POST must hit, and "cache": false must bypass.
+	if hv := echoedCache; hv != "miss" {
+		return fmt.Errorf("first compile X-Denali-Cache = %q, want \"miss\"", hv)
+	}
+	hv, cycles, err := compileOnce(base, "servesmoke-2", source, "text/plain")
+	if err != nil {
+		return err
+	}
+	if hv != "hit" {
+		return fmt.Errorf("repeat compile X-Denali-Cache = %q, want \"hit\"", hv)
+	}
+	if cycles != out.Procs[0].GMAs[0].Cycles {
+		return fmt.Errorf("cached compile answered %d cycles, fresh said %d", cycles, out.Procs[0].GMAs[0].Cycles)
+	}
+	body, err := json.Marshal(map[string]any{"source": source, "cache": false})
+	if err != nil {
+		return err
+	}
+	hv, _, err = compileOnce(base, "servesmoke-3", string(body), "application/json")
+	if err != nil {
+		return err
+	}
+	if hv != "bypass" {
+		return fmt.Errorf("cache:false compile X-Denali-Cache = %q, want \"bypass\"", hv)
+	}
+
 	resp, err = http.Get(base + "/version")
 	if err != nil {
 		return fmt.Errorf("GET /version: %w", err)
@@ -177,6 +205,40 @@ func run() error {
 		return fmt.Errorf("serve did not exit within 10s of SIGTERM")
 	}
 	return nil
+}
+
+// compileOnce POSTs one compile request and returns the X-Denali-Cache
+// header and the cycle count of the first GMA.
+func compileOnce(base, reqID, body, contentType string) (string, int, error) {
+	req, err := http.NewRequest(http.MethodPost, base+"/compile", strings.NewReader(body))
+	if err != nil {
+		return "", 0, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	req.Header.Set("X-Request-ID", reqID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", 0, fmt.Errorf("POST /compile (%s): %w", reqID, err)
+	}
+	var out struct {
+		Procs []struct {
+			GMAs []struct {
+				Cycles int `json:"cycles"`
+			} `json:"gmas"`
+		} `json:"procs"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if err != nil {
+		return "", 0, fmt.Errorf("decode /compile response (%s): %w", reqID, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", 0, fmt.Errorf("/compile (%s) answered %d", reqID, resp.StatusCode)
+	}
+	if len(out.Procs) != 1 || len(out.Procs[0].GMAs) != 1 {
+		return "", 0, fmt.Errorf("unexpected response shape (%s): %+v", reqID, out)
+	}
+	return resp.Header.Get("X-Denali-Cache"), out.Procs[0].GMAs[0].Cycles, nil
 }
 
 // waitAddr polls for the -addr-file handshake.

@@ -22,10 +22,10 @@ go vet ./...
 echo "== tests"
 go test ./...
 
-echo "== race gate (core, schedule, sat, obs, serve, flight)"
-go test -race ./internal/core ./internal/schedule ./internal/sat ./internal/obs ./internal/serve ./internal/flight
+echo "== race gate (core, schedule, sat, obs, serve, flight, compilecache)"
+go test -race ./internal/core ./internal/schedule ./internal/sat ./internal/obs ./internal/serve ./internal/flight ./internal/compilecache
 
-echo "== serve smoke (HTTP compile + request-id echo + flight report + /metrics scrape + graceful shutdown)"
+echo "== serve smoke (HTTP compile + request-id echo + flight report + cache hit/bypass + /metrics scrape + graceful shutdown)"
 go run ./scripts/servesmoke
 
 echo "== certification gate (drat checker tests + end-to-end -certify)"
@@ -49,5 +49,6 @@ go test -run '^$' -fuzz '^FuzzSolver$' -fuzztime 10s ./internal/sat
 go test -run '^$' -fuzz '^FuzzSolveAssumptions$' -fuzztime 10s ./internal/sat
 go test -run '^$' -fuzz '^FuzzDRATChecker$' -fuzztime 10s ./internal/drat
 go test -run '^$' -fuzz '^FuzzDRATParse$' -fuzztime 10s ./internal/drat
+go test -run '^$' -fuzz '^FuzzKey$' -fuzztime 10s ./internal/compilecache
 
 echo "verify.sh: all gates passed"
