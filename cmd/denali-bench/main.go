@@ -41,6 +41,7 @@ import (
 	"repro/internal/compilecache"
 	"repro/internal/egraph"
 	"repro/internal/flight"
+	"repro/internal/history"
 	"repro/internal/matcher"
 	"repro/internal/obs"
 	"repro/internal/programs"
@@ -112,6 +113,11 @@ var (
 	// it. reportSeq numbers reports under rowsMu.
 	flightLog *flight.Log
 	reportSeq int
+	// warehouse ingests the same per-GMA reports into a persistent
+	// compile-history warehouse when -history-dir is set, so bench runs
+	// feed the regression sentinel directly.
+	warehouse  *history.Warehouse
+	historyDir string
 
 	flagWorkers  int
 	flagParallel bool
@@ -191,14 +197,15 @@ func summarize(snap obs.Snapshot, name string) *histSummary {
 }
 
 // record appends one compiled GMA to the -json rows and, when
-// -report-out is set, one flight report to the JSONL log.
+// -report-out / -history-dir are set, one flight report to the JSONL
+// log and the history warehouse.
 func record(g *repro.CompiledGMA) {
-	if g == nil || (jsonPath == "" && flightLog == nil) {
+	if g == nil || (jsonPath == "" && flightLog == nil && warehouse == nil) {
 		return
 	}
 	rowsMu.Lock()
 	defer rowsMu.Unlock()
-	if flightLog != nil {
+	if flightLog != nil || warehouse != nil {
 		reportSeq++
 		rep := flight.NewReport(fmt.Sprintf("%s-%04d", currentExp, reportSeq))
 		rep.Arch = curArch
@@ -209,6 +216,7 @@ func record(g *repro.CompiledGMA) {
 		if err := flightLog.Write(rep); err != nil {
 			fmt.Fprintln(os.Stderr, "denali-bench: report-out:", err)
 		}
+		warehouse.Ingest(rep)
 	}
 	if jsonPath == "" {
 		return
@@ -300,6 +308,7 @@ func main() {
 	flag.StringVar(&incOutPath, "inc-out", "BENCH_5.json", "write E16's per-GMA scratch-vs-incremental comparison to this JSON file (empty to skip)")
 	flag.StringVar(&cacheOutPath, "cache-out", "BENCH_6.json", "write E17's cold-vs-warm compile-cache comparison to this JSON file (empty to skip)")
 	flag.StringVar(&reportPath, "report-out", "", "append one flight report (JSON line) per compiled GMA to this file; summarize with `denali report`")
+	flag.StringVar(&historyDir, "history-dir", "", "fold one flight report per compiled GMA into the history warehouse at this directory; diff runs with `denali report -diff`")
 	flag.Parse()
 	if reportPath != "" {
 		var err error
@@ -309,6 +318,15 @@ func main() {
 			os.Exit(1)
 		}
 		defer flightLog.Close()
+	}
+	if historyDir != "" {
+		var err error
+		warehouse, err = history.Open(history.Config{Dir: historyDir})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "denali-bench:", err)
+			os.Exit(1)
+		}
+		defer warehouse.Close()
 	}
 
 	exps := []experiment{

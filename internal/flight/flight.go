@@ -119,6 +119,10 @@ type Report struct {
 	// the first failing GMA's error joined by the compiler).
 	Error string `json:"error,omitempty"`
 	Panic bool   `json:"panic,omitempty"`
+	// Timeout marks a request that exceeded the service deadline; Error
+	// holds the reject message. History totals count timeouts separately
+	// from other errors.
+	Timeout bool `json:"timeout,omitempty"`
 }
 
 // NewReport returns a report stamped with the ID, the current time and

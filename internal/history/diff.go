@@ -1,0 +1,458 @@
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/flight"
+)
+
+// The regression sentinel: load two telemetry artifacts into a common
+// row shape, compare every key present on both sides against
+// configurable thresholds, and emit a machine-readable verdict. The
+// loaders accept every aggregate format the repo produces —
+//
+//	warehouse snapshot files and live warehouse directories,
+//	flight-report JSONL logs (ingested into a scratch warehouse),
+//	BENCH_5-style scratch-vs-incremental fixtures,
+//	BENCH_6-style cold-vs-warm cache fixtures,
+//	BENCH_3/4-style per-experiment trajectories,
+//
+// so `denali report -diff BENCH_5.json#scratch BENCH_5.json#incremental`
+// re-detects the known small-GMA incremental regression and
+// `-diff old-snapshot.json warehouse-dir/` gates a deploy on live
+// history. A `#view` suffix selects one side of a two-sided artifact and
+// drops the mode from the key, which is what lets the two views of one
+// file line up.
+
+// CompRow is one comparable row. Metrics below zero are absent (the
+// source format does not carry them); absent metrics are skipped, never
+// treated as zero.
+type CompRow struct {
+	Key      string  `json:"key"`
+	Name     string  `json:"name,omitempty"`
+	Compiles uint64  `json:"compiles,omitempty"`
+	WallMS   float64 `json:"wall_ms"`
+	SolveMS  float64 `json:"solve_ms"`
+	// Conflicts is the mean solver-conflict total per compile.
+	Conflicts float64 `json:"conflicts"`
+	Cycles    float64 `json:"cycles"`
+	ErrorRate float64 `json:"error_rate"`
+}
+
+// Comparable is one loaded side of a diff.
+type Comparable struct {
+	Source string             `json:"source"`
+	Kind   string             `json:"kind"`
+	View   string             `json:"view,omitempty"`
+	Rows   map[string]CompRow `json:"-"`
+}
+
+// Thresholds configure what counts as a regression. Ratios compare
+// candidate/baseline; floors keep measurement noise on micro-costs from
+// flagging.
+type Thresholds struct {
+	// WallRatio flags candidate wall (or solve) time above
+	// baseline×ratio, provided the candidate exceeds MinWallMS.
+	WallRatio float64 `json:"wall_ratio"`
+	MinWallMS float64 `json:"min_wall_ms"`
+	// ConflictRatio flags candidate conflicts above baseline×ratio,
+	// provided the candidate exceeds MinConflicts.
+	ConflictRatio float64 `json:"conflict_ratio"`
+	MinConflicts  float64 `json:"min_conflicts"`
+	// CycleDelta flags any candidate cycle count more than delta above
+	// baseline (0 = any increase is a regression — cycles are the
+	// compiler's answer, not its cost).
+	CycleDelta float64 `json:"cycle_delta"`
+	// ErrorRateDelta flags an error-rate increase above delta.
+	ErrorRateDelta float64 `json:"error_rate_delta"`
+}
+
+// DefaultThresholds: 1.5× on time, 2× on conflicts (floored), any cycle
+// increase, +5% errors.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		WallRatio:      1.5,
+		MinWallMS:      0.01,
+		ConflictRatio:  2.0,
+		MinConflicts:   64,
+		CycleDelta:     0,
+		ErrorRateDelta: 0.05,
+	}
+}
+
+// Delta is one per-key, per-metric comparison that crossed a threshold.
+type Delta struct {
+	Key      string  `json:"key"`
+	Name     string  `json:"name,omitempty"`
+	Metric   string  `json:"metric"`
+	Baseline float64 `json:"baseline"`
+	Cand     float64 `json:"candidate"`
+	// Ratio is candidate/baseline (0 when the baseline is 0).
+	Ratio  float64 `json:"ratio,omitempty"`
+	Reason string  `json:"reason"`
+}
+
+// DiffSchema tags sentinel verdicts.
+const DiffSchema = "denali-history-diff/v1"
+
+// Verdict is the sentinel's machine-readable output.
+type Verdict struct {
+	Schema     string     `json:"schema"`
+	Baseline   string     `json:"baseline"`
+	Candidate  string     `json:"candidate"`
+	Thresholds Thresholds `json:"thresholds"`
+
+	Compared      int      `json:"compared"`
+	OnlyBaseline  []string `json:"only_baseline,omitempty"`
+	OnlyCandidate []string `json:"only_candidate,omitempty"`
+
+	Regressions  []Delta `json:"regressions"`
+	Improvements []Delta `json:"improvements,omitempty"`
+	Clean        bool    `json:"clean"`
+}
+
+// Diff compares two loaded sides key by key.
+func Diff(base, cand *Comparable, th Thresholds) *Verdict {
+	v := &Verdict{
+		Schema:     DiffSchema,
+		Baseline:   base.Source,
+		Candidate:  cand.Source,
+		Thresholds: th,
+	}
+	keys := make([]string, 0, len(base.Rows))
+	for k := range base.Rows {
+		if _, ok := cand.Rows[k]; ok {
+			keys = append(keys, k)
+		} else {
+			v.OnlyBaseline = append(v.OnlyBaseline, k)
+		}
+	}
+	for k := range cand.Rows {
+		if _, ok := base.Rows[k]; !ok {
+			v.OnlyCandidate = append(v.OnlyCandidate, k)
+		}
+	}
+	sort.Strings(keys)
+	sort.Strings(v.OnlyBaseline)
+	sort.Strings(v.OnlyCandidate)
+	for _, k := range keys {
+		b, c := base.Rows[k], cand.Rows[k]
+		v.Compared++
+		v.diffTime(b, c, "wall_ms", b.WallMS, c.WallMS, th)
+		v.diffTime(b, c, "solve_ms", b.SolveMS, c.SolveMS, th)
+		if b.Conflicts >= 0 && c.Conflicts >= 0 && c.Conflicts >= th.MinConflicts {
+			if c.Conflicts > b.Conflicts*th.ConflictRatio {
+				v.add(true, b, c, "conflicts", b.Conflicts, c.Conflicts,
+					fmt.Sprintf("conflicts grew %s (> %.2fx)", ratioText(b.Conflicts, c.Conflicts), th.ConflictRatio))
+			}
+		}
+		if b.Cycles >= 0 && c.Cycles >= 0 {
+			switch {
+			case c.Cycles > b.Cycles+th.CycleDelta:
+				v.add(true, b, c, "cycles", b.Cycles, c.Cycles,
+					fmt.Sprintf("cycles grew %g -> %g", b.Cycles, c.Cycles))
+			case c.Cycles < b.Cycles:
+				v.add(false, b, c, "cycles", b.Cycles, c.Cycles, "fewer cycles")
+			}
+		}
+		if b.ErrorRate >= 0 && c.ErrorRate >= 0 && c.ErrorRate > b.ErrorRate+th.ErrorRateDelta {
+			v.add(true, b, c, "error_rate", b.ErrorRate, c.ErrorRate,
+				fmt.Sprintf("error rate grew %.3f -> %.3f", b.ErrorRate, c.ErrorRate))
+		}
+	}
+	v.Clean = len(v.Regressions) == 0
+	return v
+}
+
+// diffTime applies the ratio-with-floor rule shared by the wall and
+// solve metrics.
+func (v *Verdict) diffTime(b, c CompRow, metric string, bv, cv float64, th Thresholds) {
+	if bv < 0 || cv < 0 {
+		return
+	}
+	switch {
+	case cv >= th.MinWallMS && cv > bv*th.WallRatio:
+		v.add(true, b, c, metric, bv, cv,
+			fmt.Sprintf("%s grew %s (> %.2fx)", metric, ratioText(bv, cv), th.WallRatio))
+	case bv >= th.MinWallMS && cv*th.WallRatio < bv:
+		v.add(false, b, c, metric, bv, cv,
+			fmt.Sprintf("%s shrank %s", metric, ratioText(bv, cv)))
+	}
+}
+
+func ratioText(b, c float64) string {
+	if b <= 0 {
+		return fmt.Sprintf("%.3g -> %.3g", b, c)
+	}
+	return fmt.Sprintf("%.3g -> %.3g (%.2fx)", b, c, c/b)
+}
+
+func (v *Verdict) add(regressed bool, b, c CompRow, metric string, bv, cv float64, reason string) {
+	d := Delta{Key: b.Key, Name: firstNonEmpty(c.Name, b.Name), Metric: metric,
+		Baseline: bv, Cand: cv, Reason: reason}
+	if bv > 0 {
+		d.Ratio = cv / bv
+	}
+	if regressed {
+		v.Regressions = append(v.Regressions, d)
+	} else {
+		v.Improvements = append(v.Improvements, d)
+	}
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}
+
+// WriteText renders the verdict for humans: every regression, a count of
+// improvements, and the coverage line the exit code summarizes.
+func (v *Verdict) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sentinel: %s vs %s\n", v.Baseline, v.Candidate)
+	for _, d := range v.Regressions {
+		name := d.Name
+		if name != "" {
+			name = " (" + name + ")"
+		}
+		fmt.Fprintf(&b, "REGRESSION %s%s %s: %s\n", d.Key, name, d.Metric, d.Reason)
+	}
+	for _, d := range v.Improvements {
+		name := d.Name
+		if name != "" {
+			name = " (" + name + ")"
+		}
+		fmt.Fprintf(&b, "improved   %s%s %s: %s\n", d.Key, name, d.Metric, d.Reason)
+	}
+	fmt.Fprintf(&b, "%d keys compared (%d baseline-only, %d candidate-only): %d regressions, %d improvements\n",
+		v.Compared, len(v.OnlyBaseline), len(v.OnlyCandidate), len(v.Regressions), len(v.Improvements))
+	if v.Compared == 0 {
+		b.WriteString("note: no comparable keys — the two sides measure different things\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ---- loaders ----
+
+// LoadComparable loads one side of a diff from a spec of the form
+// path[#view]. The path may be a warehouse snapshot JSON, a warehouse
+// directory, a flight-report JSONL log, or any BENCH_*.json fixture;
+// the view selects one side of a two-sided artifact: scratch|incremental
+// for incremental-bench fixtures and warehouse-shaped sources,
+// cold|warm for cache-bench fixtures.
+func LoadComparable(spec string) (*Comparable, error) {
+	path, view := spec, ""
+	if i := strings.LastIndex(spec, "#"); i >= 0 {
+		path, view = spec[:i], spec[i+1:]
+	}
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		snap, err := LoadDir(path)
+		if err != nil {
+			return nil, err
+		}
+		return comparableFromSnapshot(spec, view, snap)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(raw, &head); err == nil && head.Schema != "" {
+		switch {
+		case strings.HasPrefix(head.Schema, "denali-history/"):
+			var snap Snapshot
+			if err := json.Unmarshal(raw, &snap); err != nil {
+				return nil, fmt.Errorf("history: %s: %w", path, err)
+			}
+			return comparableFromSnapshot(spec, view, snap)
+		case strings.HasPrefix(head.Schema, "denali-bench-incremental/"):
+			return loadBenchIncremental(spec, view, raw)
+		case strings.HasPrefix(head.Schema, "denali-bench-cache/"):
+			return loadBenchCache(spec, view, raw)
+		case strings.HasPrefix(head.Schema, "denali-bench-trajectory/"):
+			return loadBenchTrajectory(spec, view, raw)
+		default:
+			return nil, fmt.Errorf("history: %s: unknown schema %q", path, head.Schema)
+		}
+	}
+	// Not a single JSON document: try a flight-report JSONL log.
+	reps, err := flight.ReadLogFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("history: %s is neither a known JSON artifact nor a flight log: %w", path, err)
+	}
+	w := New(Config{})
+	for _, rep := range reps {
+		w.Ingest(rep)
+	}
+	c, cerr := comparableFromSnapshot(spec, view, w.Snapshot())
+	if cerr != nil {
+		return nil, cerr
+	}
+	c.Kind = "flight-log"
+	return c, nil
+}
+
+// comparableFromSnapshot maps warehouse aggregates to rows: wall/solve
+// p95, mean conflicts per compile, the modal cycle count, and the error
+// rate. A scratch|incremental view filters by mode and drops it from
+// the key so the two modes of one corpus line up.
+func comparableFromSnapshot(source, view string, snap Snapshot) (*Comparable, error) {
+	var wantInc *bool
+	switch view {
+	case "":
+	case "scratch", "incremental":
+		inc := view == "incremental"
+		wantInc = &inc
+	default:
+		return nil, fmt.Errorf("history: unknown view %q for a warehouse source (want scratch or incremental)", view)
+	}
+	c := &Comparable{Source: source, Kind: "history-snapshot", View: view, Rows: map[string]CompRow{}}
+	for _, a := range snap.Keys {
+		if wantInc != nil && a.Incremental != *wantInc {
+			continue
+		}
+		key := a.Key.String()
+		if wantInc != nil {
+			key = a.Fingerprint + "|" + a.Arch + "|" + a.Strategy
+		}
+		row := CompRow{
+			Key:      key,
+			Name:     topName(a.Names),
+			Compiles: a.Compiles,
+			WallMS:   -1, SolveMS: -1, Conflicts: -1,
+			Cycles:    float64(a.TopCycles()),
+			ErrorRate: a.ErrorRate(),
+		}
+		if a.Compiles > 0 {
+			row.WallMS = a.Wall.Quantile(0.95)
+			row.SolveMS = a.Solve.Quantile(0.95)
+			row.Conflicts = float64(a.Conflicts) / float64(a.Compiles)
+		}
+		if row.Cycles < 0 && a.Compiles == 0 {
+			row.Cycles = -1
+		}
+		c.Rows[key] = row
+	}
+	return c, nil
+}
+
+// benchIncrementalFile mirrors the BENCH_5.json schema
+// (denali-bench-incremental/v1).
+type benchIncrementalFile struct {
+	Schema string `json:"schema"`
+	GMAs   []struct {
+		GMA                  string  `json:"gma"`
+		Cycles               int     `json:"cycles"`
+		Probes               int     `json:"probes"`
+		ScratchConflicts     int64   `json:"scratch_conflicts"`
+		IncrementalConflicts int64   `json:"incremental_conflicts"`
+		ScratchSolveMS       float64 `json:"scratch_solve_ms"`
+		IncrementalSolveMS   float64 `json:"incremental_solve_ms"`
+	} `json:"gmas"`
+}
+
+func loadBenchIncremental(source, view string, raw []byte) (*Comparable, error) {
+	var f benchIncrementalFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, err
+	}
+	if view != "" && view != "scratch" && view != "incremental" {
+		return nil, fmt.Errorf("history: unknown view %q for %s (want scratch or incremental)", view, f.Schema)
+	}
+	c := &Comparable{Source: source, Kind: "bench-incremental", View: view, Rows: map[string]CompRow{}}
+	add := func(name, mode string, solveMS float64, conflicts int64, cycles int) {
+		key := "gma/" + name
+		if view == "" {
+			key += "|" + mode
+		} else if view != mode {
+			return
+		}
+		c.Rows[key] = CompRow{
+			Key: key, Name: name, Compiles: 1,
+			WallMS: solveMS, SolveMS: -1,
+			Conflicts: float64(conflicts),
+			Cycles:    float64(cycles), ErrorRate: -1,
+		}
+	}
+	for _, g := range f.GMAs {
+		add(g.GMA, "scratch", g.ScratchSolveMS, g.ScratchConflicts, g.Cycles)
+		add(g.GMA, "incremental", g.IncrementalSolveMS, g.IncrementalConflicts, g.Cycles)
+	}
+	return c, nil
+}
+
+// benchCacheFile mirrors the BENCH_6.json schema (denali-bench-cache/v1).
+type benchCacheFile struct {
+	Schema   string `json:"schema"`
+	Programs []struct {
+		Program string  `json:"program"`
+		ColdMS  float64 `json:"cold_ms"`
+		HitMS   float64 `json:"hit_ms"`
+	} `json:"programs"`
+}
+
+func loadBenchCache(source, view string, raw []byte) (*Comparable, error) {
+	var f benchCacheFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, err
+	}
+	if view != "" && view != "cold" && view != "warm" {
+		return nil, fmt.Errorf("history: unknown view %q for %s (want cold or warm)", view, f.Schema)
+	}
+	c := &Comparable{Source: source, Kind: "bench-cache", View: view, Rows: map[string]CompRow{}}
+	add := func(name, mode string, ms float64) {
+		key := "program/" + name
+		if view == "" {
+			key += "|" + mode
+		} else if view != mode {
+			return
+		}
+		c.Rows[key] = CompRow{
+			Key: key, Name: name, Compiles: 1,
+			WallMS: ms, SolveMS: -1, Conflicts: -1, Cycles: -1, ErrorRate: -1,
+		}
+	}
+	for _, p := range f.Programs {
+		add(p.Program, "cold", p.ColdMS)
+		add(p.Program, "warm", p.HitMS)
+	}
+	return c, nil
+}
+
+// benchTrajectoryFile mirrors BENCH_3/BENCH_4 (denali-bench-trajectory).
+type benchTrajectoryFile struct {
+	Schema      string `json:"schema"`
+	Experiments []struct {
+		Experiment string  `json:"experiment"`
+		WallMillis float64 `json:"wall_ms"`
+	} `json:"experiments"`
+}
+
+func loadBenchTrajectory(source, view string, raw []byte) (*Comparable, error) {
+	if view != "" {
+		return nil, fmt.Errorf("history: trajectory files have no views (got %q)", view)
+	}
+	var f benchTrajectoryFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, err
+	}
+	c := &Comparable{Source: source, Kind: "bench-trajectory", Rows: map[string]CompRow{}}
+	for _, e := range f.Experiments {
+		key := "experiment/" + e.Experiment
+		c.Rows[key] = CompRow{
+			Key: key, Name: e.Experiment, Compiles: 1,
+			WallMS: e.WallMillis, SolveMS: -1, Conflicts: -1, Cycles: -1, ErrorRate: -1,
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,298 @@
+package history
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchIncremental = "../../BENCH_5.json"
+const benchCache = "../../BENCH_6.json"
+
+// TestSentinelFlagsKnownIncrementalRegression is the acceptance check: a
+// thresholded diff of BENCH_5's scratch rows against its incremental
+// rows must flag the known small-GMA slowdowns (scale4plus1 and double)
+// where per-probe setup costs dominate sub-0.1ms solves.
+func TestSentinelFlagsKnownIncrementalRegression(t *testing.T) {
+	base, err := LoadComparable(benchIncremental + "#scratch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand, err := LoadComparable(benchIncremental + "#incremental")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Kind != "bench-incremental" || base.View != "scratch" {
+		t.Fatalf("base = %q view %q", base.Kind, base.View)
+	}
+	if len(base.Rows) == 0 || len(base.Rows) != len(cand.Rows) {
+		t.Fatalf("rows: base %d cand %d", len(base.Rows), len(cand.Rows))
+	}
+
+	v := Diff(base, cand, DefaultThresholds())
+	if v.Clean {
+		t.Fatal("verdict clean; the known incremental regression was not flagged")
+	}
+	if v.Compared != len(base.Rows) {
+		t.Fatalf("compared %d keys, want %d", v.Compared, len(base.Rows))
+	}
+	flagged := map[string]bool{}
+	for _, d := range v.Regressions {
+		flagged[d.Name] = true
+		if d.Metric == "conflicts" {
+			t.Fatalf("conflict floor failed: %+v flagged on %g conflicts", d, d.Cand)
+		}
+	}
+	for _, want := range []string{"scale4plus1", "double"} {
+		if !flagged[want] {
+			t.Fatalf("known regression %q not flagged; got %v", want, flagged)
+		}
+	}
+}
+
+// TestSentinelDisjointCorporaClean: BENCH_5 (gma/ keys) and BENCH_6
+// (program/ keys) measure different things; their diff compares zero
+// keys and must be clean, not a false alarm.
+func TestSentinelDisjointCorporaClean(t *testing.T) {
+	base, err := LoadComparable(benchIncremental)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand, err := LoadComparable(benchCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Diff(base, cand, DefaultThresholds())
+	if !v.Clean || v.Compared != 0 {
+		t.Fatalf("verdict = clean=%v compared=%d, want clean over 0 keys", v.Clean, v.Compared)
+	}
+	if len(v.OnlyBaseline) == 0 || len(v.OnlyCandidate) == 0 {
+		t.Fatal("one-sided keys not reported")
+	}
+	var b strings.Builder
+	if err := v.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no comparable keys") {
+		t.Fatalf("text verdict missing the zero-overlap note:\n%s", b.String())
+	}
+}
+
+func TestSentinelSelfDiffClean(t *testing.T) {
+	for _, spec := range []string{benchIncremental, benchCache, benchIncremental + "#incremental"} {
+		a, err := LoadComparable(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := LoadComparable(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := Diff(a, b, DefaultThresholds())
+		if !v.Clean || len(v.Regressions) != 0 {
+			t.Fatalf("self-diff of %s not clean: %+v", spec, v.Regressions)
+		}
+	}
+}
+
+func TestSentinelCacheViews(t *testing.T) {
+	cold, err := LoadComparable(benchCache + "#cold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := LoadComparable(benchCache + "#warm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm (cache-hit) serving is strictly faster than cold compiles, so
+	// warm-as-candidate is clean with improvements, and cold-as-candidate
+	// regresses.
+	v := Diff(cold, warm, DefaultThresholds())
+	if !v.Clean {
+		t.Fatalf("warm vs cold flagged regressions: %+v", v.Regressions)
+	}
+	if len(v.Improvements) == 0 {
+		t.Fatal("warm candidate shows no improvements")
+	}
+	back := Diff(warm, cold, DefaultThresholds())
+	if back.Clean {
+		t.Fatal("cold candidate vs warm baseline not flagged")
+	}
+}
+
+func TestSentinelThresholdFloors(t *testing.T) {
+	mk := func(wall, conflicts float64) *Comparable {
+		return &Comparable{Source: "test", Rows: map[string]CompRow{
+			"k": {Key: "k", WallMS: wall, SolveMS: -1, Conflicts: conflicts, Cycles: -1, ErrorRate: -1},
+		}}
+	}
+	th := DefaultThresholds()
+
+	// A 10x blowup under the MinWallMS floor stays clean: noise, not signal.
+	if v := Diff(mk(0.0004, 10), mk(0.004, 10), th); !v.Clean {
+		t.Fatalf("sub-floor wall blowup flagged: %+v", v.Regressions)
+	}
+	// Above the floor the same ratio flags.
+	if v := Diff(mk(0.04, 10), mk(0.4, 10), th); v.Clean {
+		t.Fatal("10x wall growth above the floor not flagged")
+	}
+	// Conflict growth below MinConflicts stays clean (BENCH_5's 0 -> 1).
+	if v := Diff(mk(1, 0), mk(1, 1), th); !v.Clean {
+		t.Fatalf("sub-floor conflict growth flagged: %+v", v.Regressions)
+	}
+	// Above the floor it flags.
+	if v := Diff(mk(1, 100), mk(1, 500), th); v.Clean {
+		t.Fatal("5x conflict growth above the floor not flagged")
+	}
+	// Absent metrics (-1) never compare.
+	if v := Diff(mk(-1, -1), mk(-1, -1), th); !v.Clean || v.Compared != 1 {
+		t.Fatalf("absent metrics compared: %+v", v)
+	}
+}
+
+func TestSentinelCycleAndErrorRules(t *testing.T) {
+	mk := func(cycles, errRate float64) *Comparable {
+		return &Comparable{Source: "test", Rows: map[string]CompRow{
+			"k": {Key: "k", WallMS: -1, SolveMS: -1, Conflicts: -1, Cycles: cycles, ErrorRate: errRate},
+		}}
+	}
+	th := DefaultThresholds()
+	// Any cycle increase is a regression: cycles are the answer, not the cost.
+	if v := Diff(mk(3, 0), mk(4, 0), th); v.Clean {
+		t.Fatal("cycle increase not flagged")
+	}
+	if v := Diff(mk(4, 0), mk(3, 0), th); !v.Clean || len(v.Improvements) != 1 {
+		t.Fatalf("cycle decrease: %+v", v)
+	}
+	// Error-rate growth past the delta flags.
+	if v := Diff(mk(3, 0.0), mk(3, 0.2), th); v.Clean {
+		t.Fatal("error-rate growth not flagged")
+	}
+	if v := Diff(mk(3, 0.0), mk(3, 0.01), th); !v.Clean {
+		t.Fatalf("error-rate noise flagged: %+v", v.Regressions)
+	}
+}
+
+// TestSentinelHistorySnapshots diffs two warehouse snapshots end to end:
+// same traffic is clean, a slowed-down candidate flags.
+func TestSentinelHistorySnapshots(t *testing.T) {
+	dir := t.TempDir()
+	mkSnap := func(name string, solveMS float64) string {
+		w := New(Config{})
+		for i := 0; i < 20; i++ {
+			w.Ingest(mkReport("r", "fp-slow", "checksum", true, solveMS, solveMS*2, 4))
+			w.Ingest(mkReport("r", "fp-ok", "double", false, 0.05, 0.1, 1))
+		}
+		path := filepath.Join(dir, name)
+		if err := w.WriteSnapshotFile(path); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	basePath := mkSnap("base.json", 1.0)
+	candPath := mkSnap("cand.json", 5.0)
+
+	base, err := LoadComparable(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Kind != "history-snapshot" {
+		t.Fatalf("kind = %q", base.Kind)
+	}
+	cand, err := LoadComparable(candPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Diff(base, cand, DefaultThresholds())
+	if v.Clean {
+		t.Fatal("5x solve slowdown between snapshots not flagged")
+	}
+	seen := false
+	for _, d := range v.Regressions {
+		if strings.HasPrefix(d.Key, "fp-slow|") {
+			seen = true
+		}
+		if strings.HasPrefix(d.Key, "fp-ok|") {
+			t.Fatalf("unchanged key flagged: %+v", d)
+		}
+	}
+	if !seen {
+		t.Fatal("slowed key not among regressions")
+	}
+
+	// Same snapshot against itself: clean.
+	self := Diff(base, base, DefaultThresholds())
+	if !self.Clean {
+		t.Fatalf("self diff not clean: %+v", self.Regressions)
+	}
+}
+
+// TestSentinelScratchVsIncrementalViewOfWarehouse exercises the
+// mode-collapsing views on warehouse-shaped sources.
+func TestSentinelScratchVsIncrementalViewOfWarehouse(t *testing.T) {
+	w := New(Config{})
+	for i := 0; i < 10; i++ {
+		w.Ingest(mkReport("r", "fpV", "g", false, 0.1, 0.2, 2))
+		w.Ingest(mkReport("r", "fpV", "g", true, 5.0, 6.0, 2))
+	}
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := w.WriteSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := LoadComparable(path + "#scratch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := LoadComparable(path + "#incremental")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scratch.Rows) != 1 || len(inc.Rows) != 1 {
+		t.Fatalf("view rows: scratch %d inc %d", len(scratch.Rows), len(inc.Rows))
+	}
+	v := Diff(scratch, inc, DefaultThresholds())
+	if v.Compared != 1 || v.Clean {
+		t.Fatalf("mode views did not align/flag: %+v", v)
+	}
+
+	if _, err := LoadComparable(path + "#bogus"); err == nil {
+		t.Fatal("bogus view accepted")
+	}
+}
+
+func TestLoadComparableDirAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Ingest(mkReport("r", "fpD", "g", false, 0.1, 0.2, 1))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadComparable(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Rows) != 1 {
+		t.Fatalf("dir rows = %d", len(c.Rows))
+	}
+
+	if _, err := LoadComparable(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadComparableTrajectory(t *testing.T) {
+	c, err := LoadComparable("../../BENCH_3.json")
+	if err != nil {
+		t.Skip("BENCH_3.json not present:", err)
+	}
+	if c.Kind != "bench-trajectory" || len(c.Rows) == 0 {
+		t.Fatalf("trajectory load = kind %q rows %d", c.Kind, len(c.Rows))
+	}
+	v := Diff(c, c, DefaultThresholds())
+	if !v.Clean {
+		t.Fatalf("trajectory self-diff not clean: %+v", v.Regressions)
+	}
+}

@@ -1,0 +1,303 @@
+package history
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// On-disk layout of a warehouse directory:
+//
+//	snapshot.json    the last compacted Snapshot (atomic temp+rename)
+//	journal.jsonl    observation rows since that snapshot, append-only
+//	*.bad            quarantined corrupt segments (evidence, never read)
+//
+// Open loads the snapshot, replays journal rows newer than the
+// snapshot's LastSeq watermark, and keeps the journal open for appends.
+// Compaction rewrites the snapshot and truncates the journal; a crash
+// between the two steps is harmless because replay skips rows at or
+// below the watermark. Corruption never takes the warehouse down: a bad
+// snapshot or a torn journal tail is renamed aside (like compilecache's
+// .bad quarantine) and ingestion continues from whatever parsed.
+
+const (
+	snapshotFile = "snapshot.json"
+	journalFile  = "journal.jsonl"
+)
+
+// journal is the append-side handle.
+type journal struct {
+	f   *os.File
+	buf *bufio.Writer
+}
+
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{f: f, buf: bufio.NewWriter(f)}, nil
+}
+
+func (j *journal) append(row Row) error {
+	b, err := json.Marshal(row)
+	if err != nil {
+		return err
+	}
+	if _, err := j.buf.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	// Flush per row: the journal is the only durable copy of rows between
+	// compactions, and ingest rates (one row per compiled GMA) are far
+	// below what buffered-only writes would be needed for.
+	return j.buf.Flush()
+}
+
+func (j *journal) close() error {
+	if j == nil {
+		return nil
+	}
+	if err := j.buf.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// quarantine renames a corrupt segment to <path>.bad (overwriting any
+// previous quarantine of the same file — the newest evidence wins).
+func quarantine(path string) {
+	os.Rename(path, path+".bad")
+}
+
+// readSnapshotFile loads and validates one snapshot file; corrupt or
+// foreign-schema files are quarantined and reported as absent.
+func readSnapshotFile(path string) (Snapshot, bool) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, false
+	}
+	var s Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil || s.Schema != SnapshotSchema {
+		quarantine(path)
+		return Snapshot{}, false
+	}
+	return s, true
+}
+
+// readJournalFile parses journal rows up to the first corrupt line; it
+// reports whether the file was fully clean.
+func readJournalFile(path string) (rows []Row, clean bool) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, true
+	}
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var row Row
+		if err := json.Unmarshal(line, &row); err != nil {
+			// A torn tail (crash mid-append) or doctored segment: keep the
+			// valid prefix, quarantine the file for evidence.
+			return rows, false
+		}
+		rows = append(rows, row)
+	}
+	return rows, sc.Err() == nil
+}
+
+// Open returns a warehouse backed by cfg.Dir (creating it if needed),
+// restored from its snapshot and journal. With an empty Dir it is
+// equivalent to New.
+func Open(cfg Config) (*Warehouse, error) {
+	w := New(cfg)
+	if cfg.Dir == "" {
+		return w, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("history: open %s: %w", cfg.Dir, err)
+	}
+	snapPath := filepath.Join(cfg.Dir, snapshotFile)
+	jPath := filepath.Join(cfg.Dir, journalFile)
+	if snap, ok := readSnapshotFile(snapPath); ok {
+		if err := w.restore(snap); err != nil {
+			return nil, err
+		}
+	}
+	rows, clean := readJournalFile(jPath)
+	for _, row := range rows {
+		w.replayRow(row)
+	}
+	if !clean {
+		quarantine(jPath)
+	}
+	j, err := openJournal(jPath)
+	if err != nil {
+		return nil, fmt.Errorf("history: open journal: %w", err)
+	}
+	w.journal = j
+	w.rowsNew = len(rows)
+	if !clean {
+		// The quarantined segment held the only copy of the replayed rows;
+		// compact immediately so they are durable again.
+		if err := w.Compact(); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// LoadDir reads a warehouse directory without opening it for appends —
+// the read-only side the sentinel uses to diff a live service's history
+// against a baseline. Corrupt segments are skipped (not quarantined:
+// a read-only diff must not mutate the directory it inspects).
+func LoadDir(dir string) (Snapshot, error) {
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return Snapshot{}, fmt.Errorf("history: %s is not a warehouse directory", dir)
+	}
+	w := New(Config{})
+	if raw, err := os.ReadFile(filepath.Join(dir, snapshotFile)); err == nil {
+		var s Snapshot
+		if json.Unmarshal(raw, &s) == nil && s.Schema == SnapshotSchema {
+			if err := w.restore(s); err != nil {
+				return Snapshot{}, err
+			}
+		}
+	}
+	rows, _ := readJournalFile(filepath.Join(dir, journalFile))
+	for _, row := range rows {
+		w.replayRow(row)
+	}
+	return w.Snapshot(), nil
+}
+
+// appendRowLocked writes one row to the journal (no-op when
+// memory-only). Journal write failures are tolerated: the in-memory
+// aggregates stay correct, persistence degrades.
+func (w *Warehouse) appendRowLocked(row Row) {
+	if w.journal == nil {
+		return
+	}
+	if err := w.journal.append(row); err != nil {
+		return
+	}
+	w.rowsNew++
+}
+
+// maybeCompactLocked compacts once the journal has grown past the
+// configured threshold.
+func (w *Warehouse) maybeCompactLocked() {
+	if w.journal == nil || w.rowsNew < w.cfg.CompactEvery {
+		return
+	}
+	w.compactLocked()
+}
+
+// Compact snapshots the aggregate state to snapshot.json (atomic
+// temp+rename) and truncates the journal. Safe to call at any time on a
+// persistent warehouse; a no-op when memory-only.
+func (w *Warehouse) Compact() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.journal == nil {
+		return nil
+	}
+	return w.compactLocked()
+}
+
+func (w *Warehouse) compactLocked() error {
+	snap := w.snapshotLocked()
+	raw, err := json.MarshalIndent(&snap, "", " ")
+	if err != nil {
+		return err
+	}
+	dir := w.cfg.Dir
+	tmp, err := os.CreateTemp(dir, "snapshot-*.tmp")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(append(raw, '\n'))
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, snapshotFile)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// The snapshot now owns every row up to LastSeq; truncate the journal.
+	// A crash before this point merely replays rows the watermark skips.
+	jPath := filepath.Join(dir, journalFile)
+	w.journal.close()
+	f, err := os.Create(jPath)
+	if err != nil {
+		w.journal = nil
+		return err
+	}
+	w.journal = &journal{f: f, buf: bufio.NewWriter(f)}
+	w.rowsNew = 0
+	return nil
+}
+
+// Close compacts (when persistent) and releases the journal handle.
+func (w *Warehouse) Close() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.journal == nil {
+		return nil
+	}
+	err := w.compactLocked()
+	cerr := w.journal.close()
+	w.journal = nil
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// WriteSnapshotFile writes the current state as a standalone snapshot
+// JSON file (atomic temp+rename), usable as a sentinel baseline.
+func (w *Warehouse) WriteSnapshotFile(path string) error {
+	snap := w.Snapshot()
+	raw, err := json.MarshalIndent(&snap, "", " ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "history-*.tmp")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(append(raw, '\n'))
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

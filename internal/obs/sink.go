@@ -94,6 +94,11 @@ const (
 	MSolveSeconds = "denali_sat_solve_seconds"
 	// MSolveConflicts is the conflict count of one SAT probe.
 	MSolveConflicts = "denali_sat_conflicts"
+	// MProbeConflicts is the per-probe conflict delta labeled by probe
+	// result (sat/unsat/unknown), so sat-vs-unsat conflict shapes are
+	// separable on /metrics — the unlabeled MSolveConflicts family keeps
+	// the combined distribution.
+	MProbeConflicts = "denali_probe_conflicts"
 	// MEGraphNodes is the saturated E-graph size per compilation.
 	MEGraphNodes = "denali_egraph_nodes"
 	// MCyclesFound is the winning cycle budget per compilation.
@@ -176,6 +181,7 @@ func NewCompilerRegistry() *Registry {
 	r.DeclareHistogram(MMatchSeconds, "E-graph saturation latency per compilation.", DefSecondsBuckets)
 	r.DeclareHistogram(MSolveSeconds, "Latency of one SAT probe.", DefSecondsBuckets)
 	r.DeclareHistogram(MSolveConflicts, "CDCL conflicts per SAT probe.", DefCountBuckets)
+	r.DeclareHistogram(MProbeConflicts, "CDCL conflicts per SAT probe, by probe result.", DefCountBuckets)
 	r.DeclareHistogram(MEGraphNodes, "Saturated E-graph node count per compilation.", DefCountBuckets)
 	r.DeclareHistogram(MCyclesFound, "Winning cycle budget per compilation.", cyclesBuckets)
 	r.DeclareCounter(MCompiles, "Finished GMA compilations by strategy.")

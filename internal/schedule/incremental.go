@@ -177,6 +177,7 @@ func (e *Engine) SolveBudget(k int) (*Schedule, Stat, error) {
 	e.lastSat, e.lastK = res == sat.Sat, k
 	e.opt.Sink.Observe(obs.MSolveSeconds, time.Since(t0).Seconds(), obs.T("result", res.String()))
 	e.opt.Sink.Observe(obs.MSolveConflicts, float64(st.Conflicts))
+	e.opt.Sink.Observe(obs.MProbeConflicts, float64(st.Conflicts), obs.T("result", res.String()))
 	e.opt.Sink.Add(obs.MProbeIncremental, 1, obs.T("result", res.String()))
 	if reused {
 		e.opt.Sink.Add(obs.MProbeIncrementalReused, 1)

@@ -732,6 +732,7 @@ func (p *Problem) Solve() (*Schedule, Stat, error) {
 	st := p.solver.Stats()
 	p.opt.Sink.Observe(obs.MSolveSeconds, time.Since(t0).Seconds(), obs.T("result", res.String()))
 	p.opt.Sink.Observe(obs.MSolveConflicts, float64(st.Conflicts))
+	p.opt.Sink.Observe(obs.MProbeConflicts, float64(st.Conflicts), obs.T("result", res.String()))
 	if st.Cancelled {
 		sp.SetTag("cancelled", "true")
 	}

@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/compilecache"
+	"repro/internal/history"
+	"repro/internal/programs"
+)
+
+// TestServeHistoryMatchesFlightRing is the acceptance check: after a
+// burst of concurrent compiles (run under -race in the tier-1 gate),
+// /debug/history reflects exactly the compiles this process served,
+// cross-checked GMA-for-GMA against the flight ring.
+func TestServeHistoryMatchesFlightRing(t *testing.T) {
+	s, ts := newTestServer(t, Config{Options: repro.Options{Arch: "ev6", Workers: 2}, MaxConcurrent: 4})
+
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, raw := postCompile(t, ts.URL, CompileRequest{Source: programs.Quickstart})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("compile: %d: %s", resp.StatusCode, raw)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var snap history.Snapshot
+	if r := getJSON(t, ts.URL+"/debug/history", &snap); r.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/history status %d", r.StatusCode)
+	}
+	if snap.Schema != history.SnapshotSchema {
+		t.Fatalf("snapshot schema = %q", snap.Schema)
+	}
+	if snap.Totals.Reports != n {
+		t.Fatalf("warehouse reports = %d, want %d", snap.Totals.Reports, n)
+	}
+
+	// Cross-check against the ring: same number of per-GMA records, and
+	// every ring fingerprint appears in the warehouse under the same
+	// strategy with a matching compile count.
+	rings := s.ring.Last(n * 2)
+	if len(rings) != n {
+		t.Fatalf("ring holds %d reports, want %d", len(rings), n)
+	}
+	ringPerFP := map[string]int{}
+	var ringGMAs uint64
+	for _, rep := range rings {
+		for _, g := range rep.GMAs {
+			ringPerFP[g.Fingerprint]++
+			ringGMAs++
+		}
+	}
+	if snap.Totals.GMAs != ringGMAs {
+		t.Fatalf("warehouse GMAs = %d, ring GMAs = %d", snap.Totals.GMAs, ringGMAs)
+	}
+	housePerFP := map[string]uint64{}
+	for _, a := range snap.Keys {
+		if a.Strategy != "linear" || a.Arch != "ev6" {
+			t.Fatalf("unexpected key %+v", a.Key)
+		}
+		housePerFP[a.Fingerprint] += a.Compiles + a.CacheHits + a.Coalesced
+	}
+	for fp, want := range ringPerFP {
+		if got := housePerFP[fp]; got != uint64(want) {
+			t.Fatalf("fingerprint %s: warehouse has %d observations, ring has %d", fp, got, want)
+		}
+	}
+
+	// The per-fingerprint endpoint answers by prefix and agrees with the
+	// full snapshot.
+	for fp := range ringPerFP {
+		var one historyByFingerprintJSON
+		if r := getJSON(t, ts.URL+"/debug/history/"+fp[:8], &one); r.StatusCode != http.StatusOK {
+			t.Fatalf("/debug/history/%s status %d", fp[:8], r.StatusCode)
+		}
+		if one.Count == 0 {
+			t.Fatalf("no aggregates for prefix %s", fp[:8])
+		}
+		for _, a := range one.Keys {
+			if !strings.HasPrefix(a.Fingerprint, fp[:8]) {
+				t.Fatalf("prefix lookup returned foreign key %+v", a.Key)
+			}
+		}
+	}
+	if r := getJSON(t, ts.URL+"/debug/history/ffffffffnope", nil); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown fingerprint status %d, want 404", r.StatusCode)
+	}
+
+	// Lookup (the adaptive-chooser API) sees the same aggregates.
+	for fp, want := range ringPerFP {
+		as := s.History().Lookup(fp, history.Features{Arch: "ev6"})
+		var got uint64
+		for _, a := range as {
+			got += a.Compiles + a.CacheHits + a.Coalesced
+		}
+		if got != uint64(want) {
+			t.Fatalf("Lookup(%s) sees %d observations, want %d", fp, got, want)
+		}
+	}
+}
+
+// TestServeSLOEndpointAndMetrics: /debug/slo tracks served compiles and
+// the denali_slo_* gauges appear on /metrics with sane values.
+func TestServeSLOEndpointAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: repro.Options{Arch: "ev6"}})
+
+	for i := 0; i < 3; i++ {
+		resp, raw := postCompile(t, ts.URL, CompileRequest{Source: programs.Quickstart})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("compile: %d: %s", resp.StatusCode, raw)
+		}
+	}
+	// A client error (422) is not an outage and must not burn budget.
+	resp, _ := postCompile(t, ts.URL, CompileRequest{Source: "reg r1; r9999 = broken("})
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("broken program compiled")
+	}
+
+	var st history.SLOStatus
+	if r := getJSON(t, ts.URL+"/debug/slo", &st); r.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/slo status %d", r.StatusCode)
+	}
+	if st.Requests != 4 {
+		t.Fatalf("slo requests = %d, want 4", st.Requests)
+	}
+	if st.Failures != 0 || st.Availability != 1 || st.AvailabilityBurn != 0 {
+		t.Fatalf("client error burned availability budget: %+v", st)
+	}
+	if st.AvailabilityObjective != history.DefaultAvailabilityObjective {
+		t.Fatalf("objective = %v", st.AvailabilityObjective)
+	}
+	if st.LatencyP95MS <= 0 {
+		t.Fatalf("latency p95 = %v, want > 0", st.LatencyP95MS)
+	}
+
+	samples := scrapeMetrics(t, ts.URL)
+	if v, ok := samples[history.MSLOAvailability]; !ok || v != 1 {
+		t.Fatalf("%s = %v (present %v), want 1", history.MSLOAvailability, v, ok)
+	}
+	if v := samples[history.MSLOAvailabilityObjective]; v != history.DefaultAvailabilityObjective {
+		t.Fatalf("objective gauge = %v", v)
+	}
+	if v := samples[history.MSLORequests]; v != 4 {
+		t.Fatalf("window requests gauge = %v, want 4", v)
+	}
+	if v := samples[history.MSLOLatencyObjective]; v != history.DefaultLatencyObjectiveMS/1e3 {
+		t.Fatalf("latency objective gauge = %v s", v)
+	}
+
+	// The per-probe conflict histogram (by result) is exported too.
+	probeConflicts := false
+	for k := range samples {
+		if strings.HasPrefix(k, "denali_probe_conflicts") && strings.Contains(k, `result="`) {
+			probeConflicts = true
+			break
+		}
+	}
+	if !probeConflicts {
+		t.Fatal("denali_probe_conflicts{result=...} missing from /metrics")
+	}
+}
+
+// TestServeAccessLogCacheOutcome: the access log's cache field must
+// match the X-Denali-Cache response header on every compile.
+func TestServeAccessLogCacheOutcome(t *testing.T) {
+	var buf bytes.Buffer
+	_, ts := newTestServer(t, Config{
+		Options:   repro.Options{Arch: "ev6"},
+		AccessLog: &buf,
+		Cache:     compilecache.New(compilecache.Config{MaxEntries: 64}),
+	})
+
+	wantByID := map[string]string{}
+	for i, want := range []string{"miss", "hit", "bypass"} {
+		id := fmt.Sprintf("cache-line-%d", i)
+		req := CompileRequest{Source: programs.Quickstart}
+		if want == "bypass" {
+			req.Cache = json.RawMessage("false")
+		}
+		body, _ := json.Marshal(req)
+		hreq, _ := http.NewRequest(http.MethodPost, ts.URL+"/compile", bytes.NewReader(body))
+		hreq.Header.Set("X-Request-ID", id)
+		resp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("compile %s: status %d", id, resp.StatusCode)
+		}
+		if h := resp.Header.Get("X-Denali-Cache"); h != want {
+			t.Fatalf("compile %s: header = %q, want %q", id, h, want)
+		}
+		wantByID[id] = want
+	}
+
+	seen := 0
+	for _, l := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var al accessLine
+		if err := json.Unmarshal([]byte(l), &al); err != nil {
+			t.Fatalf("access line %q: %v", l, err)
+		}
+		if want, ok := wantByID[al.ID]; ok {
+			if al.Cache != want {
+				t.Fatalf("access line %s: cache = %q, header said %q", al.ID, al.Cache, want)
+			}
+			seen++
+		}
+	}
+	if seen != len(wantByID) {
+		t.Fatalf("saw %d of %d compile access lines", seen, len(wantByID))
+	}
+}
+
+// TestServeHistoryCountsFailures: request-level failures land in the
+// warehouse totals with their outcome class.
+func TestServeHistoryCountsFailures(t *testing.T) {
+	s, ts := newTestServer(t, Config{Options: repro.Options{Arch: "ev6"}})
+	resp, _ := postCompile(t, ts.URL, CompileRequest{Source: "reg r1; r9999 = broken("})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("broken program status %d", resp.StatusCode)
+	}
+	// A transport-level reject (empty source) files a failure report too.
+	r2, err := http.Post(ts.URL+"/compile", "application/json", strings.NewReader(`{"source":""}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r2.Body)
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty source status %d", r2.StatusCode)
+	}
+	tot := s.History().Totals()
+	if tot.Errors < 2 {
+		t.Fatalf("warehouse errors = %d, want >= 2 (%+v)", tot.Errors, tot)
+	}
+	if tot.Timeouts != 0 || tot.Panics != 0 {
+		t.Fatalf("misclassified failures: %+v", tot)
+	}
+}
+
+// TestServePersistentHistoryAcrossRestart: a server built over a
+// history.Open warehouse resumes its aggregates after a restart.
+func TestServePersistentHistoryAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	w1, err := history.Open(history.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts1 := newTestServer(t, Config{Options: repro.Options{Arch: "ev6"}, History: w1})
+	resp, raw := postCompile(t, ts1.URL, CompileRequest{Source: programs.Quickstart})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile: %d: %s", resp.StatusCode, raw)
+	}
+	if err := w1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := history.Open(history.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	_, ts2 := newTestServer(t, Config{Options: repro.Options{Arch: "ev6"}, History: w2})
+	var snap history.Snapshot
+	if r := getJSON(t, ts2.URL+"/debug/history", &snap); r.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/history status %d", r.StatusCode)
+	}
+	if snap.Totals.Reports != 1 || len(snap.Keys) == 0 {
+		t.Fatalf("restarted server lost its history: %+v", snap.Totals)
+	}
+}

@@ -13,6 +13,14 @@
 //	GET  /version        build identity (version + Go version) as JSON
 //	GET  /debug/requests        the last N flight reports, newest first
 //	GET  /debug/requests/{id}   the full flight report for one request
+//	GET  /debug/history         the compile-history warehouse snapshot:
+//	                            rolling per-key aggregates (fingerprint ×
+//	                            arch × strategy × incremental)
+//	GET  /debug/history/{fp}    the aggregates for one GMA fingerprint
+//	                            (prefix match)
+//	GET  /debug/slo             rolling availability and p95-latency
+//	                            objectives with burn rates (also exported
+//	                            as denali_slo_* gauges on /metrics)
 //	GET  /debug/pprof/   the standard net/http/pprof handlers
 //
 // Every request carries a request ID: accepted from an X-Request-ID
@@ -51,6 +59,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/compilecache"
 	"repro/internal/flight"
+	"repro/internal/history"
 	"repro/internal/obs"
 )
 
@@ -107,6 +116,11 @@ type Config struct {
 	// per-call with the "cache" field (true, false, or "refresh"). The
 	// cache's metrics sink is attached to the server's registry by New.
 	Cache *compilecache.Cache
+	// History is the compile-history warehouse every flight report is
+	// folded into, behind /debug/history, /debug/slo and the denali_slo_*
+	// gauges. Nil allocates a memory-only warehouse; pass one from
+	// history.Open to persist across restarts (the caller owns Close).
+	History *history.Warehouse
 }
 
 // Server is one compile service instance.
@@ -117,8 +131,10 @@ type Server struct {
 	limiter chan struct{}
 	ready   atomic.Bool
 	addr    atomic.Value // string, set once the listener is bound
-	// ring keeps the last N flight reports for /debug/requests.
+	// ring keeps the last N flight reports for /debug/requests; hist
+	// accumulates them into the per-key warehouse behind /debug/history.
 	ring *flight.Ring
+	hist *history.Warehouse
 	// accessMu serializes access-log lines so concurrent requests cannot
 	// interleave bytes within a line.
 	accessMu sync.Mutex
@@ -150,12 +166,16 @@ func New(cfg Config) *Server {
 	if cfg.FlightRing <= 0 {
 		cfg.FlightRing = flight.DefaultRingSize
 	}
+	if cfg.History == nil {
+		cfg.History = history.New(history.Config{})
+	}
 	s := &Server{
 		cfg:     cfg,
 		reg:     cfg.Registry,
 		sink:    obs.NewSink(cfg.Registry),
 		limiter: make(chan struct{}, cfg.MaxConcurrent),
 		ring:    flight.NewRing(cfg.FlightRing),
+		hist:    cfg.History,
 	}
 	// The cache is usually built at flag-parse time, before a registry
 	// exists; attach it to the server's sink so denali_cache_* metrics
@@ -170,6 +190,7 @@ func New(cfg Config) *Server {
 	s.reg.DeclareGauge(mGoroutines, "Current goroutine count.")
 	s.reg.DeclareGauge(mHeapBytes, "Heap bytes currently allocated.")
 	s.reg.DeclareGauge(mNumGC, "Completed GC cycles.")
+	history.DeclareSLOMetrics(s.reg)
 	// Callers supplying their own (non-compiler) registry still get the
 	// build-identity gauge; declaring twice only refreshes help text.
 	s.reg.DeclareGauge(obs.MBuildInfo, "Build identity: constant 1, labeled by version and goversion.")
@@ -181,6 +202,17 @@ func New(cfg Config) *Server {
 
 // Registry returns the server's metrics registry.
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// History returns the server's compile-history warehouse.
+func (s *Server) History() *history.Warehouse { return s.hist }
+
+// file lands one finished flight report in both per-request telemetry
+// stores: the ring (for /debug/requests) and the warehouse (for
+// /debug/history and the sentinel).
+func (s *Server) file(rep flight.Report) {
+	s.ring.Add(rep)
+	s.hist.Ingest(rep)
+}
 
 // Addr returns the bound listen address once ListenAndServe has bound it
 // ("" before), so Addr:"127.0.0.1:0" callers can discover the port.
@@ -211,6 +243,9 @@ func (s *Server) Handler() http.Handler {
 	}))
 	mux.HandleFunc("/debug/requests", s.instrument("/debug/requests", s.handleRequests))
 	mux.HandleFunc("/debug/requests/", s.instrument("/debug/requests/", s.handleRequestByID))
+	mux.HandleFunc("/debug/history", s.instrument("/debug/history", s.handleHistory))
+	mux.HandleFunc("/debug/history/", s.instrument("/debug/history/", s.handleHistoryByFingerprint))
+	mux.HandleFunc("/debug/slo", s.instrument("/debug/slo", s.handleSLO))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -266,6 +301,7 @@ type reqInfo struct {
 	id       string
 	strategy string
 	cycles   int
+	cache    string
 }
 
 type ctxKey struct{}
@@ -289,6 +325,9 @@ type accessLine struct {
 	Millis   float64 `json:"ms"`
 	Strategy string  `json:"strategy,omitempty"`
 	Cycles   int     `json:"cycles,omitempty"`
+	// Cache mirrors the response's X-Denali-Cache header
+	// (hit|miss|coalesced|bypass); empty when no cache is configured.
+	Cache string `json:"cache,omitempty"`
 }
 
 func (s *Server) logAccess(r *http.Request, info *reqInfo, code int, d time.Duration) {
@@ -305,6 +344,7 @@ func (s *Server) logAccess(r *http.Request, info *reqInfo, code int, d time.Dura
 		// Zero for everything but successful compiles (omitted by JSON).
 		Strategy: info.strategy,
 		Cycles:   info.cycles,
+		Cache:    info.cache,
 	})
 	if err != nil {
 		return
@@ -338,6 +378,12 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 			}
 			s.sink.Observe(mHTTPSeconds, time.Since(t0).Seconds(), obs.T("path", path))
 			s.sink.Add(mHTTPRequests, 1, obs.T("path", path), obs.T("code", fmt.Sprintf("%d", sw.code)))
+			if path == "/compile" {
+				// The SLO tracks the compile endpoint: 5xx-class answers
+				// (panics, timeouts, saturation) are server-account failures;
+				// a client's bad program (4xx) is not an outage.
+				s.hist.RecordRequest(sw.code < 500, float64(time.Since(t0).Microseconds())/1e3)
+			}
 			s.logAccess(r, info, sw.code, time.Since(t0))
 		}()
 		h(sw, r)
@@ -567,7 +613,8 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	reject := func(code int, msg string) {
 		rep := flight.NewReport(info.id)
 		rep.Error = msg
-		s.ring.Add(rep)
+		rep.Timeout = code == http.StatusGatewayTimeout
+		s.file(rep)
 		writeJSON(w, code, errorJSON{Error: msg, RequestID: info.id})
 	}
 	if r.Method != http.MethodPost {
@@ -659,7 +706,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			if rec := recover(); rec != nil {
 				err := fmt.Errorf("internal panic: %v", rec)
 				fr.Fail(err.Error(), true)
-				s.ring.Add(fr.Report(0))
+				s.file(fr.Report(0))
 				outc <- compileOut{err: err}
 			}
 			<-s.limiter
@@ -679,7 +726,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			fr.Fail(err.Error(), false)
 		}
-		s.ring.Add(fr.Report(wall))
+		s.file(fr.Report(wall))
 		outc <- compileOut{res: res, wall: wall, err: err}
 	}()
 
@@ -695,6 +742,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		}
 		if hv := cacheOutcome(out.res); hv != "" {
 			w.Header().Set("X-Denali-Cache", hv)
+			info.cache = hv
 		}
 		resp := buildResponse(out.res, out.wall, tr, req.Verify)
 		resp.RequestID = info.id
@@ -776,6 +824,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.sink.Set(mGoroutines, float64(runtime.NumGoroutine()))
 	s.sink.Set(mHeapBytes, float64(ms.HeapAlloc))
 	s.sink.Set(mNumGC, float64(ms.NumGC))
+	s.hist.PublishSLO(s.sink)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WritePrometheus(w)
 }
@@ -809,6 +858,65 @@ func (s *Server) handleRequests(w http.ResponseWriter, r *http.Request) {
 		reps = []flight.Report{}
 	}
 	writeJSON(w, http.StatusOK, requestsIndexJSON{Count: len(reps), Reports: reps})
+}
+
+// handleHistory serves the full warehouse snapshot: every per-key
+// aggregate this process has accumulated (plus anything restored from a
+// persistent warehouse directory), sorted most-compiled first.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.hist.Snapshot())
+}
+
+// historyByFingerprintJSON is the GET /debug/history/{fingerprint}
+// reply: every aggregate whose fingerprint starts with the given prefix
+// (fingerprints are long hashes; a prefix is how humans quote them).
+type historyByFingerprintJSON struct {
+	Fingerprint string               `json:"fingerprint"`
+	Count       int                  `json:"count"`
+	Keys        []*history.Aggregate `json:"keys"`
+}
+
+func (s *Server) handleHistoryByFingerprint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "GET only"})
+		return
+	}
+	fp := strings.TrimPrefix(r.URL.Path, "/debug/history/")
+	if fp == "" || strings.Contains(fp, "/") {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "want /debug/history/{fingerprint}"})
+		return
+	}
+	snap := s.hist.Snapshot()
+	out := historyByFingerprintJSON{Fingerprint: fp, Keys: []*history.Aggregate{}}
+	for _, a := range snap.Keys {
+		if strings.HasPrefix(a.Fingerprint, fp) {
+			out.Keys = append(out.Keys, a)
+		}
+	}
+	out.Count = len(out.Keys)
+	if out.Count == 0 {
+		writeJSON(w, http.StatusNotFound,
+			errorJSON{Error: fmt.Sprintf("no history for fingerprint %q", fp)})
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSLO serves the rolling service-level objectives as JSON — the
+// same numbers the denali_slo_* gauges export at scrape time.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.hist.SLOStatus())
 }
 
 // handleRequestByID serves the full flight report for one request ID.

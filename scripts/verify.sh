@@ -22,8 +22,11 @@ go vet ./...
 echo "== tests"
 go test ./...
 
-echo "== race gate (core, schedule, sat, obs, serve, flight, compilecache)"
-go test -race ./internal/core ./internal/schedule ./internal/sat ./internal/obs ./internal/serve ./internal/flight ./internal/compilecache
+echo "== race gate (core, schedule, sat, obs, serve, flight, compilecache, history)"
+go test -race ./internal/core ./internal/schedule ./internal/sat ./internal/obs ./internal/serve ./internal/flight ./internal/compilecache ./internal/history
+
+echo "== perf gate (regression sentinel over the committed bench fixtures)"
+sh scripts/perfgate.sh
 
 echo "== serve smoke (HTTP compile + request-id echo + flight report + cache hit/bypass + /metrics scrape + graceful shutdown)"
 go run ./scripts/servesmoke
