@@ -20,6 +20,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -106,6 +107,7 @@ var (
 	outPath      string
 	incOutPath   string
 	cacheOutPath string
+	fleetOutPath string
 	reportPath   string
 	// flightLog appends one flight.Report per compiled GMA when
 	// -report-out is set, with IDs like "E2-0003" so `denali report` can
@@ -307,6 +309,7 @@ func main() {
 	flag.BoolVar(&flagParallel, "parallel", false, "use the speculative parallel budget search in every experiment that does not pick its own strategy")
 	flag.StringVar(&incOutPath, "inc-out", "BENCH_5.json", "write E16's per-GMA scratch-vs-incremental comparison to this JSON file (empty to skip)")
 	flag.StringVar(&cacheOutPath, "cache-out", "BENCH_6.json", "write E17's cold-vs-warm compile-cache comparison to this JSON file (empty to skip)")
+	flag.StringVar(&fleetOutPath, "fleet-out", "BENCH_7.json", "write E18's single-node-vs-fleet batch comparison to this JSON file (empty to skip)")
 	flag.StringVar(&reportPath, "report-out", "", "append one flight report (JSON line) per compiled GMA to this file; summarize with `denali report`")
 	flag.StringVar(&historyDir, "history-dir", "", "fold one flight report per compiled GMA into the history warehouse at this directory; diff runs with `denali report -diff`")
 	flag.Parse()
@@ -347,6 +350,7 @@ func main() {
 		{"E15", "certified optimality: DRAT proof logging and re-check overhead", e15},
 		{"E16", "scratch vs incremental budget search: conflicts, propagations, wall clock", e16},
 		{"E17", "compile cache under a repeat-heavy served workload: cold vs warm throughput", e17},
+		{"E18", "fleet routing: multi-GMA batch fanned across sharded workers vs single node", e18},
 		{"A1", "ablation: at-most-once-per-term pruning constraint", a1},
 		{"A2", "ablation: matcher saturation budgets vs result quality", a2},
 	}
@@ -1371,6 +1375,208 @@ func e17() error {
 	}
 	if speedup < 5 {
 		return fmt.Errorf("warm throughput only %.1fx cold, want >= 5x", speedup)
+	}
+	return nil
+}
+
+// e18Row is one GMA unit of the E18 fleet batch: which worker answered
+// it and whether its result was byte-identical to the single-node
+// compile of the same program.
+type e18Row struct {
+	Proc      string  `json:"proc"`
+	Name      string  `json:"name"`
+	Worker    string  `json:"worker"`
+	Attempts  int     `json:"attempts"`
+	Identical bool    `json:"identical"`
+	Millis    float64 `json:"ms,omitempty"`
+}
+
+// e18 measures what the sharded fleet buys on a multi-GMA program: the
+// combined six-GMA corpus is compiled whole on a single-worker node,
+// then fanned out as a /compile/batch across a three-worker ring behind
+// a router. The claims under test: the fleet batch beats the single
+// node's sequential wall clock, every routed unit answers byte-identical
+// assembly to the single-node compile (the consistent-hash split must
+// not change results), and no unit needs a retry on a healthy fleet.
+func e18() error {
+	combined := programs.Quickstart + programs.Lcp2 + programs.CopyLoop +
+		programs.Rowop + programs.Byteswap4
+	opt := repro.Options{Arch: "ev6", Workers: 1}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// One process hosts all four servers; each worker compiles with one
+	// pipeline worker, so fleet parallelism comes only from the sharding.
+	start := func(cfg serve.Config) (*serve.Server, chan error) {
+		cfg.Addr = "127.0.0.1:0"
+		s := serve.New(cfg)
+		errc := make(chan error, 1)
+		go func() { errc <- s.ListenAndServe(ctx) }()
+		for s.Addr() == "" {
+			time.Sleep(time.Millisecond)
+		}
+		return s, errc
+	}
+
+	solo, soloErr := start(serve.Config{Options: opt, Registry: obs.NewCompilerRegistry(), MaxConcurrent: 1})
+	var members []string
+	var workerErrs []chan error
+	for i := 0; i < 3; i++ {
+		w, errc := start(serve.Config{Options: opt, Registry: obs.NewCompilerRegistry(), MaxConcurrent: 2})
+		members = append(members, w.Addr())
+		workerErrs = append(workerErrs, errc)
+	}
+	router, routerErr := start(serve.Config{Options: opt, Registry: benchReg, Route: members})
+
+	// Single-node baseline: the whole program through one /compile.
+	singleStart := time.Now()
+	resp, err := http.Post("http://"+solo.Addr()+"/compile", "text/plain", strings.NewReader(combined))
+	if err != nil {
+		return fmt.Errorf("single-node compile: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	singleWall := time.Since(singleStart)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("single-node compile: HTTP %d: %.120s", resp.StatusCode, body)
+	}
+	var single serve.CompileResponse
+	if err := json.Unmarshal(body, &single); err != nil {
+		return err
+	}
+	truth := map[string]string{}
+	for _, p := range single.Procs {
+		for _, g := range p.GMAs {
+			truth[p.Name+"/"+g.Name] = g.Assembly
+		}
+	}
+
+	// Fleet: the same program as one /compile/batch through the router.
+	type line struct {
+		Proc     string         `json:"proc"`
+		Name     string         `json:"name"`
+		Worker   string         `json:"worker"`
+		Attempts int            `json:"attempts"`
+		Error    string         `json:"error"`
+		GMA      *serve.GMAJSON `json:"gma"`
+		Done     bool           `json:"done"`
+		Errors   int            `json:"errors"`
+	}
+	batchStart := time.Now()
+	resp, err = http.Post("http://"+router.Addr()+"/compile/batch", "application/json",
+		strings.NewReader(fmt.Sprintf("{\"source\":%q}", combined)))
+	if err != nil {
+		return fmt.Errorf("fleet batch: %w", err)
+	}
+	var rows []e18Row
+	identicalN := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			resp.Body.Close()
+			return fmt.Errorf("fleet batch line %q: %w", sc.Text(), err)
+		}
+		if l.Done {
+			if l.Errors != 0 {
+				resp.Body.Close()
+				return fmt.Errorf("fleet batch reported %d failed units", l.Errors)
+			}
+			continue
+		}
+		if l.Error != "" {
+			resp.Body.Close()
+			return fmt.Errorf("fleet unit %s failed: %s", l.Name, l.Error)
+		}
+		row := e18Row{Proc: l.Proc, Name: l.Name, Worker: l.Worker, Attempts: l.Attempts}
+		if l.GMA != nil {
+			row.Identical = l.GMA.Assembly == truth[l.Proc+"/"+l.Name]
+			row.Millis = l.GMA.SolveMillis + l.GMA.MatchMillis
+		}
+		if row.Identical {
+			identicalN++
+		}
+		rows = append(rows, row)
+	}
+	resp.Body.Close()
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	batchWall := time.Since(batchStart)
+	if len(rows) != len(truth) {
+		return fmt.Errorf("fleet batch answered %d units, single node compiled %d GMAs", len(rows), len(truth))
+	}
+
+	retries := benchReg.CounterValue(obs.MRouterRetries)
+	speedup := singleWall.Seconds() / batchWall.Seconds()
+	fmt.Printf("%-12s %-12s %-21s %8s %9s\n", "proc", "gma", "worker", "attempts", "identical")
+	for _, r := range rows {
+		fmt.Printf("%-12s %-12s %-21s %8d %9v\n", r.Proc, r.Name, r.Worker, r.Attempts, r.Identical)
+	}
+	fmt.Printf("single node: %d GMAs in %v; fleet batch over %d workers: %v — %.2fx; %d retries\n",
+		len(truth), singleWall.Round(time.Millisecond), len(members),
+		batchWall.Round(time.Millisecond), speedup, int(retries))
+
+	cancel()
+	for _, errc := range append(workerErrs, soloErr, routerErr) {
+		if err := <-errc; err != nil {
+			return err
+		}
+	}
+
+	if fleetOutPath != "" {
+		doc := struct {
+			Schema      string   `json:"schema"`
+			GeneratedAt string   `json:"generated_at"`
+			GoMaxProcs  int      `json:"gomaxprocs"`
+			Workers     int      `json:"fleet_workers"`
+			GMAs        int      `json:"gmas"`
+			SingleMS    float64  `json:"single_node_wall_ms"`
+			FleetMS     float64  `json:"fleet_batch_wall_ms"`
+			Speedup     float64  `json:"fleet_over_single"`
+			Retries     int      `json:"router_retries"`
+			Identical   int      `json:"identical"`
+			Rows        []e18Row `json:"units"`
+		}{
+			Schema:      "denali-bench-fleet/v1",
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			Workers:     len(members),
+			GMAs:        len(truth),
+			SingleMS:    float64(singleWall.Microseconds()) / 1e3,
+			FleetMS:     float64(batchWall.Microseconds()) / 1e3,
+			Speedup:     speedup,
+			Retries:     int(retries),
+			Identical:   identicalN,
+			Rows:        rows,
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(fleetOutPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("single-vs-fleet comparison written to %s\n", fleetOutPath)
+	}
+
+	if identicalN != len(rows) {
+		return fmt.Errorf("%d of %d fleet units diverged from the single-node compile", len(rows)-identicalN, len(rows))
+	}
+	if retries > 0 {
+		return fmt.Errorf("healthy fleet needed %d retries, want 0", int(retries))
+	}
+	// The wall-clock win needs real cores: all four servers share this
+	// process, so on one CPU the fleet can only add routing overhead. Gate
+	// the speedup claim on parallel hardware and bound the overhead
+	// otherwise.
+	if runtime.GOMAXPROCS(0) >= 2 {
+		if speedup < 1.1 {
+			return fmt.Errorf("fleet batch only %.2fx the single node, want >= 1.1x", speedup)
+		}
+	} else if speedup < 0.55 {
+		return fmt.Errorf("fleet batch %.2fx the single node on one CPU: routing overhead above 80%%", speedup)
 	}
 	return nil
 }

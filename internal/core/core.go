@@ -9,6 +9,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -458,19 +459,29 @@ func (c *Compiled) Assembly() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "// %s\n", c.GMA)
 	fmt.Fprintf(&b, "// Register Map: {")
-	first := true
-	for name, reg := range c.Schedule.InputRegs {
-		if !first {
+	// Sorted iteration: the listing must be byte-stable across runs (and
+	// across fleet members) — identical compiles answer identical text.
+	inputs := make([]string, 0, len(c.Schedule.InputRegs))
+	for name := range c.Schedule.InputRegs {
+		inputs = append(inputs, name)
+	}
+	sort.Strings(inputs)
+	for i, name := range inputs {
+		if i > 0 {
 			b.WriteString(", ")
 		}
-		first = false
-		fmt.Fprintf(&b, "%s=%s", name, reg)
+		fmt.Fprintf(&b, "%s=%s", name, c.Schedule.InputRegs[name])
 	}
 	b.WriteString("}\n")
 	fmt.Fprintf(&b, "%s:\n", sanitizeLabel(c.GMA.Name))
 	b.WriteString(c.Schedule.Compact())
-	for target, op := range c.Schedule.ResultRegs {
-		fmt.Fprintf(&b, "    // %s in %s\n", target, op)
+	targets := make([]string, 0, len(c.Schedule.ResultRegs))
+	for target := range c.Schedule.ResultRegs {
+		targets = append(targets, target)
+	}
+	sort.Strings(targets)
+	for _, target := range targets {
+		fmt.Fprintf(&b, "    // %s in %s\n", target, c.Schedule.ResultRegs[target])
 	}
 	if c.GMA.Guard != nil {
 		guard := c.Schedule.ResultRegs["<guard>"]

@@ -1,0 +1,113 @@
+// Consistent-hash ring for the fleet router: canonical compile keys are
+// placed on a 64-bit ring alongside a fixed number of virtual points per
+// member, and each key is owned by the first member point clockwise from
+// the key's own point. Virtual points give balance (each member's share
+// of the keyspace is the union of many small arcs), and consistency
+// gives minimal remapping: when one member joins or leaves, only the
+// keys on the arcs it gains or loses move — about 1/N of the corpus —
+// while every other key keeps its owner, which is what keeps the
+// per-shard compile caches warm across membership churn.
+
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ringVnodes is the number of virtual points per member. 128 arcs per
+// member keeps the max/mean load ratio within ~1.3 on realistic key
+// corpora (pinned by the balance property test) at negligible memory.
+const ringVnodes = 128
+
+// ringPoint is one virtual point: a position on the ring and the member
+// it belongs to.
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// hashRing is an immutable consistent-hash ring over a member set.
+// Membership changes build a new ring (they are rare — probe-driven —
+// while lookups are per-request), so lookups need no locking.
+type hashRing struct {
+	points  []ringPoint
+	members []string
+}
+
+// ringHash maps an arbitrary string onto the ring. SHA-256 (truncated)
+// rather than a cheaper hash: the ring hashes compile keys that are
+// themselves hex SHA-256 strings, and a weak mixer over such inputs
+// clusters badly.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// newHashRing builds a ring over the given members (deduplicated; order
+// irrelevant). An empty member set yields a ring whose lookups return
+// nothing.
+func newHashRing(members []string) *hashRing {
+	seen := map[string]bool{}
+	r := &hashRing{}
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		r.members = append(r.members, m)
+		for i := 0; i < ringVnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:   ringHash(fmt.Sprintf("%s#%d", m, i)),
+				member: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on member so the ring is deterministic even in the
+		// astronomically unlikely event of a 64-bit collision.
+		return r.points[i].member < r.points[j].member
+	})
+	sort.Strings(r.members)
+	return r
+}
+
+// owner returns the member owning the key ("" on an empty ring).
+func (r *hashRing) owner(key string) string {
+	seq := r.sequence(key, 1)
+	if len(seq) == 0 {
+		return ""
+	}
+	return seq[0]
+}
+
+// sequence returns up to n distinct members in ring order starting at
+// the key's owner — the owner first, then the members that would own the
+// key if the ones before them left. This is the router's retry
+// preference order: it walks the same path a real membership change
+// would, so retried keys land exactly where they would migrate to.
+func (r *hashRing) sequence(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seq := make([]string, 0, n)
+	seen := map[string]bool{}
+	for i := 0; len(seq) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			seq = append(seq, p.member)
+		}
+	}
+	return seq
+}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringCorpus builds n distinct keys shaped like real routing keys
+// (compile-cache keys are hex SHA-256 strings; ringHash re-hashes them).
+func ringCorpus(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i)
+	}
+	return keys
+}
+
+func ringMembers(n int) []string {
+	members := make([]string, n)
+	for i := range members {
+		members[i] = fmt.Sprintf("10.0.0.%d:8473", i+1)
+	}
+	return members
+}
+
+// TestRingBalance is the balance property: with 128 virtual points per
+// member, a 1k-key corpus spreads across 8 members with every member's
+// share within a factor of two of the mean in both directions.
+func TestRingBalance(t *testing.T) {
+	members := ringMembers(8)
+	ring := newHashRing(members)
+	keys := ringCorpus(1000)
+	load := map[string]int{}
+	for _, k := range keys {
+		owner := ring.owner(k)
+		if owner == "" {
+			t.Fatalf("key %s has no owner", k)
+		}
+		load[owner]++
+	}
+	if len(load) != len(members) {
+		t.Fatalf("only %d of %d members own keys: %v", len(load), len(members), load)
+	}
+	mean := float64(len(keys)) / float64(len(members))
+	for m, n := range load {
+		if f := float64(n) / mean; f > 2 || f < 0.5 {
+			t.Errorf("member %s owns %d keys (%.2fx the mean %v) — ring is unbalanced: %v",
+				m, n, f, mean, load)
+		}
+	}
+}
+
+// TestRingMinimalRemapping is the consistency property: adding or
+// removing one member moves only the keys on the arcs that member gains
+// or loses — about 1/N of the corpus — and every moved key moves
+// to (join) or from (leave) exactly that member.
+func TestRingMinimalRemapping(t *testing.T) {
+	members := ringMembers(8)
+	keys := ringCorpus(1000)
+	before := newHashRing(members)
+
+	t.Run("join", func(t *testing.T) {
+		joined := "10.0.0.99:8473"
+		after := newHashRing(append(append([]string{}, members...), joined))
+		moved := 0
+		for _, k := range keys {
+			o1, o2 := before.owner(k), after.owner(k)
+			if o1 == o2 {
+				continue
+			}
+			moved++
+			if o2 != joined {
+				t.Errorf("key %s moved %s → %s, but only the joining member %s may gain keys",
+					k, o1, o2, joined)
+			}
+		}
+		// Expected share is 1/9 of the corpus (~111); twice that is the
+		// variance allowance for 128 vnodes.
+		if max := 2 * len(keys) / (len(members) + 1); moved > max {
+			t.Errorf("join remapped %d of %d keys, want ≤ %d (~1/N)", moved, len(keys), max)
+		}
+		if moved == 0 {
+			t.Error("join remapped nothing — the new member owns no keys")
+		}
+	})
+
+	t.Run("leave", func(t *testing.T) {
+		left := members[3]
+		after := newHashRing(append(append([]string{}, members[:3]...), members[4:]...))
+		moved := 0
+		for _, k := range keys {
+			o1, o2 := before.owner(k), after.owner(k)
+			if o1 == o2 {
+				continue
+			}
+			moved++
+			if o1 != left {
+				t.Errorf("key %s moved %s → %s, but only keys of the leaving member %s may move",
+					k, o1, o2, left)
+			}
+		}
+		if max := 2 * len(keys) / len(members); moved > max {
+			t.Errorf("leave remapped %d of %d keys, want ≤ %d (~1/N)", moved, len(keys), max)
+		}
+		if moved == 0 {
+			t.Error("leave remapped nothing — the removed member owned no keys")
+		}
+	})
+}
+
+// TestRingSequence pins the retry-order contract: the owner first, then
+// distinct members in ring order, exactly the owners the key would have
+// if the members before them left.
+func TestRingSequence(t *testing.T) {
+	members := ringMembers(4)
+	ring := newHashRing(members)
+	for _, k := range ringCorpus(50) {
+		seq := ring.sequence(k, len(members))
+		if len(seq) != len(members) {
+			t.Fatalf("sequence(%s) has %d members, want %d", k, len(seq), len(members))
+		}
+		if seq[0] != ring.owner(k) {
+			t.Fatalf("sequence(%s)[0] = %s, want owner %s", k, seq[0], ring.owner(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("sequence(%s) repeats member %s: %v", k, m, seq)
+			}
+			seen[m] = true
+		}
+		// The failover invariant: dropping the owner, the next member in
+		// the sequence is the key's owner on the shrunken ring.
+		var rest []string
+		for _, m := range members {
+			if m != seq[0] {
+				rest = append(rest, m)
+			}
+		}
+		if got := newHashRing(rest).owner(k); got != seq[1] {
+			t.Fatalf("after %s leaves, key %s is owned by %s, but sequence promised %s",
+				seq[0], k, got, seq[1])
+		}
+	}
+}
+
+// TestRingEdgeCases covers the degenerate rings lookups must survive.
+func TestRingEdgeCases(t *testing.T) {
+	empty := newHashRing(nil)
+	if got := empty.owner("k"); got != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", got)
+	}
+	if seq := empty.sequence("k", 3); seq != nil {
+		t.Errorf("empty ring sequence = %v, want nil", seq)
+	}
+	dup := newHashRing([]string{"a:1", "a:1", "", "b:2"})
+	if len(dup.members) != 2 {
+		t.Errorf("dedup kept %v, want [a:1 b:2]", dup.members)
+	}
+	single := newHashRing([]string{"a:1"})
+	for _, k := range ringCorpus(10) {
+		if single.owner(k) != "a:1" {
+			t.Fatalf("single-member ring routed %s elsewhere", k)
+		}
+	}
+	if seq := single.sequence("k", 5); len(seq) != 1 {
+		t.Errorf("single-member sequence = %v, want one member", seq)
+	}
+}

@@ -1,0 +1,381 @@
+// Router mode: the sigmaos-style service split for the compile fleet.
+// A Server configured with Config.Route becomes a front door that owns
+// no compile pipeline of its own: it consistently hashes each request's
+// canonical compile key (repro.Keys — the same content-addressed
+// identity the workers' caches store under) onto the configured worker
+// set and forwards POST /compile with the request ID threaded through
+// the hop. Membership is health-driven — a periodic /readyz probe per
+// worker; draining members leave the ring, returning members rejoin —
+// and failure handling is split by cause:
+//
+//   - connection failures and draining workers (503 + X-Denali-Reject:
+//     draining) are routed around: the member is marked down immediately
+//     and the request retried against the next replica on the ring with
+//     bounded exponential backoff;
+//   - saturated workers (503 busy) are explicit backpressure: the 503
+//     and its Retry-After propagate to the client instead of the router
+//     queueing or hammering other shards, which would just melt the
+//     fleet sideways under overload.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/flight"
+	"repro/internal/obs"
+)
+
+// rejectHeader discriminates worker 503s for the router: "draining"
+// (retry the next replica) vs "busy" (propagate backpressure).
+const rejectHeader = "X-Denali-Reject"
+
+// Response headers the router adds so clients and tests can see the hop.
+const (
+	upstreamHeader = "X-Denali-Upstream"
+	attemptsHeader = "X-Denali-Attempts"
+)
+
+// router is the fleet front door state hanging off a Server in route
+// mode: configured members, probe-driven liveness, and the hash ring
+// rebuilt on every membership change.
+type router struct {
+	sink    *obs.Sink
+	client  *http.Client
+	retries int
+	backoff time.Duration
+	probe   time.Duration
+
+	mu      sync.RWMutex
+	members []string
+	alive   map[string]bool
+	ring    *hashRing
+	full    *hashRing // all configured members, the all-down fallback
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// newRouter builds the router and starts its membership prober. Every
+// member starts presumed alive — the first probe round corrects that
+// within one interval, and the reactive path (markDown on a failed
+// forward) corrects it on first contact either way.
+func newRouter(cfg Config, sink *obs.Sink) *router {
+	rt := &router{
+		sink:    sink,
+		retries: cfg.RouteRetries,
+		backoff: cfg.RouteBackoff,
+		probe:   cfg.RouteProbeInterval,
+		alive:   map[string]bool{},
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if rt.probe <= 0 {
+		rt.probe = time.Second
+	}
+	if rt.backoff <= 0 {
+		rt.backoff = 25 * time.Millisecond
+	}
+	rt.full = newHashRing(cfg.Route)
+	rt.members = rt.full.members
+	for _, m := range rt.members {
+		rt.alive[m] = true
+	}
+	if rt.retries <= 0 {
+		rt.retries = len(rt.members)
+	}
+	if rt.retries > len(rt.members) {
+		rt.retries = len(rt.members)
+	}
+	rt.ring = rt.full
+	// Forwarded requests carry their own context deadline from the
+	// handler; the client timeout is a backstop against a worker that
+	// accepts the connection and then hangs without ever answering.
+	rt.client = &http.Client{Timeout: cfg.RequestTimeout + cfg.QueueTimeout + 5*time.Second}
+	rt.publishMembers()
+	go rt.probeLoop()
+	return rt
+}
+
+// Close stops the membership prober. Idempotent.
+func (rt *router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	<-rt.done
+}
+
+// probeLoop drives membership: one /readyz probe per member per
+// interval. 200 means ready; anything else (503 during drain, refused
+// connection, timeout) takes the member off the ring until it answers
+// ready again — that is the whole rejoin story, no explicit
+// (re)registration step.
+func (rt *router) probeLoop() {
+	defer close(rt.done)
+	t := time.NewTicker(rt.probe)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+		}
+		var wg sync.WaitGroup
+		for _, m := range rt.members {
+			m := m
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rt.setAlive(m, rt.probeOne(m))
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// probeOne asks one member whether it is ready for traffic.
+func (rt *router) probeOne(member string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.probe)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+member+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 256))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// setAlive records one member's health, rebuilding the ring when the
+// state changed.
+func (rt *router) setAlive(member string, ok bool) {
+	rt.mu.Lock()
+	if rt.alive[member] == ok {
+		rt.mu.Unlock()
+		return
+	}
+	rt.alive[member] = ok
+	var up []string
+	for _, m := range rt.members {
+		if rt.alive[m] {
+			up = append(up, m)
+		}
+	}
+	rt.ring = newHashRing(up)
+	rt.mu.Unlock()
+	rt.publishMembers()
+}
+
+// markDown is the reactive path: a forward just failed against this
+// member, so take it off the ring now rather than waiting a probe
+// interval. The prober rejoins it when /readyz answers ready again.
+func (rt *router) markDown(member string) { rt.setAlive(member, false) }
+
+func (rt *router) publishMembers() {
+	rt.mu.RLock()
+	aliveN := 0
+	for _, m := range rt.members {
+		if rt.alive[m] {
+			aliveN++
+		}
+	}
+	total := len(rt.members)
+	rt.mu.RUnlock()
+	rt.sink.Set(obs.MRouterMembers, float64(aliveN), obs.T("state", "alive"))
+	rt.sink.Set(obs.MRouterMembers, float64(total-aliveN), obs.T("state", "down"))
+}
+
+// sequence returns the retry preference order for a key over the
+// currently-alive members. When every member is down it falls back to
+// the full configured ring: trying a possibly-dead worker and failing
+// honestly beats answering 502 without having tried at all.
+func (rt *router) sequence(key string) []string {
+	rt.mu.RLock()
+	ring := rt.ring
+	if len(ring.members) == 0 {
+		ring = rt.full
+	}
+	rt.mu.RUnlock()
+	return ring.sequence(key, rt.retries)
+}
+
+// routingKey computes the consistent-hash key for one compile request:
+// the canonical compile-cache key of its GMA (the concatenation, for a
+// multi-GMA program), so identical programs always land on the same
+// shard and warm exactly one cache. Requests that fail to parse hash
+// their raw source instead — still deterministic, and the owning worker
+// then produces the authoritative error.
+func (s *Server) routingKey(req *CompileRequest, raw []byte) string {
+	opt, err := s.options(req, nil)
+	if err == nil {
+		if keys, kerr := repro.Keys(req.Source, opt); kerr == nil && len(keys) > 0 {
+			if len(keys) == 1 {
+				return keys[0].Key
+			}
+			var b strings.Builder
+			for _, k := range keys {
+				b.WriteString(k.Key)
+				b.WriteByte('\n')
+			}
+			return b.String()
+		}
+	}
+	sum := sha256.Sum256(raw)
+	return "raw:" + hex.EncodeToString(sum[:8])
+}
+
+// forwarded is the outcome of one routed dispatch.
+type forwarded struct {
+	resp     *http.Response
+	worker   string
+	attempts int
+}
+
+// forward dispatches one request body to the key's owner, retrying
+// drained/unreachable replicas along the ring with bounded exponential
+// backoff. A 503 from a live worker that is merely saturated is NOT
+// retried — it is returned for the caller to propagate (backpressure).
+func (rt *router) forward(ctx context.Context, path, key, requestID, contentType string, body []byte) (forwarded, error) {
+	t0 := time.Now()
+	var lastErr error
+	worker := ""
+	for attempt := 1; attempt <= rt.retries; attempt++ {
+		if attempt > 1 {
+			rt.sink.Add(obs.MRouterRetries, 1)
+			// Bounded backoff: 1x, 2x, 4x... the base, capped at 1s.
+			d := rt.backoff << (attempt - 2)
+			if d > time.Second {
+				d = time.Second
+			}
+			select {
+			case <-ctx.Done():
+				return forwarded{worker: worker, attempts: attempt}, ctx.Err()
+			case <-time.After(d):
+			}
+		}
+		seq := rt.sequence(key)
+		if len(seq) == 0 {
+			return forwarded{attempts: attempt}, fmt.Errorf("no fleet members configured")
+		}
+		worker = seq[(attempt-1)%len(seq)]
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+worker+path, bytes.NewReader(body))
+		if err != nil {
+			return forwarded{worker: worker, attempts: attempt}, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		// The hop keeps the front door's request ID — never regenerated —
+		// so the worker's flight report, access log and DIMACS provenance
+		// all correlate with the router's under one ID.
+		req.Header.Set("X-Request-ID", requestID)
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			// Connection refused/reset, timeout: the member is gone or
+			// wedged. Route around it.
+			rt.markDown(worker)
+			rt.observeForward(worker, "error", t0)
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get(rejectHeader) == "draining" {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+			resp.Body.Close()
+			rt.markDown(worker)
+			rt.observeForward(worker, "draining", t0)
+			lastErr = fmt.Errorf("worker %s draining", worker)
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			rt.sink.Add(obs.MRouterBackpressure, 1)
+		}
+		rt.observeForward(worker, fmt.Sprintf("%dxx", resp.StatusCode/100), t0)
+		return forwarded{resp: resp, worker: worker, attempts: attempt}, nil
+	}
+	return forwarded{worker: worker, attempts: rt.retries},
+		fmt.Errorf("all %d dispatch attempts failed: %w", rt.retries, lastErr)
+}
+
+func (rt *router) observeForward(worker, class string, t0 time.Time) {
+	rt.sink.Add(obs.MRouterForwards, 1, obs.T("worker", worker), obs.T("class", class))
+	rt.sink.Observe(obs.MRouterForwardSeconds, time.Since(t0).Seconds())
+}
+
+// handleRouteCompile is POST /compile in router mode: decode just enough
+// to compute the routing key, then forward the raw body unchanged to the
+// owning worker and stream its answer back. Worker 503s (saturation)
+// propagate with a Retry-After; exhausted retries answer 502.
+func (s *Server) handleRouteCompile(w http.ResponseWriter, r *http.Request) {
+	info := requestInfo(r)
+	t0 := time.Now()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "POST only", RequestID: info.id})
+		return
+	}
+	if !s.ready.Load() {
+		s.sink.Add(mRejected, 1, obs.T("reason", "draining"))
+		w.Header().Set(rejectHeader, "draining")
+		writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: "router draining", RequestID: info.id})
+		return
+	}
+	req, raw, code, msg := s.readCompileRequest(r)
+	if code != 0 {
+		writeJSON(w, code, errorJSON{Error: msg, RequestID: info.id})
+		return
+	}
+	fwd, err := s.router.forward(r.Context(), "/compile", s.routingKey(&req, raw), info.id, r.Header.Get("Content-Type"), raw)
+	info.upstream, info.attempts = fwd.worker, fwd.attempts
+	if err != nil {
+		s.fileRouted(info, t0, err.Error())
+		writeJSON(w, http.StatusBadGateway, errorJSON{
+			Error: "fleet dispatch failed: " + err.Error(), RequestID: info.id})
+		return
+	}
+	defer fwd.resp.Body.Close()
+	for _, h := range []string{"Content-Type", "X-Denali-Cache", "Retry-After", rejectHeader} {
+		if v := fwd.resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	if fwd.resp.StatusCode == http.StatusServiceUnavailable && w.Header().Get("Retry-After") == "" {
+		// Backpressure must be actionable: a saturated worker always
+		// tells the client when to come back.
+		w.Header().Set("Retry-After", "1")
+	}
+	info.cache = fwd.resp.Header.Get("X-Denali-Cache")
+	w.Header().Set(upstreamHeader, fwd.worker)
+	w.Header().Set(attemptsHeader, fmt.Sprintf("%d", fwd.attempts))
+	w.WriteHeader(fwd.resp.StatusCode)
+	io.Copy(w, fwd.resp.Body)
+	errMsg := ""
+	if fwd.resp.StatusCode >= 500 {
+		errMsg = fmt.Sprintf("upstream answered %d", fwd.resp.StatusCode)
+	}
+	s.fileRouted(info, t0, errMsg)
+}
+
+// fileRouted lands the router-tier flight report for one hop: same
+// request ID as the worker's own report, plus the upstream worker and
+// attempt count — the fields /debug/requests/{id} needs to explain a
+// routed request end to end.
+func (s *Server) fileRouted(info *reqInfo, t0 time.Time, errMsg string) {
+	rep := flight.NewReport(info.id)
+	rep.Upstream = info.upstream
+	rep.Attempts = info.attempts
+	rep.Error = errMsg
+	rep.WallMillis = float64(time.Since(t0).Microseconds()) / 1e3
+	s.file(rep)
+}

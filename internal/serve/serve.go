@@ -121,6 +121,28 @@ type Config struct {
 	// gauges. Nil allocates a memory-only warehouse; pass one from
 	// history.Open to persist across restarts (the caller owns Close).
 	History *history.Warehouse
+
+	// Route turns the server into a fleet front door instead of a worker:
+	// the listed worker addresses (host:port) form a consistent-hash ring
+	// over canonical compile keys, POST /compile forwards to the owning
+	// shard, and POST /compile/batch fans a multi-GMA program out across
+	// the fleet. A routing server runs no compile pipeline of its own;
+	// Options only supply the defaults used to compute routing keys.
+	Route []string
+	// RouteProbeInterval is the /readyz membership probe period (default
+	// 1s): draining members leave the ring, returning members rejoin.
+	RouteProbeInterval time.Duration
+	// RouteRetries bounds dispatch attempts per forwarded request
+	// (default: one per configured worker). Only drains and connection
+	// failures are retried; saturation 503s propagate to the client.
+	RouteRetries int
+	// RouteBackoff is the base delay between retry attempts, doubled per
+	// attempt and capped at 1s (default 25ms).
+	RouteBackoff time.Duration
+	// BatchConcurrency bounds concurrently in-flight per-GMA units of one
+	// /compile/batch request (default: 2x the fleet size in router mode,
+	// MaxConcurrent in worker mode).
+	BatchConcurrency int
 }
 
 // Server is one compile service instance.
@@ -135,6 +157,8 @@ type Server struct {
 	// accumulates them into the per-key warehouse behind /debug/history.
 	ring *flight.Ring
 	hist *history.Warehouse
+	// router is non-nil in fleet front-door mode (Config.Route).
+	router *router
 	// accessMu serializes access-log lines so concurrent requests cannot
 	// interleave bytes within a line.
 	accessMu sync.Mutex
@@ -191,6 +215,9 @@ func New(cfg Config) *Server {
 	s.reg.DeclareGauge(mHeapBytes, "Heap bytes currently allocated.")
 	s.reg.DeclareGauge(mNumGC, "Completed GC cycles.")
 	history.DeclareSLOMetrics(s.reg)
+	if len(cfg.Route) > 0 {
+		s.router = newRouter(cfg, s.sink)
+	}
 	// Callers supplying their own (non-compiler) registry still get the
 	// build-identity gauge; declaring twice only refreshes help text.
 	s.reg.DeclareGauge(obs.MBuildInfo, "Build identity: constant 1, labeled by version and goversion.")
@@ -202,6 +229,27 @@ func New(cfg Config) *Server {
 
 // Registry returns the server's metrics registry.
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Close releases background resources (the router's membership prober).
+// ListenAndServe calls it on exit; tests driving Handler() directly
+// should defer it. Safe on any server, idempotent.
+func (s *Server) Close() {
+	if s.router != nil {
+		s.router.Close()
+	}
+}
+
+// Drain flips readiness off: /readyz answers 503, new compile work is
+// rejected with X-Denali-Reject: draining, and a fleet router takes this
+// member off its ring at the next probe (or first failed forward). It is
+// the SIGTERM-equivalent a test or an operator can trigger without
+// stopping the listener; Resume undoes it.
+func (s *Server) Drain() { s.ready.Store(false) }
+
+// Resume flips readiness back on after a Drain: /readyz answers 200
+// again and a fleet router rejoins this member to its ring at the next
+// probe.
+func (s *Server) Resume() { s.ready.Store(true) }
 
 // History returns the server's compile-history warehouse.
 func (s *Server) History() *history.Warehouse { return s.hist }
@@ -226,7 +274,12 @@ func (s *Server) Addr() string {
 // Handler returns the full route table, for tests and embedding.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/compile", s.instrument("/compile", s.handleCompile))
+	compile := s.handleCompile
+	if s.router != nil {
+		compile = s.handleRouteCompile
+	}
+	mux.HandleFunc("/compile", s.instrument("/compile", compile))
+	mux.HandleFunc("/compile/batch", s.instrument("/compile/batch", s.handleBatch))
 	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.HandleFunc("/healthz", s.instrument("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
@@ -257,6 +310,7 @@ func (s *Server) Handler() http.Handler {
 // ListenAndServe binds cfg.Addr and serves until ctx is cancelled, then
 // drains gracefully. It returns nil on a clean shutdown.
 func (s *Server) ListenAndServe(ctx context.Context) error {
+	defer s.Close()
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return err
@@ -294,6 +348,16 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer: without it the instrumentation
+// wrapper would hide the underlying http.Flusher and /compile/batch
+// lines would buffer until the whole batch finished instead of
+// streaming as results land.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // reqInfo rides the request context from instrument (which mints the
 // request ID) into the handler, and carries the compile outcome back out
 // for the access log.
@@ -302,6 +366,9 @@ type reqInfo struct {
 	strategy string
 	cycles   int
 	cache    string
+	// upstream/attempts record the router→worker hop in route mode.
+	upstream string
+	attempts int
 }
 
 type ctxKey struct{}
@@ -328,6 +395,11 @@ type accessLine struct {
 	// Cache mirrors the response's X-Denali-Cache header
 	// (hit|miss|coalesced|bypass); empty when no cache is configured.
 	Cache string `json:"cache,omitempty"`
+	// Upstream/Attempts record the router→worker hop for requests a
+	// fleet front door forwarded: the worker that answered and how many
+	// dispatch attempts were needed.
+	Upstream string `json:"upstream,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
 }
 
 func (s *Server) logAccess(r *http.Request, info *reqInfo, code int, d time.Duration) {
@@ -345,6 +417,8 @@ func (s *Server) logAccess(r *http.Request, info *reqInfo, code int, d time.Dura
 		Strategy: info.strategy,
 		Cycles:   info.cycles,
 		Cache:    info.cache,
+		Upstream: info.upstream,
+		Attempts: info.attempts,
 	})
 	if err != nil {
 		return
@@ -421,6 +495,11 @@ type CompileRequest struct {
 	// regressions can be bisected against production traffic without a
 	// rebuild. Absent (null) keeps the server's setting.
 	Incremental *bool `json:"incremental,omitempty"`
+	// Only restricts the compile to the single GMA with this name — the
+	// per-GMA unit a fleet router forwards, so each worker compiles
+	// exactly the shard it owns while seeing the whole program (axioms
+	// and operator declarations included). Unknown names are a 422.
+	Only string `json:"only,omitempty"`
 	// Trace returns the request's pipeline trace as Chrome trace_event
 	// JSON in the response (load in chrome://tracing or Perfetto).
 	Trace bool `json:"trace,omitempty"`
@@ -548,6 +627,7 @@ func (s *Server) options(req *CompileRequest, tr *obs.Trace) (repro.Options, err
 	if req.Incremental != nil {
 		opt.Incremental = req.Incremental
 	}
+	opt.Only = req.Only
 	opt.Cache = s.cfg.Cache
 	if len(req.Cache) > 0 {
 		mode, err := parseCacheMode(req.Cache)
@@ -606,6 +686,47 @@ func cacheOutcome(res *repro.Result) string {
 	return ""
 }
 
+// readCompileRequest reads and decodes a compile body — either the JSON
+// envelope or raw Denali source (text/plain), so `curl --data-binary
+// @file.dn` works without quoting. The raw bytes come back too so a
+// router can forward them unchanged. A non-zero code (with its message)
+// means the request was rejected.
+func (s *Server) readCompileRequest(r *http.Request) (req CompileRequest, raw []byte, code int, msg string) {
+	body := io.LimitReader(r.Body, s.cfg.MaxSourceBytes+1)
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		return req, raw, http.StatusBadRequest, "read body: " + err.Error()
+	}
+	if int64(len(raw)) > s.cfg.MaxSourceBytes {
+		s.sink.Add(mRejected, 1, obs.T("reason", "too_large"))
+		return req, raw, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("source exceeds %d bytes", s.cfg.MaxSourceBytes)
+	}
+	trimmed := strings.TrimSpace(string(raw))
+	if strings.HasPrefix(trimmed, "{") {
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return req, raw, http.StatusBadRequest, "decode request: " + err.Error()
+		}
+	} else {
+		req.Source = string(raw)
+	}
+	if strings.TrimSpace(req.Source) == "" {
+		return req, raw, http.StatusBadRequest, "empty source"
+	}
+	return req, raw, 0, ""
+}
+
+// retryAfterSeconds is the Retry-After a saturated worker attaches to
+// its 503s: explicit backpressure the router propagates to the client
+// instead of queueing the request itself.
+func (s *Server) retryAfterSeconds() string {
+	secs := int(s.cfg.QueueTimeout / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	info := requestInfo(r)
 	// reject answers an error and leaves a minimal flight report in the
@@ -624,35 +745,16 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	if !s.ready.Load() {
 		s.sink.Add(mRejected, 1, obs.T("reason", "draining"))
+		// The reject header tells a fleet router this 503 means "route
+		// around me" rather than "back off" — the two causes demand
+		// opposite reactions.
+		w.Header().Set(rejectHeader, "draining")
 		reject(http.StatusServiceUnavailable, "server draining")
 		return
 	}
-	var req CompileRequest
-	body := io.LimitReader(r.Body, s.cfg.MaxSourceBytes+1)
-	raw, err := io.ReadAll(body)
-	if err != nil {
-		reject(http.StatusBadRequest, "read body: "+err.Error())
-		return
-	}
-	if int64(len(raw)) > s.cfg.MaxSourceBytes {
-		s.sink.Add(mRejected, 1, obs.T("reason", "too_large"))
-		reject(http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("source exceeds %d bytes", s.cfg.MaxSourceBytes))
-		return
-	}
-	// Accept either the JSON envelope or raw Denali source (text/plain),
-	// so `curl --data-binary @file.dn` works without quoting.
-	trimmed := strings.TrimSpace(string(raw))
-	if strings.HasPrefix(trimmed, "{") {
-		if err := json.Unmarshal(raw, &req); err != nil {
-			reject(http.StatusBadRequest, "decode request: "+err.Error())
-			return
-		}
-	} else {
-		req.Source = string(raw)
-	}
-	if strings.TrimSpace(req.Source) == "" {
-		reject(http.StatusBadRequest, "empty source")
+	req, _, code, msg := s.readCompileRequest(r)
+	if code != 0 {
+		reject(code, msg)
 		return
 	}
 
@@ -664,6 +766,8 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	case s.limiter <- struct{}{}:
 	case <-admit.C:
 		s.sink.Add(mRejected, 1, obs.T("reason", "busy"))
+		w.Header().Set(rejectHeader, "busy")
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		reject(http.StatusServiceUnavailable, "server busy: concurrency limit reached")
 		return
 	case <-r.Context().Done():
@@ -776,33 +880,40 @@ func strategyName(opt repro.Options) string {
 	return "linear"
 }
 
+// gmaJSON renders one compiled GMA into the response shape; /compile and
+// /compile/batch share it so the two endpoints answer byte-identical
+// per-GMA objects.
+func gmaJSON(g *repro.CompiledGMA, verified int) GMAJSON {
+	gj := GMAJSON{
+		Name:          g.Name,
+		Cycles:        g.Cycles,
+		Instructions:  g.Instructions,
+		OptimalProven: g.OptimalProven,
+		Assembly:      g.Assembly,
+		MatchNodes:    g.Match.Nodes,
+		MatchRounds:   g.Match.Rounds,
+		MatchMillis:   float64(g.Match.Elapsed.Microseconds()) / 1e3,
+		SolveMillis:   float64(g.SolveTime.Microseconds()) / 1e3,
+		Verified:      verified,
+		Certified:     g.Certified,
+		CertifyMillis: float64(g.CertifyTime.Microseconds()) / 1e3,
+	}
+	for _, p := range g.Probes {
+		gj.Probes = append(gj.Probes, ProbeJSON{
+			K: p.K, Result: p.Result, Vars: p.Vars, Clauses: p.Clauses,
+			Conflicts: p.Conflicts, Millis: float64(p.Elapsed.Microseconds()) / 1e3,
+			Incremental: p.Incremental, Reused: p.Reused,
+		})
+	}
+	return gj
+}
+
 func buildResponse(res *repro.Result, wall time.Duration, tr *obs.Trace, verified int) CompileResponse {
 	resp := CompileResponse{WallMillis: float64(wall.Microseconds()) / 1e3}
 	for _, proc := range res.Procs {
 		pj := ProcJSON{Name: proc.Name}
 		for _, g := range proc.GMAs {
-			gj := GMAJSON{
-				Name:          g.Name,
-				Cycles:        g.Cycles,
-				Instructions:  g.Instructions,
-				OptimalProven: g.OptimalProven,
-				Assembly:      g.Assembly,
-				MatchNodes:    g.Match.Nodes,
-				MatchRounds:   g.Match.Rounds,
-				MatchMillis:   float64(g.Match.Elapsed.Microseconds()) / 1e3,
-				SolveMillis:   float64(g.SolveTime.Microseconds()) / 1e3,
-				Verified:      verified,
-				Certified:     g.Certified,
-				CertifyMillis: float64(g.CertifyTime.Microseconds()) / 1e3,
-			}
-			for _, p := range g.Probes {
-				gj.Probes = append(gj.Probes, ProbeJSON{
-					K: p.K, Result: p.Result, Vars: p.Vars, Clauses: p.Clauses,
-					Conflicts: p.Conflicts, Millis: float64(p.Elapsed.Microseconds()) / 1e3,
-					Incremental: p.Incremental, Reused: p.Reused,
-				})
-			}
-			pj.GMAs = append(pj.GMAs, gj)
+			pj.GMAs = append(pj.GMAs, gmaJSON(g, verified))
 		}
 		resp.Procs = append(resp.Procs, pj)
 	}

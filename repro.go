@@ -133,6 +133,15 @@ type Options struct {
 	// normally, "refresh" recomputes and overwrites the stored entries,
 	// "off" bypasses the cache entirely for this call.
 	CacheMode string
+	// Only restricts compilation to the single GMA with this name (after
+	// software pipelining); every other GMA of the program is skipped and
+	// procedures left with no compiled GMAs are dropped from the Result.
+	// It is how a fleet router fans a multi-GMA program out: each worker
+	// receives the whole source plus the name of the one GMA it owns, so
+	// the per-GMA answer is byte-identical to the same GMA's slot in a
+	// whole-program compile. Compiling with a name no GMA carries is an
+	// error. Empty (the default) compiles everything.
+	Only string
 	// RequestID correlates everything this compilation produces with the
 	// request that asked for it: trace spans, exported DIMACS provenance,
 	// and the flight report all carry it. Empty disables the tagging.
@@ -370,11 +379,19 @@ func Compile(src string, opt Options) (*Result, error) {
 				}
 			}
 			for _, g := range gmas {
+				if opt.Only != "" && g.Name != opt.Only {
+					continue
+				}
 				jobs = append(jobs, job{proc: cp, idx: len(cp.GMAs), g: g})
 				cp.GMAs = append(cp.GMAs, nil)
 			}
 		}
-		res.Procs = append(res.Procs, cp)
+		if opt.Only == "" || len(cp.GMAs) > 0 {
+			res.Procs = append(res.Procs, cp)
+		}
+	}
+	if opt.Only != "" && len(jobs) == 0 {
+		return nil, fmt.Errorf("repro: no GMA named %q in the program", opt.Only)
 	}
 
 	workers := opt.Workers
@@ -500,20 +517,79 @@ func cacheFor(opt Options, axs []*axioms.Axiom) *cacheCtx {
 	return &cacheCtx{
 		cache: opt.Cache,
 		mode:  mode,
-		cfg: compilecache.KeyConfig{
-			Arch:              opt.Arch,
-			AxiomVersion:      compilecache.AxiomVersion(axs),
-			BuildVersion:      buildinfo.Version(),
-			MaxCycles:         opt.MaxCycles,
-			MaxConflicts:      opt.MaxConflicts,
-			MatcherMaxRounds:  opt.MatcherMaxRounds,
-			MatcherMaxNodes:   opt.MatcherMaxNodes,
-			DisableAtMostOnce: opt.DisableAtMostOnce,
-			Certify:           opt.Certify,
-			Incremental:       opt.Incremental == nil || *opt.Incremental,
-		},
+		cfg:   keyConfig(opt, axs),
 		reqID: opt.RequestID,
 	}
+}
+
+// keyConfig derives the compile-cache key configuration from Options:
+// every option that shapes the result, plus the axiom bundle and build.
+// It is shared by the cache lookup path and by Keys, so the identity a
+// router hashes for shard placement is the same identity the owning
+// worker's cache stores under.
+func keyConfig(opt Options, axs []*axioms.Axiom) compilecache.KeyConfig {
+	return compilecache.KeyConfig{
+		Arch:              opt.Arch,
+		AxiomVersion:      compilecache.AxiomVersion(axs),
+		BuildVersion:      buildinfo.Version(),
+		MaxCycles:         opt.MaxCycles,
+		MaxConflicts:      opt.MaxConflicts,
+		MatcherMaxRounds:  opt.MatcherMaxRounds,
+		MatcherMaxNodes:   opt.MatcherMaxNodes,
+		DisableAtMostOnce: opt.DisableAtMostOnce,
+		Certify:           opt.Certify,
+		Incremental:       opt.Incremental == nil || *opt.Incremental,
+	}
+}
+
+// KeyedGMA names one GMA of a parsed program together with its canonical
+// compile-cache key under a given configuration — the unit a fleet
+// router places on the consistent-hash ring.
+type KeyedGMA struct {
+	// Proc is the enclosing procedure; Name the GMA's unique name
+	// (procedure name plus block suffix).
+	Proc string
+	Name string
+	// Key is the content-addressed compile identity (compilecache.Key):
+	// alpha-renamed canonical GMA text plus every result-shaping option,
+	// so identical computations land on the same shard — and on that
+	// shard, in the same cache entry.
+	Key string
+}
+
+// Keys parses a program and returns the canonical compile-cache key of
+// every GMA under the given options, in source order, without compiling
+// anything. A router uses this to consistently hash each GMA (and hence
+// each whole program) onto the worker fleet; because the key is exactly
+// the owning worker's cache key, repeated identical requests coalesce on
+// one shard's cache instead of warming N of them. Software pipelining is
+// a compile-time rewrite and is deliberately ignored here: routing keys
+// address source GMAs.
+func Keys(src string, opt Options) ([]KeyedGMA, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	axs, err := axioms.Builtin()
+	if err != nil {
+		return nil, err
+	}
+	axs = append(axs, prog.Axioms...)
+	if opt.ExtraAxioms != "" {
+		extra, err := axioms.ParseAll(opt.ExtraAxioms, "extra")
+		if err != nil {
+			return nil, err
+		}
+		axs = append(axs, extra...)
+	}
+	cfg := keyConfig(opt, axs)
+	var keys []KeyedGMA
+	for _, proc := range prog.Procs {
+		for _, g := range proc.GMAs {
+			keys = append(keys, KeyedGMA{Proc: proc.Name, Name: g.Name, Key: compilecache.Key(g, cfg)})
+		}
+	}
+	return keys, nil
 }
 
 // compileOne compiles one GMA, consulting the compile cache when one is

@@ -28,7 +28,7 @@ go test -race ./internal/core ./internal/schedule ./internal/sat ./internal/obs 
 echo "== perf gate (regression sentinel over the committed bench fixtures)"
 sh scripts/perfgate.sh
 
-echo "== serve smoke (HTTP compile + request-id echo + flight report + cache hit/bypass + /metrics scrape + graceful shutdown)"
+echo "== serve smoke (HTTP compile + request-id echo + flight report + cache hit/bypass + /metrics scrape + graceful shutdown; then fleet: router + 2 workers via -route-file, routed /compile + /compile/batch, cache affinity on the owning shard, SIGTERM'd worker routed around)"
 go run ./scripts/servesmoke
 
 echo "== certification gate (drat checker tests + end-to-end -certify)"
