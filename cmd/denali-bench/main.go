@@ -37,16 +37,21 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/arch/alpha"
 	"repro/internal/axioms"
 	"repro/internal/brute"
 	"repro/internal/compilecache"
+	"repro/internal/core"
 	"repro/internal/egraph"
 	"repro/internal/flight"
 	"repro/internal/history"
+	"repro/internal/lang"
 	"repro/internal/matcher"
+	"repro/internal/naivegen"
 	"repro/internal/obs"
 	"repro/internal/programs"
 	"repro/internal/serve"
+	"repro/internal/stoke"
 	"repro/internal/term"
 )
 
@@ -96,19 +101,20 @@ type benchRow struct {
 // experiments sequentially, but compilations inside one experiment may fan
 // out, so rows is mutex-guarded.
 var (
-	rowsMu       sync.Mutex
-	rows         []benchRow
-	currentExp   string
-	curStrategy  = "linear"
-	curWorkers   = 1
-	curWallMS    float64
-	curArch      = "ev6"
-	jsonPath     string
-	outPath      string
-	incOutPath   string
-	cacheOutPath string
-	fleetOutPath string
-	reportPath   string
+	rowsMu           sync.Mutex
+	rows             []benchRow
+	currentExp       string
+	curStrategy      = "linear"
+	curWorkers       = 1
+	curWallMS        float64
+	curArch          = "ev6"
+	jsonPath         string
+	outPath          string
+	incOutPath       string
+	cacheOutPath     string
+	fleetOutPath     string
+	portfolioOutPath string
+	reportPath       string
 	// flightLog appends one flight.Report per compiled GMA when
 	// -report-out is set, with IDs like "E2-0003" so `denali report` can
 	// trace any aggregate back to the experiment and compile that produced
@@ -250,15 +256,7 @@ func record(g *repro.CompiledGMA) {
 
 // strategyName labels an Options' budget-search configuration.
 func strategyName(opt repro.Options) string {
-	switch {
-	case opt.ParallelSearch:
-		return "parallel"
-	case opt.DescendSearch:
-		return "descend"
-	case opt.BinarySearch:
-		return "binary"
-	}
-	return "linear"
+	return opt.StrategyName()
 }
 
 // compile applies the harness-wide -parallel/-workers flags to opt (unless
@@ -310,6 +308,7 @@ func main() {
 	flag.StringVar(&incOutPath, "inc-out", "BENCH_5.json", "write E16's per-GMA scratch-vs-incremental comparison to this JSON file (empty to skip)")
 	flag.StringVar(&cacheOutPath, "cache-out", "BENCH_6.json", "write E17's cold-vs-warm compile-cache comparison to this JSON file (empty to skip)")
 	flag.StringVar(&fleetOutPath, "fleet-out", "BENCH_7.json", "write E18's single-node-vs-fleet batch comparison to this JSON file (empty to skip)")
+	flag.StringVar(&portfolioOutPath, "portfolio-out", "BENCH_8.json", "write E19's descend-vs-portfolio comparison to this JSON file (empty to skip)")
 	flag.StringVar(&reportPath, "report-out", "", "append one flight report (JSON line) per compiled GMA to this file; summarize with `denali report`")
 	flag.StringVar(&historyDir, "history-dir", "", "fold one flight report per compiled GMA into the history warehouse at this directory; diff runs with `denali report -diff`")
 	flag.Parse()
@@ -351,6 +350,7 @@ func main() {
 		{"E16", "scratch vs incremental budget search: conflicts, propagations, wall clock", e16},
 		{"E17", "compile cache under a repeat-heavy served workload: cold vs warm throughput", e17},
 		{"E18", "fleet routing: multi-GMA batch fanned across sharded workers vs single node", e18},
+		{"E19", "portfolio racing: stochastic upper bounds vs the SAT descend sweep", e19},
 		{"A1", "ablation: at-most-once-per-term pruning constraint", a1},
 		{"A2", "ablation: matcher saturation budgets vs result quality", a2},
 	}
@@ -1077,12 +1077,15 @@ func e16() error {
 		}
 		return total, gmas, nil
 	}
-	off := false
+	off, on := false, true
 	scratchT, scratchG, err := run(repro.Options{Incremental: &off})
 	if err != nil {
 		return fmt.Errorf("scratch: %w", err)
 	}
-	incT, incG, err := run(repro.Options{})
+	// Incremental: &on pins the engine past the adaptive size pick, which
+	// would otherwise route the small corpus GMAs to scratch probes and
+	// leave this comparison measuring nothing.
+	incT, incG, err := run(repro.Options{Incremental: &on})
 	if err != nil {
 		return fmt.Errorf("incremental: %w", err)
 	}
@@ -1577,6 +1580,184 @@ func e18() error {
 		}
 	} else if speedup < 0.55 {
 		return fmt.Errorf("fleet batch %.2fx the single node on one CPU: routing overhead above 80%%", speedup)
+	}
+	return nil
+}
+
+// e19Row is one GMA in the E19 descend-vs-portfolio comparison
+// (BENCH_8.json). The descend_* columns replay the plain SAT sweep;
+// stochastic_bound is the standalone MCMC engine's verified cycle count
+// (0 when the engine declines the GMA, e.g. memory operations); the
+// bounded_* columns re-run descend from that bound, isolating what the
+// portfolio's racer buys independent of wall-clock interleaving; the
+// portfolio_* columns run the actual race.
+type e19Row struct {
+	GMA                string  `json:"gma"`
+	Cycles             int     `json:"cycles"`
+	PortfolioCycles    int     `json:"portfolio_cycles"`
+	Certified          bool    `json:"certified"`
+	PortfolioCertified bool    `json:"portfolio_certified"`
+	Winner             string  `json:"winner"`
+	NaiveBound         int     `json:"naive_bound"`
+	StochasticBound    int     `json:"stochastic_bound"`
+	DescendProbes      int     `json:"descend_probes"`
+	BoundedProbes      int     `json:"bounded_probes"`
+	DescendConflicts   int64   `json:"descend_conflicts"`
+	BoundedConflicts   int64   `json:"bounded_conflicts"`
+	DescendSolveMS     float64 `json:"descend_solve_ms"`
+	BoundedSolveMS     float64 `json:"bounded_solve_ms"`
+	DescendWallMS      float64 `json:"descend_wall_ms"`
+	PortfolioWallMS    float64 `json:"portfolio_wall_ms"`
+}
+
+// e19 measures what the portfolio's stochastic racer buys over the plain
+// SAT descend sweep. Per GMA it (1) runs certified descend from the
+// conventional baseline's bound, (2) runs the MCMC engine alone to get
+// its verified upper bound, (3) re-runs descend from that bound — the
+// deterministic stand-in for the race, since the real portfolio's probe
+// ladder depends on wall-clock interleaving — and (4) runs the actual
+// portfolio with certification on. The claims under test: the portfolio
+// never answers more cycles than descend, certification survives the
+// race, and on at least one GMA the stochastic bound strictly cuts the
+// SAT probe conflicts of the sweep.
+func e19() error {
+	corpus := []struct{ name, src string }{
+		{"quickstart", programs.Quickstart},
+		{"byteswap4", programs.Byteswap4},
+		{"copyloop", programs.CopyLoop},
+		{"rowop", programs.Rowop},
+		{"lcp2", programs.Lcp2},
+		{"sumloop", programs.SumLoop},
+	}
+	axs, err := axioms.Builtin()
+	if err != nil {
+		return err
+	}
+	desc := alpha.EV6()
+	const seed = 7
+	curStrategy = "portfolio"
+	sums := func(c *core.Compiled) (conflicts int64) {
+		for _, p := range c.Probes {
+			conflicts += p.Solver.Conflicts
+		}
+		return
+	}
+	var out []e19Row
+	cuts := 0
+	fmt.Printf("%-18s %6s %6s %6s %12s %12s %9s\n",
+		"gma", "cycles", "naive", "stoch", "desc-confl", "bound-confl", "winner")
+	for _, p := range corpus {
+		prog, err := lang.Parse(p.src)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p.name, err)
+		}
+		all := append(append([]*axioms.Axiom{}, axs...), prog.Axioms...)
+		base := core.Options{Desc: desc, Axioms: all, Search: core.DescendSearch, Sink: benchSink}
+		base.Schedule.Certify = true
+		for _, proc := range prog.Procs {
+			for _, g := range proc.GMAs {
+				naive := 0
+				if s, nerr := naivegen.Compile(g, desc); nerr == nil {
+					naive = s.K
+				}
+				dopt := base
+				dopt.UpperBoundHint = naive
+				t0 := time.Now()
+				dc, err := core.CompileGMA(g, dopt)
+				if err != nil {
+					return fmt.Errorf("%s descend: %w", g.Name, err)
+				}
+				row := e19Row{
+					GMA: g.Name, Cycles: dc.Cycles, Certified: dc.Certified,
+					NaiveBound:       naive,
+					DescendProbes:    len(dc.Probes),
+					DescendConflicts: sums(dc),
+					DescendSolveMS:   float64(dc.SolveTime.Microseconds()) / 1e3,
+					DescendWallMS:    float64(time.Since(t0).Microseconds()) / 1e3,
+				}
+				// The standalone stochastic bound: the racer's contribution,
+				// measured without the race's timing nondeterminism.
+				if eng, serr := stoke.New(g, desc, stoke.Options{Seed: seed, Sink: benchSink}); serr == nil {
+					if sres, rerr := eng.Run(); rerr == nil && sres.Schedule != nil {
+						row.StochasticBound = sres.Cycles
+					}
+				}
+				bound := naive
+				if row.StochasticBound > 0 && row.StochasticBound < bound {
+					bound = row.StochasticBound
+				}
+				bopt := base
+				bopt.UpperBoundHint = bound
+				bc, err := core.CompileGMA(g, bopt)
+				if err != nil {
+					return fmt.Errorf("%s bounded descend: %w", g.Name, err)
+				}
+				row.BoundedProbes = len(bc.Probes)
+				row.BoundedConflicts = sums(bc)
+				row.BoundedSolveMS = float64(bc.SolveTime.Microseconds()) / 1e3
+				if bc.Cycles != dc.Cycles {
+					return fmt.Errorf("%s: bounded descend answered %d cycles, plain descend %d",
+						g.Name, bc.Cycles, dc.Cycles)
+				}
+				popt := base
+				popt.Search = core.PortfolioSearch
+				popt.UpperBoundHint = naive
+				popt.Seed = seed
+				t0 = time.Now()
+				pc, err := core.CompileGMA(g, popt)
+				if err != nil {
+					return fmt.Errorf("%s portfolio: %w", g.Name, err)
+				}
+				row.PortfolioCycles = pc.Cycles
+				row.PortfolioCertified = pc.Certified
+				row.Winner = pc.Engine
+				row.PortfolioWallMS = float64(time.Since(t0).Microseconds()) / 1e3
+				if pc.Cycles > dc.Cycles {
+					return fmt.Errorf("%s: portfolio answered %d cycles, descend %d — the race must never lose quality",
+						g.Name, pc.Cycles, dc.Cycles)
+				}
+				if dc.Certified && !pc.Certified {
+					return fmt.Errorf("%s: descend certified its optimum but the portfolio did not", g.Name)
+				}
+				if row.BoundedConflicts < row.DescendConflicts {
+					cuts++
+				}
+				out = append(out, row)
+				fmt.Printf("%-18s %6d %6d %6d %12d %12d %9s\n",
+					g.Name, row.Cycles, row.NaiveBound, row.StochasticBound,
+					row.DescendConflicts, row.BoundedConflicts, row.Winner)
+			}
+		}
+	}
+	fmt.Printf("stochastic bound cut SAT conflicts on %d/%d GMAs; portfolio cycle-equal and certification intact on all\n",
+		cuts, len(out))
+	if portfolioOutPath != "" {
+		doc := struct {
+			Schema      string   `json:"schema"`
+			GeneratedAt string   `json:"generated_at"`
+			GoMaxProcs  int      `json:"gomaxprocs"`
+			Seed        int      `json:"seed"`
+			ConflictCut int      `json:"conflict_cut_gmas"`
+			Rows        []e19Row `json:"gmas"`
+		}{
+			Schema:      "denali-bench-portfolio/v1",
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			Seed:        seed,
+			ConflictCut: cuts,
+			Rows:        out,
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(portfolioOutPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("descend-vs-portfolio comparison written to %s\n", portfolioOutPath)
+	}
+	if cuts == 0 {
+		return fmt.Errorf("the stochastic bound cut SAT probe conflicts on no GMA")
 	}
 	return nil
 }

@@ -65,6 +65,8 @@ func main() {
 		archName    = flag.String("arch", "ev6", "machine model: ev6, ev6-noclusters, ev6-single, ev6-dual")
 		binary      = flag.Bool("binary-search", false, "binary search over cycle budgets instead of linear")
 		parallel    = flag.Bool("parallel", false, "speculative parallel search over cycle budgets")
+		strategy    = flag.String("strategy", "", "budget search engine: linear, binary, descend, parallel, stochastic, or portfolio (overrides -binary-search/-parallel)")
+		seed        = flag.Uint64("seed", 0, "random seed for the stochastic/portfolio engines (default: derived from the request ID)")
 		workers     = flag.Int("workers", 0, "worker bound for -parallel probes and multi-GMA compilation (0 = GOMAXPROCS)")
 		maxCycles   = flag.Int("max-cycles", 24, "largest cycle budget to try")
 		incremental = flag.Bool("incremental", true, "answer budget probes on a persistent assumption-based solver; =false re-solves each budget from scratch")
@@ -120,6 +122,32 @@ func main() {
 		Incremental:      incremental,
 		Trace:            tr,
 	}
+	// -strategy names the engine directly and overrides the legacy bool
+	// flags; -seed pins the stochastic engines' randomness (flag.Visit
+	// distinguishes an explicit -seed 0 from the absent default).
+	switch *strategy {
+	case "":
+	case "linear":
+		opt.BinarySearch, opt.ParallelSearch = false, false
+	case "binary":
+		opt.BinarySearch, opt.ParallelSearch = true, false
+	case "descend":
+		opt.DescendSearch = true
+	case "parallel":
+		opt.ParallelSearch = true
+	case "stochastic":
+		opt.StochasticSearch = true
+	case "portfolio":
+		opt.PortfolioSearch = true
+	default:
+		fatal(fmt.Errorf("unknown strategy %q (want linear, binary, descend, parallel, stochastic or portfolio)", *strategy))
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			s := *seed
+			opt.Seed = &s
+		}
+	})
 	if *cacheDir != "" {
 		store, err := compilecache.OpenDisk(*cacheDir)
 		if err != nil {
@@ -140,14 +168,7 @@ func main() {
 			id = flight.NewID()
 		}
 		fr = flight.NewRecorder(flight.SanitizeID(id))
-		strategy := "linear"
-		if *binary {
-			strategy = "binary"
-		}
-		if *parallel {
-			strategy = "parallel"
-		}
-		fr.SetRequest(*archName, strategy, *workers, len(src))
+		fr.SetRequest(*archName, opt.StrategyName(), *workers, len(src))
 		opt.RequestID = fr.ID()
 		opt.Flight = fr
 		var err error

@@ -22,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sat"
 	"repro/internal/schedule"
+	"repro/internal/stoke"
 )
 
 // SearchStrategy selects how cycle budgets are probed.
@@ -52,10 +53,24 @@ const (
 	// sequential strategies; OptimalProven can only be stronger (see
 	// parallelSearch).
 	ParallelSearch
+	// StochasticSearch abandons refutation entirely and runs the
+	// STOKE-style MCMC engine (internal/stoke) alone: proposal moves over
+	// machine sequences, test-vector screening, exact sim.Verify
+	// acceptance. Deterministic in Options.Seed; OptimalProven is never
+	// set (the engine proves feasibility, not optimality).
+	StochasticSearch
+	// PortfolioSearch races the stochastic engine against the SAT descend
+	// sweep and cancels the loser through the Interrupt plumbing: every
+	// exactly-verified stochastic schedule becomes an upper bound that
+	// skips (or interrupts) SAT probes at or above it, while the SAT side
+	// keeps supplying the refutations that prove optimality, so -certify
+	// still works. See portfolioSearch.
+	PortfolioSearch
 )
 
-// String names the strategy ("linear", "binary", "descend", "parallel"),
-// used as the strategy label on process-level metrics.
+// String names the strategy ("linear", "binary", "descend", "parallel",
+// "stochastic", "portfolio"), used as the strategy label on process-level
+// metrics.
 func (s SearchStrategy) String() string {
 	switch s {
 	case BinarySearch:
@@ -64,6 +79,10 @@ func (s SearchStrategy) String() string {
 		return "descend"
 	case ParallelSearch:
 		return "parallel"
+	case StochasticSearch:
+		return "stochastic"
+	case PortfolioSearch:
+		return "portfolio"
 	}
 	return "linear"
 }
@@ -96,9 +115,21 @@ type Options struct {
 	// "incremental" field end up here). Results are equivalent either way;
 	// only probe cost and the Probe.Incremental/Reused markers change.
 	DisableIncremental bool
+	// ForceIncremental pins the budget search to the persistent
+	// incremental engine even for GMAs the adaptive pick would route to
+	// from-scratch probes (see PrefersScratch). DisableIncremental wins
+	// when both are set.
+	ForceIncremental bool
 	// Workers bounds the number of concurrently in-flight SAT probes for
 	// ParallelSearch; <= 0 means GOMAXPROCS. Other strategies ignore it.
 	Workers int
+	// Seed drives every random choice of the stochastic engine, making
+	// StochasticSearch and PortfolioSearch runs reproducible. Callers
+	// normally derive it from the request ID; 0 is a valid seed.
+	Seed uint64
+	// StochasticSteps bounds the MCMC proposal budget for the stochastic
+	// engine (0 = the engine's default).
+	StochasticSteps int
 	// RequestID correlates this compilation with the request that asked
 	// for it: it tags the compile root span and every detached parallel
 	// probe span, and is propagated into Schedule.RequestID so exported
@@ -154,6 +185,13 @@ type Compiled struct {
 	// Cert is the checked refutation certificate, available for export
 	// (DIMACS formula + DRAT proof) when Certified and Cycles > 0.
 	Cert *drat.Certificate
+	// Engine names the engine family that produced Schedule ("sat" or
+	// "stochastic"); under PortfolioSearch it records the race winner.
+	Engine string
+	// Stochastic carries the MCMC engine's run statistics whenever the
+	// stochastic engine participated (StochasticSearch, or a
+	// PortfolioSearch race that got far enough to start it).
+	Stochastic *stoke.Result
 }
 
 // ErrNoSchedule is returned when no budget up to MaxCycles admits a
@@ -230,66 +268,12 @@ func CompileGMA(gm *gma.GMA, opt Options) (compiled *Compiled, err error) {
 	opt.Sink.Observe(obs.MMatchSeconds, c.MatchTime.Seconds())
 	opt.Sink.Observe(obs.MEGraphNodes, float64(mres.Nodes))
 
-	// Each K-probe of the budget search is one span tagged with the
-	// outcome (SAT/UNSAT/UNKNOWN); the encode/solve/decode sub-phases
-	// nest inside it via Schedule.Trace. The default path answers every
-	// probe on one persistent Engine (assumption-based incremental
-	// solving); DisableIncremental reverts to a throwaway Problem per K.
-	probe := func(k int) (*schedule.Schedule, sat.Result, error) {
-		psp := tr.Startf("probe K=%d", k)
-		tr.Add("probes", 1)
-		p, err := schedule.NewProblem(c.Graph, gm, k, opt.Schedule)
-		if err != nil {
-			psp.End(obs.T("result", "error"))
-			return nil, sat.Unknown, err
-		}
-		t0 := time.Now()
-		sched, stat, err := p.Solve()
-		elapsed := time.Since(t0)
-		psp.End(obs.T("result", stat.Result.String()),
-			obs.Tint("vars", int64(stat.Vars)), obs.Tint("clauses", int64(stat.Clauses)),
-			obs.Tint("conflicts", stat.Solver.Conflicts))
-		c.SolveTime += elapsed
-		c.Probes = append(c.Probes, Probe{Stat: stat, Elapsed: elapsed})
-		if err != nil {
-			return nil, stat.Result, err
-		}
-		return sched, stat.Result, nil
-	}
-	if !opt.DisableIncremental && opt.Search != ParallelSearch {
-		eng, err := schedule.NewEngine(c.Graph, gm, initialWindow(opt), opt.MaxCycles, opt.Schedule)
-		if err != nil {
-			return c, err
-		}
-		probe = func(k int) (*schedule.Schedule, sat.Result, error) {
-			psp := tr.Startf("probe K=%d", k)
-			tr.Add("probes", 1)
-			t0 := time.Now()
-			sched, stat, err := eng.SolveBudget(k)
-			elapsed := time.Since(t0)
-			psp.End(obs.T("result", stat.Result.String()),
-				obs.Tint("vars", int64(stat.Vars)), obs.Tint("clauses", int64(stat.Clauses)),
-				obs.Tint("conflicts", stat.Solver.Conflicts))
-			c.SolveTime += elapsed
-			c.Probes = append(c.Probes, Probe{Stat: stat, Elapsed: elapsed})
-			if err != nil {
-				return nil, stat.Result, err
-			}
-			return sched, stat.Result, nil
-		}
-	}
-
-	switch opt.Search {
-	case BinarySearch:
-		err = c.binarySearch(probe, opt.MaxCycles)
-	case DescendSearch:
-		err = c.descendSearch(probe, opt.MaxCycles, opt.UpperBoundHint)
-	case ParallelSearch:
-		err = c.parallelSearch(gm, opt)
-	default:
-		err = c.linearSearch(probe, opt.MaxCycles)
-	}
-	if err != nil {
+	// The budget search itself is pluggable: EngineFor maps the requested
+	// strategy onto one of the engine implementations behind the Engine
+	// seam — the refutation-based SAT family (linear/binary/descend and
+	// the parallel speculator), the stochastic MCMC engine, or the
+	// portfolio racer. See engine.go.
+	if err = EngineFor(opt).Search(c, gm, opt); err != nil {
 		return c, err
 	}
 	if opt.Schedule.Certify {
@@ -357,7 +341,7 @@ type probeFunc func(k int) (*schedule.Schedule, sat.Result, error)
 func initialWindow(opt Options) int {
 	w := 7
 	switch opt.Search {
-	case DescendSearch:
+	case DescendSearch, PortfolioSearch:
 		w = opt.MaxCycles
 		if opt.UpperBoundHint > 0 && opt.UpperBoundHint <= opt.MaxCycles {
 			w = opt.UpperBoundHint

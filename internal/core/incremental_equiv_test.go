@@ -46,6 +46,10 @@ func TestIncrementalEquivalence(t *testing.T) {
 						o.Axioms = append(o.Axioms, prog.Axioms...)
 						st.configure(&o)
 						o.DisableIncremental = disable
+						// Pin the incremental side past the adaptive size
+						// pick, which would route the small corpus GMAs to
+						// scratch probes and leave nothing to cross-check.
+						o.ForceIncremental = !disable
 						c, err := CompileGMA(g, o)
 						if err != nil {
 							t.Fatalf("%s/%s/%s (disable=%v): %v", p.name, g.Name, st.name, disable, err)

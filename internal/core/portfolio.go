@@ -1,0 +1,208 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/gma"
+	"repro/internal/obs"
+	"repro/internal/sat"
+	"repro/internal/schedule"
+	"repro/internal/stoke"
+)
+
+// portfolioEngine races the stochastic MCMC engine against the SAT
+// descend sweep and keeps whichever wins each exchange, cancelling the
+// loser through the Interrupt plumbing.
+type portfolioEngine struct{}
+
+func (portfolioEngine) Name() string { return "portfolio" }
+
+func (e portfolioEngine) Search(c *Compiled, gm *gma.GMA, opt Options) error {
+	return c.portfolioSearch(gm, opt)
+}
+
+// portfolioSearch is the racing budget search. The stochastic engine
+// runs on its own goroutine, streaming exactly-verified schedules
+// through OnImprove; the SAT descend sweep runs on the caller's
+// goroutine. The two halves trade in opposite directions:
+//
+//   - every stochastic improvement is a feasible upper bound, so SAT
+//     probes at or above it are skipped (or interrupted mid-solve) and
+//     the sweep resumes strictly below the bound — the stochastic side
+//     shrinks the SAT side's ladder;
+//   - the SAT side supplies what stochastic search never can: an UNSAT
+//     refutation one budget below the best feasible schedule, which by
+//     budget monotonicity refutes everything smaller, so OptimalProven
+//     (and DRAT certification) survive the race.
+//
+// The adopted schedule may come from either side; c.Engine records the
+// winner. A stochastic schedule lives outside the e-graph, so adopting
+// one never weakens the refutation story: OptimalProven still means
+// "every smaller budget was refuted", the documented e-graph-relative
+// contract.
+func (c *Compiled) portfolioSearch(gm *gma.GMA, opt Options) error {
+	tr := opt.Trace
+	var (
+		mu      sync.Mutex
+		curInt  interrupter // in-flight SAT probe, registered by the hook
+		curK    = -1
+		stBest  = -1 // best exactly-verified stochastic cycle count
+		stSched *schedule.Schedule
+	)
+	st, err := stoke.New(gm, opt.Desc, stoke.Options{
+		Seed:      int64(opt.Seed),
+		Steps:     opt.StochasticSteps,
+		MaxCycles: opt.MaxCycles,
+		// The Sink is goroutine-safe; the Trace span cursor is not, so
+		// the racing goroutine runs untraced and the SAT sweep keeps the
+		// spans (stochastic outcomes surface as counters and events).
+		Sink: opt.Sink,
+		OnImprove: func(b stoke.Best) {
+			mu.Lock()
+			if stBest < 0 || b.Cycles < stBest {
+				stBest, stSched = b.Cycles, b.Schedule
+			}
+			if curInt != nil && curK >= b.Cycles {
+				// The probe in flight can only reconfirm what the bound
+				// already proves feasible — cut it.
+				curInt.Interrupt()
+				tr.Add("portfolio.cuts", 1)
+			}
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		// Memory shapes (and any GMA the stochastic engine cannot seed)
+		// fall back to the proving SAT sweep alone.
+		tr.Event("portfolio.fallback", obs.T("gma", gm.Name), obs.T("reason", err.Error()))
+		return satEngine{strategy: DescendSearch}.Search(c, gm, opt)
+	}
+	probe, err := c.probeLadder(gm, opt, func(p interrupter, k int) {
+		mu.Lock()
+		if r, ok := p.(interface{ ClearInterrupt() }); ok {
+			// Re-arm and register under one critical section: a stale stop
+			// flag from a cut aimed at the previous budget must not kill
+			// this probe, and OnImprove interrupts under the same mutex, so
+			// a cut can never slip between the clear and the registration.
+			r.ClearInterrupt()
+		}
+		curInt, curK = p, k
+		mu.Unlock()
+	})
+	if err != nil {
+		return err
+	}
+
+	var wg sync.WaitGroup
+	var stRes *stoke.Result
+	var stErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		stRes, stErr = st.Run()
+	}()
+	// finish joins the racing goroutine and folds its statistics in. The
+	// SAT side's SolveTime already covers the race's wall-clock, so the
+	// overlapping stochastic elapsed time is reported via c.Stochastic
+	// rather than added again.
+	finish := func() {
+		st.Interrupt()
+		wg.Wait()
+		if stErr != nil {
+			tr.Event("portfolio.stoke_error", obs.T("gma", gm.Name), obs.T("error", stErr.Error()))
+			return
+		}
+		c.Stochastic = stRes
+	}
+	found, fromStoke := false, false
+	settle := func() error {
+		finish()
+		if fromStoke {
+			c.Engine = "stochastic"
+		} else {
+			c.Engine = "sat"
+		}
+		return nil
+	}
+	// adoptStoke adopts the stochastic bound when it is at least as good
+	// as the budget the sweep is about to probe.
+	adoptStoke := func(k int) bool {
+		mu.Lock()
+		sb, ss := stBest, stSched
+		mu.Unlock()
+		if sb < 0 || sb > k {
+			return false
+		}
+		c.Schedule, c.Cycles = ss, sb
+		found, fromStoke = true, true
+		return true
+	}
+	cancelled := func() bool {
+		return len(c.Probes) > 0 && c.Probes[len(c.Probes)-1].Solver.Cancelled
+	}
+
+	maxCycles := opt.MaxCycles
+	ub := opt.UpperBoundHint
+	if ub <= 0 || ub > maxCycles {
+		ub = maxCycles
+	}
+	// Descend phase, mirroring descendSearch with the upper-bound feed
+	// spliced in at the top of every iteration.
+	hintFailed := false
+	for k := ub; k >= 0 && !hintFailed; {
+		if adoptStoke(k) {
+			k = c.Cycles - 1
+			continue
+		}
+		sched, res, err := probe(k)
+		if err != nil {
+			finish()
+			return err
+		}
+		switch {
+		case res == sat.Sat:
+			c.Schedule, c.Cycles = sched, k
+			found, fromStoke = true, false
+			k--
+		case res == sat.Unknown && cancelled():
+			// Interrupted by a stochastic bound at or below k; the adopt
+			// at the top of the loop takes it.
+		case found:
+			// First definite failure below a success: optimal when the
+			// failure is a refutation, best-known on a conflict-budget
+			// timeout — exactly descendSearch's contract.
+			c.OptimalProven = res == sat.Unsat
+			return settle()
+		default:
+			hintFailed = true
+		}
+	}
+	if found {
+		c.OptimalProven = true // descended (or was bounded) all the way to K=0
+		return settle()
+	}
+	// The hint itself failed: search upward, still consulting the bound.
+	for k := ub + 1; k <= maxCycles; k++ {
+		if adoptStoke(k) {
+			c.OptimalProven = false
+			return settle()
+		}
+		sched, res, err := probe(k)
+		if err != nil {
+			finish()
+			return err
+		}
+		if res == sat.Unknown && cancelled() {
+			k--
+			continue
+		}
+		if res == sat.Sat {
+			c.Schedule, c.Cycles = sched, k
+			found, fromStoke = true, false
+			c.OptimalProven = false
+			return settle()
+		}
+	}
+	finish()
+	return ErrNoSchedule
+}

@@ -81,6 +81,11 @@ type GMAReport struct {
 	Certified     bool    `json:"certified,omitempty"`
 	CertifyMillis float64 `json:"certify_ms,omitempty"`
 
+	// Engine names the search-engine family that produced the schedule
+	// ("sat" or "stochastic"); under the portfolio strategy it is the race
+	// winner, which is what `denali report` win rates aggregate.
+	Engine string `json:"engine,omitempty"`
+
 	// Error/Panic capture a failed compilation of this GMA; the match
 	// stats and any probes completed before the failure are retained.
 	Error string `json:"error,omitempty"`
@@ -111,6 +116,12 @@ type Report struct {
 	Strategy    string `json:"strategy,omitempty"`
 	Workers     int    `json:"workers,omitempty"`
 	SourceBytes int    `json:"source_bytes,omitempty"`
+	// Seed is the stochastic-engine seed this request resolved to (an
+	// explicit override, or the hash of the request ID), recorded so any
+	// stochastic or portfolio compile can be replayed bit-for-bit.
+	// SeedSet distinguishes a real recorded seed from the zero value.
+	Seed    uint64 `json:"seed,omitempty"`
+	SeedSet bool   `json:"seed_set,omitempty"`
 
 	WallMillis float64     `json:"wall_ms"`
 	GMAs       []GMAReport `json:"gmas,omitempty"`
@@ -316,6 +327,16 @@ func (r *Recorder) SetRequest(arch, strategy string, workers, sourceBytes int) {
 	r.mu.Lock()
 	r.rep.Arch, r.rep.Strategy = arch, strategy
 	r.rep.Workers, r.rep.SourceBytes = workers, sourceBytes
+	r.mu.Unlock()
+}
+
+// SetSeed records the resolved stochastic-engine seed.
+func (r *Recorder) SetSeed(seed uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.rep.Seed, r.rep.SeedSet = seed, true
 	r.mu.Unlock()
 }
 

@@ -30,6 +30,10 @@ type StrategyStat struct {
 	Optimal     int
 	SolveMillis float64 // total, across compiles
 	Conflicts   int64   // total, across probes
+	// Engines counts which search engine produced each schedule ("sat" or
+	// "stochastic") — under the portfolio strategy, the racers' win rate.
+	// Rows from logs predating the engine label stay uncounted (nil map).
+	Engines map[string]int
 }
 
 // MeanSolveMillis is the strategy's mean SAT time per compile.
@@ -136,6 +140,12 @@ func Summarize(reps []Report) *Summary {
 			st.Compiles++
 			if g.OptimalProven {
 				st.Optimal++
+			}
+			if g.Engine != "" {
+				if st.Engines == nil {
+					st.Engines = map[string]int{}
+				}
+				st.Engines[g.Engine]++
 			}
 			st.SolveMillis += g.SolveMillis
 			for _, p := range g.Probes {
@@ -247,8 +257,16 @@ func (s *Summary) WriteText(w io.Writer) error {
 			if label == "" {
 				label = "(unlabeled)"
 			}
-			fmt.Fprintf(&b, "  strategy %-12s %4d compiles  %3d%% optimal  %9.3f ms mean solve  %8d conflicts%s\n",
-				label, st.Compiles, pct(st.Optimal, st.Compiles), st.MeanSolveMillis(), st.Conflicts, mark)
+			engines := ""
+			if len(st.Engines) > 0 {
+				parts := make([]string, 0, len(st.Engines))
+				for _, e := range sortedKeys(st.Engines) {
+					parts = append(parts, fmt.Sprintf("%s=%d", e, st.Engines[e]))
+				}
+				engines = "  engines: " + strings.Join(parts, " ")
+			}
+			fmt.Fprintf(&b, "  strategy %-12s %4d compiles  %3d%% optimal  %9.3f ms mean solve  %8d conflicts%s%s\n",
+				label, st.Compiles, pct(st.Optimal, st.Compiles), st.MeanSolveMillis(), st.Conflicts, engines, mark)
 		}
 		for _, k := range sortedInts(g.ProbeHist) {
 			c := g.ProbeHist[k]

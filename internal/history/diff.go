@@ -247,7 +247,8 @@ func (v *Verdict) WriteText(w io.Writer) error {
 // directory, a flight-report JSONL log, or any BENCH_*.json fixture;
 // the view selects one side of a two-sided artifact: scratch|incremental
 // for incremental-bench fixtures and warehouse-shaped sources,
-// cold|warm for cache-bench fixtures.
+// cold|warm for cache-bench fixtures, descend|portfolio for
+// portfolio-bench fixtures (fleet-bench fixtures have no views).
 func LoadComparable(spec string) (*Comparable, error) {
 	path, view := spec, ""
 	if i := strings.LastIndex(spec, "#"); i >= 0 {
@@ -281,6 +282,10 @@ func LoadComparable(spec string) (*Comparable, error) {
 			return loadBenchCache(spec, view, raw)
 		case strings.HasPrefix(head.Schema, "denali-bench-trajectory/"):
 			return loadBenchTrajectory(spec, view, raw)
+		case strings.HasPrefix(head.Schema, "denali-bench-fleet/"):
+			return loadBenchFleet(spec, view, raw)
+		case strings.HasPrefix(head.Schema, "denali-bench-portfolio/"):
+			return loadBenchPortfolio(spec, view, raw)
 		default:
 			return nil, fmt.Errorf("history: %s: unknown schema %q", path, head.Schema)
 		}
@@ -453,6 +458,90 @@ func loadBenchTrajectory(source, view string, raw []byte) (*Comparable, error) {
 			Key: key, Name: e.Experiment, Compiles: 1,
 			WallMS: e.WallMillis, SolveMS: -1, Conflicts: -1, Cycles: -1, ErrorRate: -1,
 		}
+	}
+	return c, nil
+}
+
+// benchFleetFile mirrors BENCH_7 (denali-bench-fleet): per-unit wall
+// times from the sharded fleet run.
+type benchFleetFile struct {
+	Schema string `json:"schema"`
+	Units  []struct {
+		Name     string  `json:"name"`
+		WallMS   float64 `json:"ms"`
+		Attempts int     `json:"attempts"`
+	} `json:"units"`
+}
+
+func loadBenchFleet(source, view string, raw []byte) (*Comparable, error) {
+	if view != "" {
+		return nil, fmt.Errorf("history: fleet files have no views (got %q)", view)
+	}
+	var f benchFleetFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, err
+	}
+	c := &Comparable{Source: source, Kind: "bench-fleet", Rows: map[string]CompRow{}}
+	for _, u := range f.Units {
+		key := "gma/" + u.Name
+		c.Rows[key] = CompRow{
+			Key: key, Name: u.Name, Compiles: 1,
+			WallMS: u.WallMS, SolveMS: -1, Conflicts: -1, Cycles: -1, ErrorRate: -1,
+		}
+	}
+	return c, nil
+}
+
+// benchPortfolioFile mirrors BENCH_8 (denali-bench-portfolio): the
+// certified descend sweep next to the stochastic-bounded sweep and the
+// live portfolio race, per GMA.
+type benchPortfolioFile struct {
+	Schema string `json:"schema"`
+	GMAs   []struct {
+		GMA              string  `json:"gma"`
+		Cycles           int     `json:"cycles"`
+		PortfolioCycles  int     `json:"portfolio_cycles"`
+		DescendConflicts int64   `json:"descend_conflicts"`
+		BoundedConflicts int64   `json:"bounded_conflicts"`
+		DescendSolveMS   float64 `json:"descend_solve_ms"`
+		BoundedSolveMS   float64 `json:"bounded_solve_ms"`
+		DescendWallMS    float64 `json:"descend_wall_ms"`
+		PortfolioWallMS  float64 `json:"portfolio_wall_ms"`
+	} `json:"gmas"`
+}
+
+// loadBenchPortfolio maps a portfolio-bench fixture to rows. The descend
+// view reads the certified baseline sweep; the portfolio view reads the
+// race's wall clock with the stochastic-bounded sweep's solver costs
+// (the deterministic stand-in recorded for exactly this comparison).
+func loadBenchPortfolio(source, view string, raw []byte) (*Comparable, error) {
+	var f benchPortfolioFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, err
+	}
+	if view != "" && view != "descend" && view != "portfolio" {
+		return nil, fmt.Errorf("history: unknown view %q for %s (want descend or portfolio)", view, f.Schema)
+	}
+	c := &Comparable{Source: source, Kind: "bench-portfolio", View: view, Rows: map[string]CompRow{}}
+	add := func(name, mode string, row CompRow) {
+		key := "gma/" + name
+		if view == "" {
+			key += "|" + mode
+		} else if view != mode {
+			return
+		}
+		row.Key, row.Name, row.Compiles, row.ErrorRate = key, name, 1, -1
+		c.Rows[key] = row
+	}
+	for _, g := range f.GMAs {
+		add(g.GMA, "descend", CompRow{
+			WallMS: g.DescendWallMS, SolveMS: g.DescendSolveMS,
+			Conflicts: float64(g.DescendConflicts), Cycles: float64(g.Cycles),
+		})
+		add(g.GMA, "portfolio", CompRow{
+			WallMS: g.PortfolioWallMS, SolveMS: g.BoundedSolveMS,
+			Conflicts: float64(g.BoundedConflicts), Cycles: float64(g.PortfolioCycles),
+		})
 	}
 	return c, nil
 }

@@ -296,3 +296,61 @@ func TestLoadComparableTrajectory(t *testing.T) {
 		t.Fatalf("trajectory self-diff not clean: %+v", v.Regressions)
 	}
 }
+
+func TestLoadComparableFleet(t *testing.T) {
+	c, err := LoadComparable("../../BENCH_7.json")
+	if err != nil {
+		t.Skip("BENCH_7.json not present:", err)
+	}
+	if c.Kind != "bench-fleet" || len(c.Rows) == 0 {
+		t.Fatalf("fleet load = kind %q rows %d", c.Kind, len(c.Rows))
+	}
+	for key := range c.Rows {
+		if !strings.HasPrefix(key, "gma/") {
+			t.Fatalf("fleet key %q does not start with gma/", key)
+		}
+	}
+	if _, err := LoadComparable("../../BENCH_7.json#worker"); err == nil {
+		t.Fatal("fleet view accepted; fleet files have no views")
+	}
+	v := Diff(c, c, DefaultThresholds())
+	if !v.Clean {
+		t.Fatalf("fleet self-diff not clean: %+v", v.Regressions)
+	}
+}
+
+func TestLoadComparablePortfolio(t *testing.T) {
+	c, err := LoadComparable("../../BENCH_8.json")
+	if err != nil {
+		t.Skip("BENCH_8.json not present:", err)
+	}
+	if c.Kind != "bench-portfolio" {
+		t.Fatalf("portfolio load kind = %q", c.Kind)
+	}
+	desc, err := LoadComparable("../../BENCH_8.json#descend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, err := LoadComparable("../../BENCH_8.json#portfolio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(desc.Rows) == 0 || len(desc.Rows) != len(port.Rows) {
+		t.Fatalf("view rows: descend %d portfolio %d", len(desc.Rows), len(port.Rows))
+	}
+	// Both views key by gma/<name>, so they line up row for row; the
+	// portfolio answers the same cycle counts, so a cycle regression here
+	// means the race dropped an answer.
+	v := Diff(desc, port, DefaultThresholds())
+	if v.Compared == 0 {
+		t.Fatal("descend and portfolio views share no keys")
+	}
+	for _, r := range v.Regressions {
+		if r.Metric == "cycles" {
+			t.Fatalf("portfolio regressed cycles vs descend: %+v", r)
+		}
+	}
+	if _, err := LoadComparable("../../BENCH_8.json#stochastic"); err == nil {
+		t.Fatal("unknown portfolio view accepted")
+	}
+}

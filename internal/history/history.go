@@ -84,6 +84,11 @@ type Aggregate struct {
 	Conflicts         int64  `json:"conflicts,omitempty"`
 	MaxProbeConflicts int64  `json:"max_probe_conflicts,omitempty"`
 
+	// Engines counts which search engine produced each fresh compile's
+	// schedule ("sat" or "stochastic") — under the portfolio strategy,
+	// the racers' win rate. Rows predating the label stay uncounted.
+	Engines map[string]uint64 `json:"engines,omitempty"`
+
 	LastSeen time.Time `json:"last_seen"`
 }
 
@@ -184,6 +189,7 @@ type Row struct {
 	Probes    int     `json:"probes,omitempty"`
 	Conflicts int64   `json:"conflicts,omitempty"`
 	MaxProbe  int64   `json:"max_probe_conflicts,omitempty"`
+	Engine    string  `json:"engine,omitempty"`
 	// Outcome is ok | hit | coalesced | error | panic | timeout. The last
 	// three may appear on rows with an empty fingerprint: request-level
 	// failures that died before any GMA was described.
@@ -377,6 +383,7 @@ func rowFromGMA(rep flight.Report, g flight.GMAReport) Row {
 		Probes:    len(g.Probes),
 		Conflicts: conflicts,
 		MaxProbe:  maxProbe,
+		Engine:    g.Engine,
 		Outcome:   "ok",
 		Error:     g.Error,
 	}
@@ -445,6 +452,12 @@ func (w *Warehouse) applyRowLocked(row Row) {
 	a.Solve.Observe(row.SolveMS)
 	a.Probes += uint64(row.Probes)
 	a.Conflicts += row.Conflicts
+	if row.Engine != "" {
+		if a.Engines == nil {
+			a.Engines = map[string]uint64{}
+		}
+		a.Engines[row.Engine]++
+	}
 	if row.MaxProbe > a.MaxProbeConflicts {
 		a.MaxProbeConflicts = row.MaxProbe
 	}

@@ -140,6 +140,14 @@ const (
 	MSimCycles    = "denali_sim_cycles_total"
 	MSimInstrs    = "denali_sim_instructions_total"
 
+	// The denali_stoke_* family instruments the stochastic (MCMC) search
+	// engine. MStokeSteps counts proposals drawn; MStokeVerified counts
+	// candidates confirmed by exact verification; MStokeRejects counts
+	// screening false positives exact verification refuted.
+	MStokeSteps    = "denali_stoke_steps_total"
+	MStokeVerified = "denali_stoke_verified_total"
+	MStokeRejects  = "denali_stoke_rejects_total"
+
 	// MCacheHits counts compile-cache lookups answered from a cached
 	// entry, labeled by tier (memory/disk); MCacheMisses counts lookups
 	// that had to compile; MCacheCoalesced counts requests that blocked
@@ -219,6 +227,9 @@ func NewCompilerRegistry() *Registry {
 	r.DeclareHistogram(MCertifySteps, "DRAT proof length (addition steps) per check.", DefCountBuckets)
 	r.DeclareCounter(MCertifyChecks, "DRAT refutation checks by result.")
 	r.DeclareCounter(MVerifyTrials, "Random-input verification trials executed.")
+	r.DeclareCounter(MStokeSteps, "Stochastic-engine MCMC proposals drawn.")
+	r.DeclareCounter(MStokeVerified, "Stochastic-engine candidates confirmed by exact verification.")
+	r.DeclareCounter(MStokeRejects, "Stochastic-engine screening false positives refuted by exact verification.")
 	r.DeclareCounter(MSimCycles, "Machine cycles executed by the simulator.")
 	r.DeclareCounter(MSimInstrs, "Instructions executed by the simulator.")
 	r.DeclareCounter(MCacheHits, "Compile-cache lookups answered from a cached entry, by tier.")

@@ -472,8 +472,13 @@ type CompileRequest struct {
 	// Arch overrides the machine model (ev6, ev6-noclusters, ...).
 	Arch string `json:"arch,omitempty"`
 	// Strategy overrides the budget search: linear, binary, descend,
-	// parallel.
+	// parallel, stochastic, portfolio.
 	Strategy string `json:"strategy,omitempty"`
+	// Seed fixes the random seed of the stochastic/portfolio engines for
+	// this request, making their searches reproducible. Absent (null), the
+	// seed is derived from the request ID — so replaying a request by ID
+	// replays its search exactly. Ignored by the SAT-only strategies.
+	Seed *uint64 `json:"seed,omitempty"`
 	// Workers overrides the parallel worker bound, capped at the server's
 	// configured Options.Workers (or MaxConcurrent when unset).
 	Workers int `json:"workers,omitempty"`
@@ -529,19 +534,22 @@ type ProbeJSON struct {
 
 // GMAJSON is one compiled guarded multi-assignment in the response.
 type GMAJSON struct {
-	Name          string      `json:"name"`
-	Cycles        int         `json:"cycles"`
-	Instructions  int         `json:"instructions"`
-	OptimalProven bool        `json:"optimal_proven"`
-	Assembly      string      `json:"assembly"`
-	MatchNodes    int         `json:"match_nodes"`
-	MatchRounds   int         `json:"match_rounds"`
-	MatchMillis   float64     `json:"match_ms"`
-	SolveMillis   float64     `json:"solve_ms"`
-	Verified      int         `json:"verified,omitempty"`
-	Certified     bool        `json:"certified,omitempty"`
-	CertifyMillis float64     `json:"certify_ms,omitempty"`
-	Probes        []ProbeJSON `json:"probes,omitempty"`
+	Name          string  `json:"name"`
+	Cycles        int     `json:"cycles"`
+	Instructions  int     `json:"instructions"`
+	OptimalProven bool    `json:"optimal_proven"`
+	Assembly      string  `json:"assembly"`
+	MatchNodes    int     `json:"match_nodes"`
+	MatchRounds   int     `json:"match_rounds"`
+	MatchMillis   float64 `json:"match_ms"`
+	SolveMillis   float64 `json:"solve_ms"`
+	Verified      int     `json:"verified,omitempty"`
+	Certified     bool    `json:"certified,omitempty"`
+	CertifyMillis float64 `json:"certify_ms,omitempty"`
+	// Engine names the search engine that produced the schedule ("sat" or
+	// "stochastic") — under the portfolio strategy, which racer won.
+	Engine string      `json:"engine,omitempty"`
+	Probes []ProbeJSON `json:"probes,omitempty"`
 }
 
 // ProcJSON is one compiled procedure.
@@ -591,19 +599,31 @@ func (s *Server) options(req *CompileRequest, tr *obs.Trace) (repro.Options, err
 	if _, err := repro.ArchDescription(opt.Arch); err != nil {
 		return opt, err
 	}
-	switch req.Strategy {
-	case "":
-		// keep the server's configured strategy
-	case "linear":
-		opt.BinarySearch, opt.DescendSearch, opt.ParallelSearch = false, false, false
-	case "binary":
-		opt.BinarySearch, opt.DescendSearch, opt.ParallelSearch = true, false, false
-	case "descend":
-		opt.BinarySearch, opt.DescendSearch, opt.ParallelSearch = false, true, false
-	case "parallel":
-		opt.BinarySearch, opt.DescendSearch, opt.ParallelSearch = false, false, true
-	default:
-		return opt, fmt.Errorf("unknown strategy %q (want linear, binary, descend or parallel)", req.Strategy)
+	if req.Strategy != "" {
+		// A request override replaces the server default wholesale, so
+		// every strategy switch is cleared before the chosen one is set.
+		next := opt
+		next.BinarySearch, next.DescendSearch, next.ParallelSearch = false, false, false
+		next.StochasticSearch, next.PortfolioSearch = false, false
+		switch req.Strategy {
+		case "linear":
+		case "binary":
+			next.BinarySearch = true
+		case "descend":
+			next.DescendSearch = true
+		case "parallel":
+			next.ParallelSearch = true
+		case "stochastic":
+			next.StochasticSearch = true
+		case "portfolio":
+			next.PortfolioSearch = true
+		default:
+			return opt, fmt.Errorf("unknown strategy %q (want linear, binary, descend, parallel, stochastic or portfolio)", req.Strategy)
+		}
+		opt = next
+	}
+	if req.Seed != nil {
+		opt.Seed = req.Seed
 	}
 	maxWorkers := s.cfg.Options.Workers
 	if maxWorkers <= 0 {
@@ -869,15 +889,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 
 // strategyName renders the effective search strategy of merged options.
 func strategyName(opt repro.Options) string {
-	switch {
-	case opt.ParallelSearch:
-		return "parallel"
-	case opt.DescendSearch:
-		return "descend"
-	case opt.BinarySearch:
-		return "binary"
-	}
-	return "linear"
+	return opt.StrategyName()
 }
 
 // gmaJSON renders one compiled GMA into the response shape; /compile and
@@ -897,6 +909,7 @@ func gmaJSON(g *repro.CompiledGMA, verified int) GMAJSON {
 		Verified:      verified,
 		Certified:     g.Certified,
 		CertifyMillis: float64(g.CertifyTime.Microseconds()) / 1e3,
+		Engine:        g.Engine,
 	}
 	for _, p := range g.Probes {
 		gj.Probes = append(gj.Probes, ProbeJSON{

@@ -245,7 +245,7 @@ func TestServeTraceInResponse(t *testing.T) {
 
 func TestServeStrategyOverride(t *testing.T) {
 	_, ts := newTestServer(t, Config{Options: repro.Options{Arch: "ev6", Workers: 2}})
-	for _, strategy := range []string{"linear", "binary", "descend", "parallel"} {
+	for _, strategy := range []string{"linear", "binary", "descend", "parallel", "stochastic", "portfolio"} {
 		resp, raw := postCompile(t, ts.URL, CompileRequest{Source: programs.Quickstart, Strategy: strategy})
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("strategy %s: status %d: %s", strategy, resp.StatusCode, raw)
@@ -253,11 +253,54 @@ func TestServeStrategyOverride(t *testing.T) {
 	}
 	samples := scrapeMetrics(t, ts.URL)
 	// Quickstart holds two GMAs, so each request counts two compiles.
-	for _, strategy := range []string{"linear", "binary", "descend", "parallel"} {
+	for _, strategy := range []string{"linear", "binary", "descend", "parallel", "stochastic", "portfolio"} {
 		key := fmt.Sprintf(`denali_compiles_total{strategy=%q}`, strategy)
 		if samples[key] != 2 {
 			t.Errorf("%s = %g, want 2", key, samples[key])
 		}
+	}
+}
+
+// TestServeSeedOverride: the stochastic engine is deterministic in the
+// per-request seed — two requests with the same seed must answer the
+// same cycle counts with the engine label set, and the seed (explicit
+// or request-ID-derived) must surface in the flight report.
+func TestServeSeedOverride(t *testing.T) {
+	_, ts := newTestServer(t, Config{Options: repro.Options{Arch: "ev6", Workers: 2}})
+	seed := uint64(12345)
+	var runs [2]CompileResponse
+	for i := range runs {
+		resp, raw := postCompile(t, ts.URL, CompileRequest{
+			Source: programs.Quickstart, Strategy: "stochastic", Seed: &seed,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: status %d: %s", i, resp.StatusCode, raw)
+		}
+		if err := json.Unmarshal(raw, &runs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := range runs[0].Procs {
+		for g := range runs[0].Procs[p].GMAs {
+			a, b := runs[0].Procs[p].GMAs[g], runs[1].Procs[p].GMAs[g]
+			if a.Cycles != b.Cycles {
+				t.Errorf("%s: same seed, different cycles: %d vs %d", a.Name, a.Cycles, b.Cycles)
+			}
+			if a.Engine != "stochastic" {
+				t.Errorf("%s: engine = %q, want stochastic", a.Name, a.Engine)
+			}
+			if a.OptimalProven {
+				t.Errorf("%s: stochastic answer claims optimality", a.Name)
+			}
+		}
+	}
+	// The flight report records the seed actually used.
+	var rep flight.Report
+	if r := getJSON(t, ts.URL+"/debug/requests/"+runs[0].RequestID, &rep); r.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/requests/%s status %d", runs[0].RequestID, r.StatusCode)
+	}
+	if !rep.SeedSet || rep.Seed != seed {
+		t.Errorf("flight report seed = %d (set=%v), want %d", rep.Seed, rep.SeedSet, seed)
 	}
 }
 

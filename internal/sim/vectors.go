@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gma"
+	"repro/internal/semantics"
+)
+
+// Vector is one sampled input environment with the GMA's reference
+// outputs precomputed. It is the screening currency of the stochastic
+// search engine: evaluating a candidate instruction sequence on a
+// handful of vectors and comparing against Want/WantGuard is orders of
+// magnitude cheaper than a full Verify, so an MCMC loop can screen
+// every proposal this way and pay for exact verification (sim.Verify on
+// the packed schedule) only on screened survivors.
+type Vector struct {
+	// Env is the sampled environment; it satisfies the GMA's Assumes.
+	Env *semantics.Env
+	// In holds the input words in gma.Inputs order, for fast indexed
+	// access during candidate evaluation.
+	In []uint64
+	// Want maps each register-valued target name to its reference value
+	// under Env. Memory-valued targets are not screened (candidates with
+	// memory effects need the full simulator) and do not appear here.
+	Want map[string]uint64
+	// WantGuard is the guard's reference value; nil when the GMA is
+	// unguarded. Guards are zero/nonzero conditions, so a candidate
+	// guard result matches iff its zero-ness matches.
+	WantGuard *uint64
+}
+
+// Vectors samples n environments satisfying the GMA's programmer
+// assumptions and evaluates the reference semantics of the guard and of
+// every register-valued target on each, using the same input
+// distribution as Verify (biased toward small words, memory populated
+// around input values).
+func Vectors(g *gma.GMA, rng *rand.Rand, n int) ([]Vector, error) {
+	out := make([]Vector, 0, n)
+	for i := 0; i < n; i++ {
+		env, err := sampleEnv(g, rng)
+		if err != nil {
+			return nil, err
+		}
+		v := Vector{Env: env, Want: map[string]uint64{}}
+		for _, in := range g.Inputs {
+			v.In = append(v.In, env.Words[in])
+		}
+		if g.Guard != nil {
+			w, err := semantics.EvalWord(g.Guard, env)
+			if err != nil {
+				return nil, fmt.Errorf("sim: vector guard: %w", err)
+			}
+			v.WantGuard = &w
+		}
+		for ti, t := range g.Targets {
+			if t.Kind != gma.Reg {
+				continue
+			}
+			w, err := semantics.EvalWord(g.Values[ti], env)
+			if err != nil {
+				return nil, fmt.Errorf("sim: vector target %s: %w", t.Name, err)
+			}
+			v.Want[t.Name] = w
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

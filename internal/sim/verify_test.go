@@ -1,4 +1,4 @@
-package sim
+package sim_test
 
 import (
 	"math/rand"
@@ -8,6 +8,7 @@ import (
 	"repro/internal/axioms"
 	"repro/internal/core"
 	"repro/internal/gma"
+	"repro/internal/sim"
 	"repro/internal/term"
 )
 
@@ -87,7 +88,7 @@ func TestVerifyCompiledPrograms(t *testing.T) {
 	for _, g := range cases {
 		t.Run(g.Name, func(t *testing.T) {
 			c := compile(t, g)
-			if err := Verify(g, c.Schedule, alpha.EV6(), rng, 50); err != nil {
+			if err := sim.Verify(g, c.Schedule, alpha.EV6(), rng, 50); err != nil {
 				t.Fatalf("%s (K=%d):\n%s\n%v", g.Name, c.Cycles, c.Schedule.Compact(), err)
 			}
 		})
@@ -110,13 +111,13 @@ func TestVerifyByteswap4(t *testing.T) {
 	}
 	c := compile(t, g)
 	rng := rand.New(rand.NewSource(7))
-	if err := Verify(g, c.Schedule, alpha.EV6(), rng, 100); err != nil {
+	if err := sim.Verify(g, c.Schedule, alpha.EV6(), rng, 100); err != nil {
 		t.Fatal(err)
 	}
 	// Explicit spot check: 0x44332211 byte-swaps to 0x11223344.
-	m := NewMachine()
+	m := sim.NewMachine()
 	m.Regs[c.Schedule.InputRegs["a"]] = 0x44332211
-	if err := Run(c.Schedule, alpha.EV6(), m); err != nil {
+	if err := sim.Run(c.Schedule, alpha.EV6(), m); err != nil {
 		t.Fatal(err)
 	}
 	res := c.Schedule.ResultRegs["res"]
@@ -144,7 +145,7 @@ func TestVerifyCatchesCorruption(t *testing.T) {
 		}
 	}
 	rng := rand.New(rand.NewSource(9))
-	if err := Verify(g, c.Schedule, alpha.EV6(), rng, 20); err == nil {
+	if err := sim.Verify(g, c.Schedule, alpha.EV6(), rng, 20); err == nil {
 		t.Fatal("verifier accepted a corrupted schedule")
 	}
 }

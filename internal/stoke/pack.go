@@ -1,0 +1,221 @@
+package stoke
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/gma"
+	"repro/internal/naivegen"
+	"repro/internal/schedule"
+)
+
+// pack turns a candidate sequence into a concrete schedule by greedy
+// list scheduling under the full machine model — allowed units, latency,
+// issue width, unit exclusivity and cross-cluster delay — exactly the
+// rules internal/sim re-checks. The packed cycle count is the candidate's
+// performance cost, and the packed schedule is what exact verification
+// (sim.Verify) accepts or refutes.
+func (e *Engine) pack(p *prog) (*schedule.Schedule, error) {
+	d := e.desc
+	bClusters := 1
+	if d.CrossClusterDelay > 0 {
+		bClusters = d.NumClusters
+	}
+	horizon := 16
+	for _, ins := range p.instrs {
+		horizon += e.desc.Ops[ins.op].Latency
+	}
+	nUnits := len(d.Units)
+	busy := make([]bool, horizon*nUnits)
+	issue := make([]int, horizon)
+	readyEnd := make([]int, len(p.instrs)) // cycle at whose end temp i is readable
+	cluster := make([]int, len(p.instrs))
+	cycleOf := make([]int, len(p.instrs))
+	unitOf := make([]arch.Unit, len(p.instrs))
+
+	avail := func(a opnd, cl int) int {
+		if a.kind != kTemp {
+			return -1 // inputs, $31 and literals are ready at entry
+		}
+		v := readyEnd[a.idx]
+		if bClusters > 1 && cluster[a.idx] != cl {
+			v += d.CrossClusterDelay
+		}
+		return v
+	}
+
+	for i, ins := range p.instrs {
+		op := d.Ops[ins.op]
+		placed := false
+	cycles:
+		for c := 0; c < horizon; c++ {
+			if issue[c] >= d.IssueWidth {
+				continue
+			}
+			for _, u := range op.Units {
+				cl := 0
+				if bClusters > 1 {
+					cl = d.Units[u].Cluster
+				}
+				if busy[c*nUnits+int(u)] {
+					continue
+				}
+				ok := true
+				for _, a := range ins.args {
+					if avail(a, cl) > c-1 {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				busy[c*nUnits+int(u)] = true
+				issue[c]++
+				cycleOf[i], unitOf[i], cluster[i] = c, u, cl
+				readyEnd[i] = c + op.Latency - 1
+				placed = true
+				break cycles
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("stoke: cannot place %s within %d cycles", ins.op, horizon)
+		}
+	}
+
+	sched := &schedule.Schedule{
+		InputRegs:  map[string]string{},
+		ResultRegs: map[string]schedule.Operand{},
+	}
+	for idx, in := range e.g.Inputs {
+		sched.InputRegs[in] = fmt.Sprintf("$%d", 16+idx)
+	}
+	tempReg := func(i int) string { return fmt.Sprintf("$t%d", i+1) }
+	operand := func(a opnd) schedule.Operand {
+		switch a.kind {
+		case kInput:
+			return schedule.Operand{Reg: sched.InputRegs[e.g.Inputs[a.idx]]}
+		case kTemp:
+			return schedule.Operand{Reg: tempReg(a.idx)}
+		case kLit:
+			return schedule.Operand{IsLit: true, Lit: a.lit}
+		}
+		return schedule.Operand{Reg: "$31"}
+	}
+
+	for i, ins := range p.instrs {
+		op := d.Ops[ins.op]
+		l := schedule.Launch{
+			Cycle:    cycleOf[i],
+			Unit:     unitOf[i],
+			UnitName: d.Units[unitOf[i]].Name,
+			TermOp:   op.TermOp,
+			Mnemonic: op.Mnemonic,
+			Latency:  op.Latency,
+			Dest:     tempReg(i),
+			Class:    -1,
+		}
+		if op.Class == arch.ClassConst {
+			l.Args = []schedule.Operand{{IsLit: true, Lit: ins.args[0].lit}}
+			l.Text = fmt.Sprintf("%s %s, %d", l.Mnemonic, l.Dest, int64(ins.args[0].lit))
+		} else {
+			l.Args = make([]schedule.Operand, len(ins.args))
+			strs := make([]string, len(ins.args))
+			for j, a := range ins.args {
+				l.Args[j] = operand(a)
+				strs[j] = l.Args[j].String()
+			}
+			l.Text = fmt.Sprintf("%s %s, %s", l.Mnemonic, strings.Join(strs, ", "), l.Dest)
+		}
+		sched.Launches = append(sched.Launches, l)
+		if end := cycleOf[i] + op.Latency; end > sched.K {
+			sched.K = end
+		}
+	}
+	sort.Slice(sched.Launches, func(a, b int) bool {
+		la, lb := &sched.Launches[a], &sched.Launches[b]
+		if la.Cycle != lb.Cycle {
+			return la.Cycle < lb.Cycle
+		}
+		return la.Unit < lb.Unit
+	})
+	for j, name := range e.targets {
+		sched.ResultRegs[name] = operand(p.results[j])
+	}
+	return sched, nil
+}
+
+// seedProgram builds the search's starting point from the conventional-
+// compiler baseline (naivegen): the baseline schedule converted back
+// into a sequence, so the first candidate is correct by construction and
+// every verified improvement beats the baseline.
+func seedProgram(g *gma.GMA, desc *arch.Description) (*prog, []string, error) {
+	base, err := naivegen.Compile(g, desc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("stoke: baseline seed: %w", err)
+	}
+	inputIdx := map[string]int{}
+	for i, in := range g.Inputs {
+		inputIdx[in] = i
+	}
+	regTo := map[string]opnd{"$31": {kind: kZero}}
+	for in, reg := range base.InputRegs {
+		if idx, ok := inputIdx[in]; ok {
+			regTo[reg] = opnd{kind: kInput, idx: idx}
+		}
+	}
+	convert := func(o schedule.Operand) (opnd, error) {
+		if o.IsLit {
+			return opnd{kind: kLit, lit: o.Lit}, nil
+		}
+		a, ok := regTo[o.Reg]
+		if !ok {
+			return opnd{}, fmt.Errorf("stoke: baseline register %s has no producer", o.Reg)
+		}
+		return a, nil
+	}
+	p := &prog{}
+	for i, l := range base.Launches {
+		if l.IsMem {
+			return nil, nil, ErrUnsupported
+		}
+		ins := instr{op: l.TermOp}
+		if l.TermOp == "ldiq" {
+			ins.args = []opnd{{kind: kLit, lit: l.Args[0].Lit}}
+		} else {
+			for _, a := range l.Args {
+				c, err := convert(a)
+				if err != nil {
+					return nil, nil, err
+				}
+				ins.args = append(ins.args, c)
+			}
+		}
+		regTo[l.Dest] = opnd{kind: kTemp, idx: i}
+		p.instrs = append(p.instrs, ins)
+	}
+	var targets []string
+	for _, t := range g.Targets {
+		if t.Kind != gma.Reg {
+			return nil, nil, ErrUnsupported
+		}
+		targets = append(targets, t.Name)
+	}
+	if g.Guard != nil {
+		targets = append(targets, "<guard>")
+	}
+	for _, name := range targets {
+		o, ok := base.ResultRegs[name]
+		if !ok {
+			return nil, nil, fmt.Errorf("stoke: baseline lacks a result for %s", name)
+		}
+		c, err := convert(o)
+		if err != nil {
+			return nil, nil, err
+		}
+		p.results = append(p.results, c)
+	}
+	return p, targets, nil
+}

@@ -1,0 +1,395 @@
+package stoke
+
+import (
+	"math/bits"
+
+	"repro/internal/arch"
+)
+
+// opndKind classifies a candidate operand.
+type opndKind uint8
+
+const (
+	// kInput reads a GMA input, by index into gma.Inputs.
+	kInput opndKind = iota
+	// kTemp reads the result of an earlier instruction, by index into the
+	// sequence (SSA: instruction i may only be read by instructions > i).
+	kTemp
+	// kZero reads the hardware zero register ($31).
+	kZero
+	// kLit is an immediate literal; only legal in an encoding's literal
+	// operand position (arch.OpInfo.LitArg, or the operand of ldiq).
+	kLit
+)
+
+type opnd struct {
+	kind opndKind
+	idx  int
+	lit  uint64
+}
+
+// instr is one candidate instruction: a term operator with machine
+// semantics plus its operands.
+type instr struct {
+	op   string
+	args []opnd
+}
+
+// prog is one point of the search space: a straight-line SSA instruction
+// sequence plus the operand holding each result (the engine's target
+// list: register targets in GMA order, then "<guard>" when guarded).
+type prog struct {
+	instrs  []instr
+	results []opnd
+}
+
+func (p *prog) clone() *prog {
+	q := &prog{
+		instrs:  make([]instr, len(p.instrs)),
+		results: append([]opnd(nil), p.results...),
+	}
+	for i, ins := range p.instrs {
+		q.instrs[i] = instr{op: ins.op, args: append([]opnd(nil), ins.args...)}
+	}
+	return q
+}
+
+// litLegal reports whether a literal may sit in operand position j of op.
+func litLegal(op arch.OpInfo, j int, lit uint64, d *arch.Description) bool {
+	if op.Class == arch.ClassConst {
+		return j == 0 // ldiq materializes any constant
+	}
+	return op.LitArg == j && d.FitsLiteral(lit)
+}
+
+// validate checks the SSA and encoding invariants every proposal must
+// respect: temps only reference earlier instructions, arities match, and
+// literals appear only where the encoding allows them.
+func (e *Engine) validate(p *prog) bool {
+	for i, ins := range p.instrs {
+		op, ok := e.desc.Ops[ins.op]
+		if !ok || len(ins.args) != e.arity(ins.op) {
+			return false
+		}
+		for j, a := range ins.args {
+			switch a.kind {
+			case kTemp:
+				if a.idx < 0 || a.idx >= i {
+					return false
+				}
+			case kInput:
+				if a.idx < 0 || a.idx >= len(e.g.Inputs) {
+					return false
+				}
+			case kLit:
+				if !litLegal(op, j, a.lit, e.desc) {
+					return false
+				}
+			}
+		}
+	}
+	for _, r := range p.results {
+		if r.kind == kTemp && (r.idx < 0 || r.idx >= len(p.instrs)) {
+			return false
+		}
+		if r.kind == kInput && (r.idx < 0 || r.idx >= len(e.g.Inputs)) {
+			return false
+		}
+	}
+	return true
+}
+
+// randOperand draws a random operand for position j of op in an
+// instruction at index bound (temps must come from [0, bound)).
+func (e *Engine) randOperand(bound int, op arch.OpInfo, j int) opnd {
+	for attempt := 0; attempt < 8; attempt++ {
+		switch e.rng.Intn(8) {
+		case 0:
+			return opnd{kind: kZero}
+		case 1, 2:
+			if litLegal(op, j, 0, e.desc) {
+				return opnd{kind: kLit, lit: e.randLit(op)}
+			}
+		case 3, 4:
+			if len(e.g.Inputs) > 0 {
+				return opnd{kind: kInput, idx: e.rng.Intn(len(e.g.Inputs))}
+			}
+		default:
+			if bound > 0 {
+				return opnd{kind: kTemp, idx: e.rng.Intn(bound)}
+			}
+		}
+	}
+	if len(e.g.Inputs) > 0 {
+		return opnd{kind: kInput, idx: e.rng.Intn(len(e.g.Inputs))}
+	}
+	return opnd{kind: kZero}
+}
+
+// randLit draws a literal biased toward the small constants machine
+// idioms use (shift counts, masks, small addends).
+func (e *Engine) randLit(op arch.OpInfo) uint64 {
+	if op.Class == arch.ClassConst {
+		// ldiq takes any 64-bit constant.
+		switch e.rng.Intn(4) {
+		case 0:
+			return uint64(e.rng.Intn(9))
+		case 1:
+			return 1 << uint(e.rng.Intn(64))
+		case 2:
+			return e.rng.Uint64()
+		default:
+			return uint64(e.rng.Intn(256))
+		}
+	}
+	max := e.desc.LitMax
+	if max > 255 {
+		max = 255
+	}
+	if e.rng.Intn(4) > 0 {
+		return uint64(e.rng.Intn(9))
+	}
+	return uint64(e.rng.Int63n(int64(max) + 1))
+}
+
+// remapTemp rewrites every temp reference through f (args and results).
+func (p *prog) remapTemp(f func(int) int) {
+	for i := range p.instrs {
+		for j := range p.instrs[i].args {
+			if p.instrs[i].args[j].kind == kTemp {
+				p.instrs[i].args[j].idx = f(p.instrs[i].args[j].idx)
+			}
+		}
+	}
+	for j := range p.results {
+		if p.results[j].kind == kTemp {
+			p.results[j].idx = f(p.results[j].idx)
+		}
+	}
+}
+
+// propose draws one MCMC proposal: a cloned program mutated by one of
+// the STOKE move types (opcode, operand, swap, insert, delete, plus a
+// result retarget). It returns nil when the drawn move cannot produce a
+// well-formed program (counted as an invalid proposal by the caller).
+func (e *Engine) propose(p *prog) *prog {
+	q := p.clone()
+	var ok bool
+	switch e.rng.Intn(6) {
+	case 0:
+		ok = e.moveOpcode(q)
+	case 1:
+		ok = e.moveOperand(q)
+	case 2:
+		ok = e.moveSwap(q)
+	case 3:
+		ok = e.moveInsert(q)
+	case 4:
+		ok = e.moveDelete(q)
+	default:
+		ok = e.moveRetarget(q)
+	}
+	if !ok || !e.validate(q) {
+		return nil
+	}
+	return q
+}
+
+// moveOpcode replaces one instruction's operator with a random
+// same-arity machine operation whose encoding accepts the existing
+// operands.
+func (e *Engine) moveOpcode(p *prog) bool {
+	if len(p.instrs) == 0 {
+		return false
+	}
+	i := e.rng.Intn(len(p.instrs))
+	ins := &p.instrs[i]
+	pool := e.pool[len(ins.args)]
+	if len(pool) == 0 {
+		return false
+	}
+	name := pool[e.rng.Intn(len(pool))]
+	if name == ins.op {
+		return false
+	}
+	op := e.desc.Ops[name]
+	for j, a := range ins.args {
+		if a.kind == kLit && !litLegal(op, j, a.lit, e.desc) {
+			return false
+		}
+	}
+	ins.op = name
+	return true
+}
+
+// moveOperand rewrites one operand of one instruction; on a constant
+// materialization it perturbs the constant instead.
+func (e *Engine) moveOperand(p *prog) bool {
+	if len(p.instrs) == 0 {
+		return false
+	}
+	i := e.rng.Intn(len(p.instrs))
+	ins := &p.instrs[i]
+	op := e.desc.Ops[ins.op]
+	if op.Class == arch.ClassConst {
+		old := ins.args[0].lit
+		var lit uint64
+		switch e.rng.Intn(4) {
+		case 0:
+			lit = old + 1
+		case 1:
+			lit = old - 1
+		case 2:
+			lit = bits.RotateLeft64(old, 8)
+		default:
+			lit = e.randLit(op)
+		}
+		if lit == old {
+			return false
+		}
+		ins.args[0].lit = lit
+		return true
+	}
+	if len(ins.args) == 0 {
+		return false
+	}
+	j := e.rng.Intn(len(ins.args))
+	ins.args[j] = e.randOperand(i, op, j)
+	return true
+}
+
+// moveSwap exchanges two instructions, exchanging their temp identities
+// everywhere; validation rejects the swap if it created a forward
+// reference.
+func (e *Engine) moveSwap(p *prog) bool {
+	n := len(p.instrs)
+	if n < 2 {
+		return false
+	}
+	i := e.rng.Intn(n)
+	j := e.rng.Intn(n)
+	if i == j {
+		return false
+	}
+	p.instrs[i], p.instrs[j] = p.instrs[j], p.instrs[i]
+	p.remapTemp(func(t int) int {
+		switch t {
+		case i:
+			return j
+		case j:
+			return i
+		}
+		return t
+	})
+	return true
+}
+
+// moveInsert inserts a random instruction at a random position.
+func (e *Engine) moveInsert(p *prog) bool {
+	if len(p.instrs) >= e.maxLen {
+		return false
+	}
+	pos := e.rng.Intn(len(p.instrs) + 1)
+	arity := 2
+	if len(e.pool[1]) > 0 && e.rng.Intn(4) == 0 {
+		arity = 1
+	}
+	if len(e.pool[3]) > 0 && e.rng.Intn(8) == 0 {
+		arity = 3
+	}
+	pool := e.pool[arity]
+	if len(pool) == 0 {
+		return false
+	}
+	name := pool[e.rng.Intn(len(pool))]
+	op := e.desc.Ops[name]
+	ins := instr{op: name, args: make([]opnd, arity)}
+	for j := range ins.args {
+		ins.args[j] = e.randOperand(pos, op, j)
+	}
+	p.remapTemp(func(t int) int {
+		if t >= pos {
+			return t + 1
+		}
+		return t
+	})
+	p.instrs = append(p.instrs, instr{})
+	copy(p.instrs[pos+1:], p.instrs[pos:])
+	p.instrs[pos] = ins
+	return true
+}
+
+// moveDelete removes one instruction. Half the time dangling references
+// are rewired to one of the deleted instruction's own value operands —
+// the dataflow-preserving delete that eliminates a redundant step (a
+// mask of already-zero bytes, a shift by zero) as one neutral move —
+// and half the time to random operands, which explores everything else.
+func (e *Engine) moveDelete(p *prog) bool {
+	if len(p.instrs) == 0 {
+		return false
+	}
+	pos := e.rng.Intn(len(p.instrs))
+	var passthrough []opnd
+	for _, a := range p.instrs[pos].args {
+		if a.kind != kLit {
+			passthrough = append(passthrough, a)
+		}
+	}
+	usePassthrough := len(passthrough) > 0 && e.rng.Intn(2) == 0
+	rewire := func() opnd {
+		return passthrough[e.rng.Intn(len(passthrough))]
+	}
+	for i := pos + 1; i < len(p.instrs); i++ {
+		op := e.desc.Ops[p.instrs[i].op]
+		for j := range p.instrs[i].args {
+			a := p.instrs[i].args[j]
+			if a.kind == kTemp && a.idx == pos {
+				if usePassthrough {
+					p.instrs[i].args[j] = rewire()
+				} else {
+					p.instrs[i].args[j] = e.randOperand(pos, op, j)
+				}
+			}
+		}
+	}
+	for j := range p.results {
+		if p.results[j].kind == kTemp && p.results[j].idx == pos {
+			if usePassthrough {
+				p.results[j] = rewire()
+			} else {
+				p.results[j] = e.randResultOperand(pos)
+			}
+		}
+	}
+	p.remapTemp(func(t int) int {
+		if t > pos {
+			return t - 1
+		}
+		return t
+	})
+	p.instrs = append(p.instrs[:pos], p.instrs[pos+1:]...)
+	return true
+}
+
+// randResultOperand draws a register-or-zero operand for a result slot
+// (results live in registers; literals stay legal but are rarely what a
+// caller wants, so the draw sticks to temps, inputs and $31).
+func (e *Engine) randResultOperand(bound int) opnd {
+	if bound > 0 && e.rng.Intn(4) > 0 {
+		return opnd{kind: kTemp, idx: e.rng.Intn(bound)}
+	}
+	if len(e.g.Inputs) > 0 && e.rng.Intn(2) == 0 {
+		return opnd{kind: kInput, idx: e.rng.Intn(len(e.g.Inputs))}
+	}
+	return opnd{kind: kZero}
+}
+
+// moveRetarget points one result slot at a different value.
+func (e *Engine) moveRetarget(p *prog) bool {
+	if len(p.results) == 0 {
+		return false
+	}
+	j := e.rng.Intn(len(p.results))
+	p.results[j] = e.randResultOperand(len(p.instrs))
+	return true
+}

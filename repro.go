@@ -21,6 +21,7 @@ package repro
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math/rand"
 	"sort"
@@ -67,6 +68,25 @@ type Options struct {
 	// sequential strategies (see internal/core). Takes precedence over
 	// BinarySearch/DescendSearch.
 	ParallelSearch bool
+	// StochasticSearch runs the STOKE-style MCMC engine alone
+	// (internal/stoke): proposal moves over machine sequences, test-vector
+	// screening, exact verification. Fast and anytime, but optimality is
+	// never proven. Deterministic in Seed. Takes precedence over
+	// ParallelSearch. Results are seed-dependent, so this strategy
+	// bypasses the compile cache.
+	StochasticSearch bool
+	// PortfolioSearch races the stochastic engine against the SAT descend
+	// sweep, each cancelling the probes it makes moot: stochastic supplies
+	// fast verified upper bounds that shrink the SAT budget ladder, SAT
+	// supplies the refutations, so OptimalProven and Certify still work.
+	// Takes precedence over every other strategy flag.
+	PortfolioSearch bool
+	// Seed drives every random choice of the stochastic engine, making
+	// StochasticSearch and PortfolioSearch reproducible. Nil (the
+	// default) derives the seed from a hash of RequestID, so re-running a
+	// request with the same ID replays the same search; the resolved
+	// value is recorded in the flight report either way.
+	Seed *uint64
 	// Workers bounds the concurrency: in-flight SAT probes per GMA under
 	// ParallelSearch, and concurrently compiled GMAs in Compile. <= 1
 	// means sequential compilation; ParallelSearch with Workers <= 0 uses
@@ -156,6 +176,47 @@ type Options struct {
 	Flight *flight.Recorder
 }
 
+// searchStrategy resolves the strategy flags to the core strategy; the
+// more specialized flags win when several are set, mirroring the
+// historical BinarySearch < DescendSearch < ParallelSearch precedence.
+func (o Options) searchStrategy() core.SearchStrategy {
+	s := core.LinearSearch
+	if o.BinarySearch {
+		s = core.BinarySearch
+	}
+	if o.DescendSearch {
+		s = core.DescendSearch
+	}
+	if o.ParallelSearch {
+		s = core.ParallelSearch
+	}
+	if o.StochasticSearch {
+		s = core.StochasticSearch
+	}
+	if o.PortfolioSearch {
+		s = core.PortfolioSearch
+	}
+	return s
+}
+
+// StrategyName names the effective search strategy ("linear", "binary",
+// "descend", "parallel", "stochastic", "portfolio"). The CLI, the
+// compile service and the benchmark harness all label flight reports and
+// metrics with it, so the names stay consistent across layers.
+func (o Options) StrategyName() string { return o.searchStrategy().String() }
+
+// ResolveSeed returns the stochastic-engine seed these options resolve
+// to: the explicit Seed override, or an FNV-1a hash of RequestID so
+// replaying a request by ID replays its search.
+func (o Options) ResolveSeed() uint64 {
+	if o.Seed != nil {
+		return *o.Seed
+	}
+	h := fnv.New64a()
+	io.WriteString(h, o.RequestID)
+	return h.Sum64()
+}
+
 // ArchDescription resolves the Options.Arch name.
 func ArchDescription(name string) (*arch.Description, error) {
 	switch name {
@@ -236,6 +297,11 @@ type CompiledGMA struct {
 	// names. The schedule is remapped to this GMA's names, so Execute and
 	// Verify behave identically to a fresh compile.
 	Cache string
+
+	// Engine names the search engine that produced the schedule: "sat"
+	// for the refutation-probe family, "stochastic" for the MCMC engine.
+	// Under the portfolio strategy it records which racer won.
+	Engine string
 
 	// MaxLive is the peak number of simultaneously live temporaries.
 	MaxLive int
@@ -346,17 +412,7 @@ func Compile(src string, opt Options) (*Result, error) {
 		Sink:      opt.Sink,
 		RequestID: opt.RequestID,
 	}
-	if opt.BinarySearch {
-		copts.Search = core.BinarySearch
-	}
-	if opt.DescendSearch {
-		copts.Search = core.DescendSearch
-	}
-	if opt.ParallelSearch {
-		copts.Search = core.ParallelSearch
-	}
-	copts.Workers = opt.Workers
-	copts.DisableIncremental = opt.Incremental != nil && !*opt.Incremental
+	configureSearch(&copts, opt)
 	cc := cacheFor(opt, axs)
 
 	// Flatten the program into one job per GMA (after software
@@ -477,18 +533,27 @@ func CompileGMA(g *gma.GMA, opt Options) (*CompiledGMA, error) {
 		Sink:      opt.Sink,
 		RequestID: opt.RequestID,
 	}
-	if opt.BinarySearch {
-		copts.Search = core.BinarySearch
-	}
-	if opt.DescendSearch {
-		copts.Search = core.DescendSearch
-	}
-	if opt.ParallelSearch {
-		copts.Search = core.ParallelSearch
-	}
+	configureSearch(&copts, opt)
+	return compileOne(g, copts, desc, opt.Flight, cacheFor(opt, axs))
+}
+
+// configureSearch maps the public strategy/seed/incremental options onto
+// core.Options, shared by Compile and CompileGMA. The Incremental
+// tri-state becomes two core switches: false disables the persistent
+// engine outright, true pins it on past the adaptive scratch pick, and
+// nil leaves both off so core routes each GMA by size
+// (core.PrefersScratch). The stochastic seed is resolved (explicit, or
+// hashed from the request ID) and recorded in the flight report whenever
+// the strategy can consult it.
+func configureSearch(copts *core.Options, opt Options) {
+	copts.Search = opt.searchStrategy()
 	copts.Workers = opt.Workers
 	copts.DisableIncremental = opt.Incremental != nil && !*opt.Incremental
-	return compileOne(g, copts, desc, opt.Flight, cacheFor(opt, axs))
+	copts.ForceIncremental = opt.Incremental != nil && *opt.Incremental
+	if copts.Search == core.StochasticSearch || copts.Search == core.PortfolioSearch {
+		copts.Seed = opt.ResolveSeed()
+		opt.Flight.SetSeed(copts.Seed)
+	}
 }
 
 // cacheCtx carries the compile-cache wiring of one Compile/CompileGMA
@@ -505,6 +570,16 @@ type cacheCtx struct {
 // configured, so the compile path stays zero-cost by default.
 func cacheFor(opt Options, axs []*axioms.Axiom) *cacheCtx {
 	if opt.Cache == nil {
+		return nil
+	}
+	// A pure stochastic compile is deterministic only in its seed, and the
+	// seed (defaulting to a hash of the request ID) is deliberately not
+	// part of the cache key — identical programs with different seeds are
+	// different searches. Serving one seed's answer to another seed's
+	// request would silently break reproducibility, so the strategy
+	// bypasses the cache. Portfolio results are SAT-validated against the
+	// same optimum every seed converges to, so they cache normally.
+	if opt.searchStrategy() == core.StochasticSearch {
 		return nil
 	}
 	mode := compilecache.ModeUse
@@ -683,6 +758,7 @@ func fromEntry(g *gma.GMA, e compilecache.Entry, outcome compilecache.Outcome, c
 		},
 		Certified:   rep.Certified,
 		CertifyTime: unmillis(rep.CertifyMillis),
+		Engine:      rep.Engine,
 		MaxLive:     e.MaxLive,
 		Cache:       string(outcome),
 		gma:         g,
@@ -727,7 +803,8 @@ func compileFresh(g *gma.GMA, copts core.Options, desc *arch.Description, fr *fl
 			}
 		}
 	}()
-	if copts.Search == core.DescendSearch && copts.UpperBoundHint == 0 {
+	if (copts.Search == core.DescendSearch || copts.Search == core.PortfolioSearch) &&
+		copts.UpperBoundHint == 0 {
 		// The baseline compiler's schedule is a feasible upper bound.
 		if s, err := naivegen.Compile(g, desc); err == nil {
 			copts.UpperBoundHint = s.K
@@ -768,6 +845,7 @@ func compileFresh(g *gma.GMA, copts core.Options, desc *arch.Description, fr *fl
 		},
 		Certified:   c.Certified,
 		CertifyTime: c.CertifyTime,
+		Engine:      c.Engine,
 
 		MaxLive: c.Schedule.MaxLive(),
 		cert:    c.Cert,
@@ -821,6 +899,7 @@ func (c *CompiledGMA) FlightReport() flight.GMAReport {
 	gr.OptimalProven = c.OptimalProven
 	gr.Certified = c.Certified
 	gr.CertifyMillis = millis(c.CertifyTime)
+	gr.Engine = c.Engine
 	return gr
 }
 

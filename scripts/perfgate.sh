@@ -12,7 +12,21 @@
 #  2. BENCH_5.json#scratch vs BENCH_5.json#incremental is the known
 #     small-GMA incremental regression: per-probe setup costs dominate
 #     sub-0.1ms solves, so scale4plus1 and double slow down. The
-#     sentinel must flag both and exit 3.
+#     sentinel must flag both and exit 3. (The adaptive probe-mode pick
+#     routes these GMAs to scratch in production; the fixture pins the
+#     engine to keep measuring the effect.)
+#
+#  3. BENCH_8.json#descend vs BENCH_8.json#portfolio must hold the
+#     portfolio's answer bar: cycle counts may never regress against the
+#     certified descend sweep (wall/solve-time deltas are tolerated —
+#     the race trades redundant work for latency, and the cycle answer
+#     is the contract).
+#
+#  4. BENCH_7.json vs BENCH_8.json#portfolio bridges the fixture
+#     generations: the fleet fixture's per-unit wall times were warm
+#     batch serves, so only an order-of-magnitude wall blowup (8x) on a
+#     shared GMA flags — a portfolio race pathologically slower than a
+#     whole HTTP round trip.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -46,5 +60,26 @@ for gma in scale4plus1 double; do
         ;;
     esac
 done
+
+echo "== perfgate: portfolio answers never regress cycles vs certified descend"
+out=$("$bin" report -diff BENCH_8.json#descend BENCH_8.json#portfolio 2>&1)
+code=$?
+echo "$out"
+if [ "$code" != 0 ] && [ "$code" != 3 ]; then
+    echo "perfgate: BENCH_8 descend-vs-portfolio diff failed outright (exit $code)" >&2
+    exit 1
+fi
+case "$out" in
+*"cycles"*)
+    echo "perfgate: portfolio regressed a cycle answer vs the certified descend sweep" >&2
+    exit 1
+    ;;
+esac
+
+echo "== perfgate: portfolio race not grossly slower than the fleet fixture's serves"
+if ! "$bin" report -diff -wall-ratio 8 BENCH_7.json BENCH_8.json#portfolio; then
+    echo "perfgate: portfolio wall time blew past 8x the BENCH_7 fleet serves" >&2
+    exit 1
+fi
 
 echo "perfgate.sh: sentinel gates passed"

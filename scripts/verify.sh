@@ -22,8 +22,8 @@ go vet ./...
 echo "== tests"
 go test ./...
 
-echo "== race gate (core, schedule, sat, obs, serve, flight, compilecache, history)"
-go test -race ./internal/core ./internal/schedule ./internal/sat ./internal/obs ./internal/serve ./internal/flight ./internal/compilecache ./internal/history
+echo "== race gate (core, schedule, sat, obs, serve, flight, compilecache, history, stoke)"
+go test -race ./internal/core ./internal/schedule ./internal/sat ./internal/obs ./internal/serve ./internal/flight ./internal/compilecache ./internal/history ./internal/stoke
 
 echo "== perf gate (regression sentinel over the committed bench fixtures)"
 sh scripts/perfgate.sh
@@ -53,5 +53,6 @@ go test -run '^$' -fuzz '^FuzzSolveAssumptions$' -fuzztime 10s ./internal/sat
 go test -run '^$' -fuzz '^FuzzDRATChecker$' -fuzztime 10s ./internal/drat
 go test -run '^$' -fuzz '^FuzzDRATParse$' -fuzztime 10s ./internal/drat
 go test -run '^$' -fuzz '^FuzzKey$' -fuzztime 10s ./internal/compilecache
+go test -run '^$' -fuzz '^FuzzScreenVsSim$' -fuzztime 10s ./internal/stoke
 
 echo "verify.sh: all gates passed"
